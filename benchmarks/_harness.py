@@ -1,0 +1,44 @@
+"""Shared reporting helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment row-set from DESIGN.md's
+per-experiment index (E1-E12).  Besides the pytest-benchmark timing
+table, each experiment emits a human-readable table through
+:func:`report`, which both prints it (visible with ``pytest -s`` and in
+piped logs) and persists it under ``benchmarks/results/<experiment>.txt``
+so EXPERIMENTS.md can cite stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+__all__ = ["report", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> List[str]:
+    """Render an aligned text table as a list of lines."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return lines
+
+
+def report(experiment: str, title: str, lines: Iterable[str]) -> None:
+    """Print and persist one experiment's table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    body = [f"== {experiment}: {title} =="]
+    body.extend(lines)
+    text = "\n".join(body)
+    print("\n" + text)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,136 @@
+"""E12 -- implementation ablations for the design choices in DESIGN.md.
+
+Three pairings, each timing the chosen implementation against the naive
+alternative it replaced (agreement asserted first):
+
+* lattice enumeration: closed-form membership filter vs the literal
+  Definition 2.6 union-of-intervals over all witness sets;
+* density computation: the O(n 2^n) butterfly vs the O(4^n) double sum;
+* support counting: vertical-bitmap intersection vs per-basket subset
+  scans.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import GroundSet, SetFunction
+from repro.core import subsets as sb
+from repro.core import transforms as tr
+from repro.core.lattice import iter_lattice, iter_lattice_by_witnesses
+from repro.fis import random_baskets
+from repro.instances import random_family, random_mask
+
+from _harness import format_table, report
+
+
+class TestAblations:
+    def test_lattice_closed_form_vs_witness_union(self, benchmark):
+        ground = GroundSet("ABCDEFGH")
+        rng = random.Random(1212)
+        cases = [
+            (random_mask(rng, ground, 0.25), random_family(rng, ground, 3, 1))
+            for _ in range(30)
+        ]
+        for lhs, fam in cases:
+            assert set(iter_lattice(lhs, fam, ground)) == set(
+                iter_lattice_by_witnesses(lhs, fam, ground)
+            )
+
+        t0 = time.perf_counter()
+        for lhs, fam in cases:
+            sum(1 for _ in iter_lattice(lhs, fam, ground))
+        closed = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for lhs, fam in cases:
+            sum(1 for _ in iter_lattice_by_witnesses(lhs, fam, ground))
+        witness = time.perf_counter() - t0
+        report(
+            "E12a_lattice_ablation",
+            "closed-form L(X,Y) vs Definition 2.6 witness union (|S|=8)",
+            format_table(
+                ["variant", "total ms", "speedup"],
+                [
+                    ("closed form", f"{closed * 1e3:.2f}", "1.0x"),
+                    (
+                        "witness union",
+                        f"{witness * 1e3:.2f}",
+                        f"{witness / max(closed, 1e-9):.1f}x slower",
+                    ),
+                ],
+            ),
+        )
+
+        lhs, fam = cases[0]
+        assert benchmark(
+            lambda: sum(1 for _ in iter_lattice(lhs, fam, ground))
+        ) >= 0
+
+    def test_density_butterfly_vs_naive(self, benchmark):
+        import numpy as np
+
+        rng = random.Random(1313)
+        n = 12
+        values = np.array([rng.uniform(-1, 1) for _ in range(1 << n)])
+        t0 = time.perf_counter()
+        fast = tr.density_table(values)
+        t_fast = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        naive = tr.naive_density_table(values.tolist())
+        t_naive = time.perf_counter() - t0
+        assert np.allclose(fast, naive)
+        report(
+            "E12b_transform_ablation",
+            f"Moebius density over 2^{n} subsets",
+            format_table(
+                ["variant", "ms", "speedup"],
+                [
+                    ("O(n 2^n) butterfly", f"{t_fast * 1e3:.2f}", "1.0x"),
+                    (
+                        "O(4^n) double sum",
+                        f"{t_naive * 1e3:.2f}",
+                        f"{t_naive / max(t_fast, 1e-9):.0f}x slower",
+                    ),
+                ],
+            ),
+        )
+
+        assert benchmark(lambda: tr.density_table(values)[0]) is not None
+
+    def test_support_bitmap_vs_scan(self, benchmark):
+        ground = GroundSet("ABCDEFGHIJKL")
+        rng = random.Random(1414)
+        db = random_baskets(ground, 4000, 0.4, rng)
+        queries = [random_mask(rng, ground, 0.3) for _ in range(60)]
+
+        def naive_support(x):
+            return sum(1 for b in db if sb.is_subset(x, b))
+
+        for x in queries[:10]:
+            assert db.support(x) == naive_support(x)
+
+        t0 = time.perf_counter()
+        bitmap_total = sum(db.support(x) for x in queries)
+        t_bitmap = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        naive_total = sum(naive_support(x) for x in queries)
+        t_naive = time.perf_counter() - t0
+        assert bitmap_total == naive_total
+        report(
+            "E12c_support_ablation",
+            "support counting: vertical bitmap vs basket scan (4000 baskets)",
+            format_table(
+                ["variant", "ms / 60 queries", "speedup"],
+                [
+                    ("vertical bitmap", f"{t_bitmap * 1e3:.2f}", "1.0x"),
+                    (
+                        "basket scan",
+                        f"{t_naive * 1e3:.2f}",
+                        f"{t_naive / max(t_bitmap, 1e-9):.1f}x slower",
+                    ),
+                ],
+            ),
+        )
+
+        assert benchmark(lambda: sum(db.support(x) for x in queries)) == bitmap_total

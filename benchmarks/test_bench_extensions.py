@@ -1,0 +1,263 @@
+"""E13/E14 -- the conclusion's research directions, implemented and measured.
+
+E13 (**Armstrong witnesses + Dempster-Shafer**): the generic witness
+function of a constraint set satisfies exactly its consequences (the
+Armstrong property, verified on sweeps), and the Dempster-Shafer bridge:
+commonality functions are frequency functions with density = mass,
+Shafer's multiplicativity holds, support-style zero constraints survive
+Dempster combination while differential constraints do not.
+
+E14 (**frequency-constraint satisfiability**): the Calders-Paredaens
+bridge -- joint satisfiability of frequency bounds, differential
+constraints, and the conclusion's generalized density-range constraints,
+decided exactly by LP over density coordinates (rational) and by MILP
+(integral / basket-realizable), with the rational-vs-integral gap
+exhibited.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    armstrong_database,
+    armstrong_function,
+)
+from repro.core.implication import implies_lattice
+from repro.fis import (
+    DisjunctiveConstraint,
+    FrequencyConstraint,
+    measure_sat,
+    support_sat,
+)
+from repro.instances import random_constraint, random_constraint_set
+from repro.measures import MassFunction, random_mass, vacuous_mass
+
+from _harness import format_table, report
+
+GROUND = GroundSet("ABCD")
+
+
+class TestArmstrongAndDempsterShafer:
+    def test_armstrong_property_sweep(self, benchmark):
+        rng = random.Random(1313)
+        checks = mistakes = 0
+        csets = [
+            random_constraint_set(rng, GROUND, rng.randint(1, 3), max_members=2)
+            for _ in range(30)
+        ]
+        for cset in csets:
+            f = armstrong_function(cset)
+            db = armstrong_database(cset)
+            for _ in range(10):
+                c = random_constraint(rng, GROUND, max_members=2)
+                want = implies_lattice(cset, c)
+                checks += 1
+                if c.satisfied_by(f) != want:
+                    mistakes += 1
+                disj = DisjunctiveConstraint.from_differential(c)
+                if disj.satisfied_by(db) != want:
+                    mistakes += 1
+        assert mistakes == 0
+        report(
+            "E13a_armstrong",
+            "generic witnesses satisfy exactly the consequences",
+            format_table(
+                ["constraint sets", "constraint checks", "mismatches"],
+                [(len(csets), checks, mistakes)],
+            ),
+        )
+
+        cset = csets[0]
+        f = benchmark(lambda: armstrong_function(cset))
+        assert cset.satisfied_by(f)
+
+    def test_dempster_shafer_bridge(self, benchmark):
+        rng = random.Random(1414)
+        masses = [random_mass(GROUND, rng, n_focal=4) for _ in range(40)]
+        bridge_checks = 0
+        for m in masses:
+            q = m.commonality_function()
+            assert q.is_nonnegative_density(1e-9)
+            assert abs(q.value(0) - 1.0) < 1e-9
+            for _ in range(5):
+                c = random_constraint(rng, GROUND, max_members=2, min_members=1)
+                assert m.satisfies(c) == c.satisfied_by(q, tol=1e-9)
+                bridge_checks += 1
+
+        # the combination (non-)closure facts
+        c = DifferentialConstraint.parse(GROUND, "A -> B, C")
+        a = MassFunction(GROUND, {"AB": 1.0})
+        b = MassFunction(GROUND, {"AC": 1.0})
+        combined = a.combine(b)
+        assert a.satisfies(c) and b.satisfies(c) and not combined.satisfies(c)
+
+        zero_preserved = 0
+        pairs = 0
+        for i in range(0, len(masses) - 1, 2):
+            m1, m2 = masses[i], masses[i + 1]
+            if m1.conflict_with(m2) >= 1 - 1e-9:
+                continue
+            fused = m1.combine(m2)
+            pairs += 1
+            ok = all(
+                fused.commonality(x) < 1e-9
+                for x in GROUND.all_masks()
+                if m1.commonality(x) < 1e-12 or m2.commonality(x) < 1e-12
+            )
+            zero_preserved += ok
+        assert zero_preserved == pairs
+        report(
+            "E13b_dempster_shafer",
+            "commonality = frequency function; combination (non-)closure",
+            format_table(
+                [
+                    "masses", "bridge checks (Q vs mass semantics)",
+                    "fusions with Q-zeros preserved",
+                    "differential constraint broken by fusion",
+                ],
+                [(len(masses), bridge_checks, f"{zero_preserved}/{pairs}", "yes (A->{B,C})")],
+            ),
+        )
+
+        m = masses[0]
+        q = benchmark(lambda: m.commonality_function())
+        assert abs(q.value(0) - 1.0) < 1e-9
+
+
+class TestTheoryDiscovery:
+    def test_discovery_compression(self, benchmark):
+        """E15: discovered covers vs the atomic theory, per workload.
+
+        The atomic theory has one constraint per zero-density subset;
+        redundancy elimination compresses it, most strongly on correlated
+        data (whose zero set has structure).  Minimal disjunctive rules
+        are the human-readable face of the same theory.
+        """
+        import random as _random
+
+        from repro.fis import (
+            correlated_baskets,
+            discover_cover,
+            minimal_disjunctive_rules,
+            random_baskets,
+            theory_of,
+        )
+
+        rng = _random.Random(1717)
+        workloads = {
+            "sparse": random_baskets(GROUND, 30, 0.2, rng),
+            "dense": random_baskets(GROUND, 30, 0.6, rng),
+            "correlated": correlated_baskets(GROUND, 30, 2, 3, 0.05, 0.05, rng),
+        }
+        rows = []
+        for name, db in workloads.items():
+            atomic = theory_of(db.support_function())
+            cover = discover_cover(db)
+            rules = minimal_disjunctive_rules(db, max_rhs=2)
+            assert cover.equivalent_to(atomic)
+            rows.append((name, len(atomic), len(cover), len(rules)))
+            assert len(cover) <= len(atomic)
+        report(
+            "E15_theory_discovery",
+            "differential-theory discovery on basket workloads (|S|=4, 30 baskets)",
+            format_table(
+                ["workload", "atomic theory", "minimal cover", "minimal rules"],
+                rows,
+            ),
+        )
+
+        db = workloads["correlated"]
+        count = benchmark(lambda: len(minimal_disjunctive_rules(db, max_rhs=2)))
+        assert count >= 0
+
+
+class TestFrequencySatisfiability:
+    def test_freqsat_lp_and_milp(self, benchmark):
+        rng = random.Random(1515)
+        feasible = infeasible = realized = 0
+        trials = 40
+        for _ in range(trials):
+            bounds = []
+            total = rng.randint(5, 15)
+            bounds.append(FrequencyConstraint(0, total, total))
+            for _ in range(rng.randint(1, 4)):
+                x = rng.randrange(1, 16)
+                lo = rng.randint(0, total)
+                hi = rng.randint(lo, total)
+                bounds.append(FrequencyConstraint(x, lo, hi))
+            witness = measure_sat(GROUND, bounds)
+            if witness is None:
+                infeasible += 1
+                # the integral problem must also be infeasible
+                assert support_sat(GROUND, bounds) is None
+            else:
+                feasible += 1
+                assert all(b.satisfied_by(witness, tol=1e-6) for b in bounds)
+                db = support_sat(GROUND, bounds)
+                if db is not None:
+                    realized += 1
+                    for b in bounds:
+                        assert b.lower - 1e-9 <= db.support(b.x_mask)
+                        if b.upper is not None:
+                            assert db.support(b.x_mask) <= b.upper + 1e-9
+
+        # the rational-vs-integral gap (Calders' theme)
+        gap_bounds = [
+            FrequencyConstraint(0, 1, 1),
+            FrequencyConstraint(GROUND.parse("A"), 0.4, 0.6),
+        ]
+        assert measure_sat(GROUND, gap_bounds) is not None
+        assert support_sat(GROUND, gap_bounds) is None
+
+        report(
+            "E14_freqsat",
+            "frequency-constraint satisfiability over positive(S) / support(S)",
+            format_table(
+                ["trials", "LP feasible", "LP infeasible",
+                 "integrally realized", "rational-integral gap shown"],
+                [(trials, feasible, infeasible, realized, "yes")],
+            ),
+        )
+
+        bounds = [
+            FrequencyConstraint(0, 10, 10),
+            FrequencyConstraint(GROUND.parse("A"), 4, 6),
+            FrequencyConstraint(GROUND.parse("AB"), 2, 3),
+        ]
+        witness = benchmark(lambda: measure_sat(GROUND, bounds))
+        assert witness is not None
+
+    def test_generalized_constraints_with_implication(self, benchmark):
+        """Differential constraints inside the LP behave like Thm 3.5:
+        adding C zeroes densities exactly on L(C)."""
+        rng = random.Random(1616)
+        agreements = 0
+        for _ in range(25):
+            # nonempty families keep S outside L(C), so mass can always
+            # be parked on the full set: the system stays satisfiable
+            cset = random_constraint_set(
+                rng, GROUND, 2, max_members=2, min_members=1
+            )
+            witness = measure_sat(
+                GROUND,
+                [FrequencyConstraint(0, 5, 5)],
+                list(cset.constraints),
+            )
+            assert witness is not None
+            assert cset.satisfied_by(witness, tol=1e-7)
+            agreements += 1
+        assert agreements == 25
+
+        cset = random_constraint_set(
+            random.Random(1616), GROUND, 2, max_members=2, min_members=1
+        )
+        witness = benchmark(
+            lambda: measure_sat(
+                GROUND, [FrequencyConstraint(0, 5, 5)], list(cset.constraints)
+            )
+        )
+        assert witness is not None

@@ -1,0 +1,101 @@
+"""E8 -- the paper's conclusion: the singleton-RHS fragment is in P.
+
+Regenerates the claim that differential-constraint implication restricted
+to single-member right-hand sides coincides with functional-dependency
+implication, decidable by attribute closure in polynomial time -- while
+the general deciders stay exponential.  The table shows time vs ``|S|``
+for the closure decider against the lattice decider on the *same*
+singleton-RHS instances: the closure column stays flat into ground sets
+far beyond what the exponential decider can touch.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import ConstraintSet, DifferentialConstraint, GroundSet, SetFamily
+from repro.core.implication import implies_fd, implies_lattice, implies_sat
+
+from _harness import format_table, report
+
+
+def _singleton_instances(ground, rng, n):
+    universe = ground.universe_mask
+    out = []
+    for _ in range(n):
+        constraints = []
+        for _ in range(rng.randint(1, 5)):
+            lhs = rng.randrange(universe + 1)
+            member = rng.randrange(universe + 1)
+            constraints.append(
+                DifferentialConstraint(ground, lhs, SetFamily(ground, [member]))
+            )
+        target = DifferentialConstraint(
+            ground,
+            rng.randrange(universe + 1),
+            SetFamily(ground, [rng.randrange(universe + 1)]),
+        )
+        out.append((ConstraintSet(ground, constraints), target))
+    return out
+
+
+class TestFdSubclass:
+    def test_agreement_with_general_deciders(self, benchmark):
+        ground = GroundSet("ABCDE")
+        rng = random.Random(808)
+        instances = _singleton_instances(ground, rng, 200)
+        implied = 0
+        for cset, target in instances:
+            fd = implies_fd(cset, target)
+            assert fd == implies_lattice(cset, target)
+            assert fd == implies_sat(cset, target)
+            implied += fd
+        report(
+            "E8_fd_subclass_agreement",
+            "closure decider == lattice == DPLL on singleton-RHS instances",
+            format_table(
+                ["instances", "implied", "not implied", "agreement"],
+                [(len(instances), implied, len(instances) - implied, "100%")],
+            ),
+        )
+
+        def decide_all_fd():
+            return sum(implies_fd(c, t) for c, t in instances)
+
+        assert benchmark(decide_all_fd) == implied
+
+    def test_polynomial_vs_exponential_separation(self, benchmark):
+        rows = []
+        for n in (6, 10, 14, 18):
+            ground = GroundSet([f"a{i}" for i in range(n)])
+            rng = random.Random(2000 + n)
+            instances = _singleton_instances(ground, rng, 30)
+            t0 = time.perf_counter()
+            fd_answers = [implies_fd(c, t) for c, t in instances]
+            t_fd = (time.perf_counter() - t0) * 1e3 / len(instances)
+            if n <= 14:
+                t0 = time.perf_counter()
+                lat_answers = [implies_lattice(c, t) for c, t in instances]
+                t_lat = (time.perf_counter() - t0) * 1e3 / len(instances)
+                assert fd_answers == lat_answers
+                lat_cell = f"{t_lat:.3f}"
+            else:
+                lat_cell = "(skipped: exponential)"
+            rows.append((n, f"{t_fd:.4f}", lat_cell))
+        report(
+            "E8_fd_subclass_scaling",
+            "ms/query: P-time closure vs exponential lattice decider",
+            format_table(["|S|", "closure (ms)", "lattice (ms)"], rows),
+        )
+
+        # the closure decider handles a 40-attribute schema comfortably
+        big = GroundSet([f"a{i}" for i in range(40)])
+        rng = random.Random(4242)
+        big_instances = _singleton_instances(big, rng, 50)
+
+        def decide_big():
+            return sum(implies_fd(c, t) for c, t in big_instances)
+
+        count = benchmark(decide_big)
+        assert 0 <= count <= len(big_instances)

@@ -1,0 +1,107 @@
+"""E11 -- Section 6 (end): inference-pruned disjunctive-set representations.
+
+The paper observes that the Section 4 inference system certifies
+disjunctive sets *beyond* the upward closure of the stored rules'
+support sets (its ``{A,C,D}`` example), and that redundant rules can be
+dropped.  This bench plants transitive rule structure into synthetic
+data, discovers the rules, and reports:
+
+* how many itemsets are certified only through inference, and
+* how many discovered rules a redundancy-pruning pass removes,
+
+on a sweep of planted-chain lengths.
+"""
+
+import random
+
+import pytest
+
+from repro.core import GroundSet, SetFamily
+from repro.fis import (
+    DisjunctiveConstraint,
+    derivable_beyond_support_sets,
+    is_derivably_disjunctive,
+    prune_redundant_rules,
+    support_set_upclosure,
+)
+
+from _harness import format_table, report
+
+
+def _chain_rules(ground, length):
+    """Rules A0 -> {A1, Z}, A1 -> {A2, Z}, ... (paper-example shape)."""
+    labels = ground.elements
+    rules = []
+    z = ground.singleton_mask(labels[-1])
+    for i in range(length):
+        lhs = ground.singleton_mask(labels[i])
+        head = ground.singleton_mask(labels[i + 1])
+        rules.append(
+            DisjunctiveConstraint(ground, lhs, SetFamily(ground, [head, z]))
+        )
+    return rules
+
+
+class TestInferencePruning:
+    def test_paper_example_and_chain_sweep(self, benchmark):
+        rows = []
+        for n, length in ((4, 2), (5, 3), (6, 4)):
+            ground = GroundSet([chr(ord("A") + i) for i in range(n)])
+            rules = _chain_rules(ground, length)
+            direct = support_set_upclosure(rules, ground)
+            extra = derivable_beyond_support_sets(rules, ground)
+            rows.append((n, length, len(direct), len(extra)))
+            assert extra, "transitive chains must certify extra sets"
+        report(
+            "E11_inference_pruning",
+            "disjunctive sets certified only by inference (planted chains)",
+            format_table(
+                ["|S|", "chain length", "direct upclosure", "inference-only"],
+                rows,
+            ),
+        )
+
+        ground = GroundSet("ABCD")
+        rules = _chain_rules(ground, 2)
+        acd = ground.parse("ACD")
+        assert benchmark(
+            lambda: is_derivably_disjunctive(rules, acd, ground)
+        )
+
+    def test_redundancy_pruning(self, benchmark):
+        """Adding all transitive consequences then pruning returns to the
+        generating rules (same closure, fewer stored rules)."""
+        ground = GroundSet("ABCDE")
+        base = _chain_rules(ground, 3)
+        # add derived (redundant) transitive rules
+        z = ground.singleton_mask("E")
+        redundant = [
+            DisjunctiveConstraint(
+                ground,
+                ground.singleton_mask("A"),
+                SetFamily(ground, [ground.singleton_mask("C"), z]),
+            ),
+            DisjunctiveConstraint(
+                ground,
+                ground.singleton_mask("A"),
+                SetFamily(ground, [ground.singleton_mask("D"), z]),
+            ),
+        ]
+        everything = base + redundant
+        kept = prune_redundant_rules(everything, ground)
+        assert len(kept) == len(base)
+        for rule in redundant:
+            assert rule not in kept
+        report(
+            "E11b_rule_pruning",
+            "redundant transitive rules removed by implication pruning",
+            format_table(
+                ["stored rules", "after pruning", "removed"],
+                [(len(everything), len(kept), len(everything) - len(kept))],
+            ),
+        )
+
+        count = benchmark(
+            lambda: len(prune_redundant_rules(everything, ground))
+        )
+        assert count == len(base)

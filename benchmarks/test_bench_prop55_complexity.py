@@ -1,0 +1,107 @@
+"""E5 -- Proposition 5.5: coNP-completeness, observable on a laptop.
+
+Two regenerations:
+
+1. **Reduction correctness.**  Random DNF formulas are decided for
+   tautology three ways -- brute force, through the Prop 5.5 differential-
+   constraint reduction with the lattice decider, and with the DPLL
+   decider -- and must agree.
+
+2. **Hardness shape.**  The exact deciders scale exponentially in
+   ``|S|``; the table reports decision time vs ground-set size for the
+   lattice decider and the DPLL decider on matched random instances.  No
+   polynomial algorithm is expected (that is the theorem); the measured
+   curves are the laptop-visible content of the claim.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core import GroundSet
+from repro.core.implication import implies_lattice, implies_sat
+from repro.instances import random_constraint, random_constraint_set, random_dnf
+from repro.logic import is_tautology_bruteforce, is_tautology_via_differential
+
+from _harness import format_table, report
+
+
+class TestProp55:
+    def test_reduction_correctness(self, benchmark):
+        ground = GroundSet("PQRST")
+        rng = random.Random(505)
+        dnfs = [random_dnf(rng, ground, rng.randint(1, 6)) for _ in range(150)]
+        tautologies = 0
+        for terms in dnfs:
+            want = is_tautology_bruteforce(terms, ground)
+            assert is_tautology_via_differential(terms, ground, "lattice") == want
+            assert is_tautology_via_differential(terms, ground, "sat") == want
+            tautologies += want
+        report(
+            "E5_prop55_reduction",
+            "DNF tautology == differential implication (Prop 5.5 reduction)",
+            format_table(
+                ["DNF instances", "tautologies", "non-tautologies", "agreement"],
+                [(len(dnfs), tautologies, len(dnfs) - tautologies, "100%")],
+            ),
+        )
+
+        def decide_all():
+            return sum(
+                is_tautology_via_differential(t, ground, "lattice")
+                for t in dnfs
+            )
+
+        assert benchmark(decide_all) == tautologies
+
+    def test_exponential_scaling_curves(self, benchmark):
+        from repro.core import ConstraintSet
+
+        rows = []
+        for n in (4, 6, 8, 10, 12, 14, 16):
+            ground = GroundSet([f"x{i}" for i in range(n)])
+            rng = random.Random(1000 + n)
+            # *implied* instances with small left-hand sides: certifying
+            # containment cannot short-circuit, so the decider sweeps the
+            # near-full 2^n lattice -- the worst-case exponential regime
+            instances = []
+            for _ in range(20):
+                target = random_constraint(
+                    rng, ground, max_members=2, lhs_p=0.05
+                )
+                noise = random_constraint_set(rng, ground, 2, max_members=2)
+                instances.append((noise.add(target), target))
+            t0 = time.perf_counter()
+            lat = [implies_lattice(c, t) for c, t in instances]
+            t_lat = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            sat = [implies_sat(c, t) for c, t in instances]
+            t_sat = time.perf_counter() - t0
+            assert lat == sat
+            rows.append(
+                (
+                    n,
+                    f"{t_lat * 1e3 / len(instances):.3f}",
+                    f"{t_sat * 1e3 / len(instances):.3f}",
+                )
+            )
+        report(
+            "E5_prop55_scaling",
+            "decision time vs |S| (ms/query; exact deciders grow with 2^n)",
+            format_table(["|S|", "lattice (ms)", "DPLL (ms)"], rows),
+        )
+        # the lattice decider must show clear growth from n=4 to n=12
+        assert float(rows[-1][1]) > float(rows[0][1])
+
+        # benchmark one mid-size decision through each decider
+        ground = GroundSet([f"x{i}" for i in range(10)])
+        rng = random.Random(77)
+        cset = random_constraint_set(rng, ground, 3, max_members=2)
+        target = random_constraint(rng, ground, max_members=2)
+
+        def decide_both():
+            return implies_lattice(cset, target), implies_sat(cset, target)
+
+        a, b = benchmark(decide_both)
+        assert a == b

@@ -1,0 +1,124 @@
+"""E10 -- Remark 3.6: density-based vs differential-based semantics.
+
+The paper's density semantics strictly refines the earlier differential
+semantics of Sayrafi-Van Gucht-Gyssens: density satisfaction implies
+``D^Y_f(X) = 0`` but not conversely, and the two coincide on
+``positive(S)``.  This bench measures the gap: over random general
+functions, how often a constraint is differential-satisfied but
+density-violated; over nonnegative-density functions the divergence must
+be exactly zero.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DENSITY, DIFFERENTIAL, GroundSet
+from repro.instances import (
+    random_constraint,
+    random_nonneg_density_function,
+    random_set_function,
+)
+
+from _harness import format_table, report
+
+GROUND = GroundSet("ABCD")
+
+
+class TestSemanticsGap:
+    def test_divergence_rates(self, benchmark):
+        from repro.core import SetFunction
+
+        rng = random.Random(1010)
+        rows = []
+        checks = 400
+        one_way_violations = 0
+
+        # continuous random values: exact cancellation of the alternating
+        # differential sum is a measure-zero event, so divergence ~ 0
+        continuous_diverged = 0
+        pairs = []
+        for _ in range(checks):
+            f = random_set_function(rng, GROUND)
+            c = random_constraint(rng, GROUND, max_members=2)
+            pairs.append((f, c))
+        for f, c in pairs:
+            by_density = c.satisfied_by(f, semantics=DENSITY)
+            by_diff = c.satisfied_by(f, semantics=DIFFERENTIAL)
+            if by_density and not by_diff:
+                one_way_violations += 1  # must never happen (Prop 2.9)
+            if by_density != by_diff:
+                continuous_diverged += 1
+        rows.append(("continuous F(S)", checks, continuous_diverged))
+
+        # integer-valued functions: ties make D^Y_f(X) = 0 with nonzero
+        # densities routine -- the regime Remark 3.6 warns about
+        integer_diverged = 0
+        for _ in range(checks):
+            f = SetFunction(
+                GROUND, [rng.randint(-2, 2) for _ in range(16)], exact=True
+            )
+            c = random_constraint(rng, GROUND, max_members=2)
+            by_density = c.satisfied_by(f, semantics=DENSITY)
+            by_diff = c.satisfied_by(f, semantics=DIFFERENTIAL)
+            if by_density and not by_diff:
+                one_way_violations += 1
+            if by_density != by_diff:
+                integer_diverged += 1
+        assert one_way_violations == 0
+        assert integer_diverged > 0  # the gap is real on integer functions
+        rows.append(("integer-valued F(S)", checks, integer_diverged))
+
+        positive_diverged = 0
+        for _ in range(checks):
+            f = random_nonneg_density_function(rng, GROUND)
+            c = random_constraint(rng, GROUND, max_members=2)
+            by_density = c.satisfied_by(f, semantics=DENSITY)
+            by_diff = c.satisfied_by(f, semantics=DIFFERENTIAL)
+            if by_density != by_diff:
+                positive_diverged += 1
+        rows.append(("positive(S)", checks, positive_diverged))
+        assert positive_diverged == 0
+
+        report(
+            "E10_semantics_gap",
+            "density vs differential satisfaction (Remark 3.6)",
+            format_table(
+                ["function class", "checks", "semantics diverged"], rows
+            ),
+        )
+
+        f, c = pairs[0]
+
+        def both_semantics():
+            return (
+                c.satisfied_by(f, semantics=DENSITY),
+                c.satisfied_by(f, semantics=DIFFERENTIAL),
+            )
+
+        density_ok, diff_ok = benchmark(both_semantics)
+        assert isinstance(density_ok, bool) and isinstance(diff_ok, bool)
+
+    def test_remark_36_witness_always_reproducible(self, benchmark):
+        """The Remark 3.6 counterexample, at every ground-set size."""
+        from repro.core import DifferentialConstraint, SetFamily, SetFunction
+
+        def witness_gap(n):
+            ground = GroundSet([f"a{i}" for i in range(n)])
+            # f = 1 exactly on the full set, 0 elsewhere, evaluated at (/)
+            values = [0] * (1 << n)
+            values[ground.universe_mask] = 1
+            f = SetFunction(ground, values, exact=True)
+            c = DifferentialConstraint(ground, 0, SetFamily(ground))
+            by_diff = c.satisfied_by(f, semantics=DIFFERENTIAL)
+            by_density = c.satisfied_by(f, semantics=DENSITY)
+            return by_diff, by_density
+
+        for n in (1, 2, 3, 4, 5):
+            by_diff, by_density = witness_gap(n)
+            # D^{}_f((/)) = f((/)) = 0, yet the density (-1)^(n-|X|) is
+            # nonzero everywhere: the gap appears at every ground-set size
+            assert by_diff and not by_density
+
+        result = benchmark(lambda: witness_gap(4))
+        assert result[1] is False

@@ -1,0 +1,136 @@
+"""E9 -- Section 7: Simpson functions and positive boolean dependencies.
+
+Regenerates the section's three checkable claims on randomized
+probabilistic relations:
+
+* **Prop 7.2**: the pairwise density formula equals the Moebius density
+  (max absolute deviation reported);
+* **frequency**: every Simpson function has nonnegative density;
+* **Prop 7.3 / Cor 7.4**: differential satisfaction by the Simpson
+  function == boolean-dependency satisfaction by the relation, and the
+  implication problems coincide across deciders.
+
+Also probes the paper's open problem: the Shannon-entropy analogue
+matches on functional dependencies but escapes ``positive(S)`` (the XOR
+witness), so the Section 7 machinery cannot transfer unchanged.
+"""
+
+import random
+
+import pytest
+
+from repro.core import GroundSet
+from repro.fis import is_frequency_function
+from repro.instances import random_constraint
+from repro.relational import (
+    BooleanDependency,
+    Distribution,
+    FunctionalDependency,
+    entropy_density_can_be_negative,
+    fd_holds_by_entropy,
+    implies_boolean,
+    random_probabilistic_relation,
+    random_relation,
+    semantic_implies_over_two_tuple_relations,
+    simpson_density_function_pairsum,
+    simpson_function,
+    simpson_satisfies,
+)
+
+from _harness import format_table, report
+
+GROUND = GroundSet("ABCD")
+
+
+class TestSimpsonRelational:
+    def test_prop72_prop73_sweeps(self, benchmark):
+        rng = random.Random(909)
+        max_density_error = 0.0
+        satisfaction_checks = 0
+        dists = [
+            random_probabilistic_relation(GROUND, rng.randint(1, 7), 3, rng)
+            for _ in range(60)
+        ]
+        for dist in dists:
+            f = simpson_function(dist)
+            pair = simpson_density_function_pairsum(dist)
+            mob = f.density()
+            err = max(
+                abs(mob.value(m) - pair.value(m)) for m in GROUND.all_masks()
+            )
+            max_density_error = max(max_density_error, err)
+            assert is_frequency_function(f, tol=1e-9)
+            for _ in range(6):
+                c = random_constraint(rng, GROUND, max_members=2, min_members=1)
+                bd = BooleanDependency.from_differential(c)
+                assert simpson_satisfies(dist, c) == bd.satisfied_by(dist.relation)
+                satisfaction_checks += 1
+        report(
+            "E9_simpson_relational",
+            "Props 7.2/7.3 over random probabilistic relations (|S|=4)",
+            format_table(
+                ["relations", "max |pairwise - Moebius|", "Prop 7.3 checks", "agreement"],
+                [(len(dists), f"{max_density_error:.2e}", satisfaction_checks, "100%")],
+            ),
+        )
+
+        dist = dists[0]
+        f = benchmark(lambda: simpson_function(dist))
+        assert abs(f.value(0) - 1.0) < 1e-9
+
+    def test_corollary74_implication(self, benchmark):
+        rng = random.Random(910)
+        agreements = 0
+        instances = []
+        for _ in range(40):
+            deps = [
+                BooleanDependency.from_differential(
+                    random_constraint(rng, GROUND, max_members=2, min_members=1)
+                )
+                for _ in range(rng.randint(1, 3))
+            ]
+            target = BooleanDependency.from_differential(
+                random_constraint(rng, GROUND, max_members=2, min_members=1)
+            )
+            instances.append((deps, target))
+        for deps, target in instances:
+            a = implies_boolean(deps, target, "lattice")
+            b = semantic_implies_over_two_tuple_relations(deps, target)
+            assert a == b
+            agreements += 1
+        assert agreements == 40
+
+        deps, target = instances[0]
+        assert benchmark(
+            lambda: implies_boolean(deps, target, "lattice")
+        ) in (True, False)
+
+    def test_shannon_open_problem_probe(self, benchmark):
+        """FD-level agreement holds; positivity fails (XOR witness)."""
+        rng = random.Random(911)
+        fd_agree = fd_total = 0
+        for _ in range(60):
+            r = random_relation(GROUND, rng.randint(1, 7), 2, rng)
+            if r.is_empty():
+                continue
+            dist = Distribution.uniform(r)
+            lhs = rng.randrange(16)
+            rhs = rng.randrange(16)
+            fd = FunctionalDependency(GROUND, lhs, rhs)
+            fd_total += 1
+            fd_agree += fd.satisfied_by(r) == fd_holds_by_entropy(dist, lhs, rhs)
+        _, negative_value = entropy_density_can_be_negative(GROUND)
+        report(
+            "E9b_shannon_probe",
+            "the open problem's boundary: entropy matches FDs, escapes positive(S)",
+            format_table(
+                ["FD checks", "entropy-FD agreement", "XOR entropy density"],
+                [(fd_total, f"{fd_agree}/{fd_total}", f"{negative_value:.3f}")],
+            ),
+        )
+        assert fd_agree == fd_total
+        assert negative_value < -0.9
+
+        assert benchmark(
+            lambda: entropy_density_can_be_negative(GROUND)[1]
+        ) == pytest.approx(-1.0)

@@ -1,0 +1,100 @@
+"""The propositional bridge and coNP-completeness (Section 5).
+
+Demonstrates:
+
+1. the implication-constraint formula of a differential constraint and
+   Prop 5.3's identity ``negminset = L(X, Y)``,
+2. implication transfer (Prop 5.4) through truth tables and DPLL,
+3. the Prop 5.5 reduction: DNF tautology as a differential-constraint
+   implication query,
+4. a small timing sweep making the exponential growth visible.
+
+Run:  python examples/logic_and_complexity.py
+"""
+
+import random
+import time
+
+from repro import ConstraintSet, DifferentialConstraint, GroundSet
+from repro.core.implication import implies_lattice, implies_sat
+from repro.instances import random_constraint, random_constraint_set, random_dnf
+from repro.logic import (
+    implies_prop,
+    is_tautology_bruteforce,
+    is_tautology_via_differential,
+    negminset_of_constraint,
+    to_formula,
+)
+
+
+def main() -> None:
+    S = GroundSet("ABCD")
+
+    # ------------------------------------------------------------------
+    # 1. Prop 5.3
+    # ------------------------------------------------------------------
+    c = DifferentialConstraint.parse(S, "A -> B, CD")
+    print(f"constraint {c!r}")
+    print(f"  as a formula: {to_formula(c)!r}")
+    nm = sorted(S.format_mask(u) for u in negminset_of_constraint(c))
+    lat = sorted(S.format_mask(u) for u in c.iter_lattice())
+    print(f"  negminset = {nm}")
+    print(f"  L(X, Y)   = {lat}   (Prop 5.3: identical)\n")
+
+    # ------------------------------------------------------------------
+    # 2. Prop 5.4 on a random instance
+    # ------------------------------------------------------------------
+    rng = random.Random(42)
+    cset = random_constraint_set(rng, S, 3, max_members=2)
+    target = random_constraint(rng, S, max_members=2)
+    print(f"C = {cset!r}")
+    print(f"target = {target!r}")
+    print(f"  lattice:        {implies_lattice(cset, target)}")
+    print(f"  minset:         {implies_prop(cset, target, 'minset')}")
+    print(f"  DPLL:           {implies_sat(cset, target)}\n")
+
+    # ------------------------------------------------------------------
+    # 3. Prop 5.5: DNF tautology through differential constraints
+    # ------------------------------------------------------------------
+    P = GroundSet("PQR")
+    # (P and Q) or (not P) or (not Q): a tautology
+    taut = [(P.parse("PQ"), 0), (0, P.parse("P")), (0, P.parse("Q"))]
+    print("phi = (P & Q) | ~P | ~Q")
+    print(f"  brute force tautology:        {is_tautology_bruteforce(taut, P)}")
+    print(f"  via differential implication: "
+          f"{is_tautology_via_differential(taut, P)}")
+    non_taut = [(P.parse("P"), 0), (0, P.parse("Q"))]
+    print("psi = P | ~Q")
+    print(f"  via differential implication: "
+          f"{is_tautology_via_differential(non_taut, P)}\n")
+
+    # ------------------------------------------------------------------
+    # 4. the exponential wall (the content of coNP-hardness on a laptop)
+    # ------------------------------------------------------------------
+    print("decision time vs |S| (20 random queries each):")
+    print("  |S|   lattice(ms)   DPLL(ms)")
+    for n in (4, 6, 8, 10, 12):
+        ground = GroundSet([f"x{i}" for i in range(n)])
+        rng = random.Random(100 + n)
+        queries = [
+            (
+                random_constraint_set(rng, ground, 3, max_members=2),
+                random_constraint(rng, ground, max_members=2),
+            )
+            for _ in range(20)
+        ]
+        t0 = time.perf_counter()
+        lat = [implies_lattice(cs, t) for cs, t in queries]
+        t_lat = (time.perf_counter() - t0) * 1e3 / len(queries)
+        t0 = time.perf_counter()
+        sat = [implies_sat(cs, t) for cs, t in queries]
+        t_sat = (time.perf_counter() - t0) * 1e3 / len(queries)
+        assert lat == sat
+        print(f"  {n:3d}   {t_lat:11.3f}   {t_sat:8.3f}")
+    print("\n(Prop 5.5: no polynomial algorithm is expected -- the "
+          "singleton-RHS fragment, in contrast, is P-time; see "
+          "examples/quickstart.py and benchmarks/test_bench_fd_subclass.py)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Beyond the paper's core: the conclusion's research directions, running.
+
+Three extensions the conclusion sketches, implemented on top of the
+library:
+
+1. **Armstrong witnesses** -- a single basket database whose satisfied
+   constraints are exactly the consequences of a constraint set;
+2. **Dempster-Shafer evidence** -- differential constraints as structural
+   statements about focal elements, and what evidence fusion does (and
+   does not) preserve;
+3. **Frequency bounds** (the Calders-Paredaens bridge) -- joint
+   satisfiability of support ranges, differential constraints, and
+   generalized density-range constraints, decided by LP/MILP over the
+   density coordinates.
+
+Run:  python examples/uncertainty_and_bounds.py
+"""
+
+from repro import ConstraintSet, DifferentialConstraint, GroundSet
+from repro.core import armstrong_database
+from repro.fis import (
+    DisjunctiveConstraint,
+    FrequencyConstraint,
+    GeneralizedDensityConstraint,
+    measure_sat,
+    support_sat,
+)
+from repro.measures import MassFunction, vacuous_mass
+
+
+def main() -> None:
+    S = GroundSet("ABCD")
+
+    # ------------------------------------------------------------------
+    # 1. an Armstrong database
+    # ------------------------------------------------------------------
+    C = ConstraintSet.of(S, "A -> B", "B -> C, D")
+    db = armstrong_database(C)
+    print(f"Armstrong database for {C!r}: {len(db)} baskets")
+    for text in ("A -> C, D", "A -> B, D", "C -> A", "D -> B"):
+        c = DifferentialConstraint.parse(S, text)
+        disj = DisjunctiveConstraint.from_differential(c)
+        print(f"  satisfies {text:12s}? {disj.satisfied_by(db):d}   "
+              f"C implies it? {C.implies(c):d}   (always equal)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. Dempster-Shafer evidence
+    # ------------------------------------------------------------------
+    print("Dempster-Shafer: constraints on focal elements")
+    m = MassFunction(S, {"AB": 0.6, "ABD": 0.3, "CD": 0.1})
+    q = m.commonality_function()
+    print(f"  mass on AB (0.6), ABD (0.3), CD (0.1)")
+    print(f"  commonality Q is a frequency function with Q((/)) = "
+          f"{q.value(0):.1f} and density = mass")
+    c = DifferentialConstraint.parse(S, "A -> B")
+    print(f"  'every focal element with A also has B' == {c!r}: "
+          f"{m.satisfies(c)}")
+    c2 = DifferentialConstraint.parse(S, "C -> A")
+    print(f"  {c2!r}: {m.satisfies(c2)}  (CD is focal, lacks A)")
+
+    # fusion can break structural constraints
+    a = MassFunction(S, {"AB": 1.0})
+    b = MassFunction(S, {"AC": 1.0})
+    fused = a.combine(b)
+    cc = DifferentialConstraint.parse(S, "A -> B, C")
+    print(f"  evidence AB and evidence AC both satisfy {cc!r};")
+    print(f"  their Dempster combination is focal on "
+          f"{[S.format_mask(x) for x in fused.focal_elements()]} "
+          f"and satisfies it: {fused.satisfies(cc)}")
+    print(f"  (total ignorance, by contrast, satisfies every "
+          f"nonempty-family constraint: "
+          f"{vacuous_mass(S).satisfies(cc)})\n")
+
+    # ------------------------------------------------------------------
+    # 3. frequency bounds + differential constraints, jointly
+    # ------------------------------------------------------------------
+    print("Frequency-constraint satisfiability (LP over densities):")
+    bounds = [
+        FrequencyConstraint.of(S, "", 100, 100),   # 100 baskets
+        FrequencyConstraint.of(S, "A", 60, 70),
+        FrequencyConstraint.of(S, "AB", 55, None),
+    ]
+    rule = DifferentialConstraint.parse(S, "A -> B")  # A-baskets carry B
+    db2 = support_sat(S, bounds, [rule])
+    print(f"  100 baskets, 60<=s(A)<=70, s(AB)>=55, and A -> {{B}}:")
+    print(f"  realizable? {db2 is not None} "
+          f"(witness: s(A)={db2.support(S.parse('A'))}, "
+          f"s(AB)={db2.support(S.parse('AB'))})")
+
+    impossible = bounds + [
+        FrequencyConstraint.of(S, "AB", 0, 40),
+    ]
+    print(f"  adding s(AB)<=40 under A -> {{B}}: "
+          f"satisfiable? {measure_sat(S, impossible, [rule]) is not None}")
+
+    # the conclusion's generalized constraints: density ranges
+    g = GeneralizedDensityConstraint.of(S, "A", ["B"], lower=5, upper=10)
+    witness = measure_sat(S, [FrequencyConstraint.of(S, '', 30, 30)], [g])
+    print(f"  generalized: 5 <= d(U) <= 10 on L(A, {{B}}), 30 baskets: "
+          f"satisfiable? {witness is not None}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip then uses the legacy develop path instead of a
+PEP 517 build).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""repro: a reproduction of "Differential Constraints" (Sayrafi & Van
+Gucht, PODS 2005).
+
+The package implements the paper's primary contribution and every
+substrate it touches:
+
+``repro.core``
+    Differentials and density functions, witness sets, lattice
+    decompositions, differential constraints, the Theorem 3.5 implication
+    deciders, and the Figure 1/2 inference system with constructive
+    completeness (explicit machine-checked derivations).
+
+``repro.logic``
+    Propositional formulas, a from-scratch DPLL solver, minterms/minsets
+    and the Definition 5.2 implication constraints, plus the
+    Proposition 5.5 DNF-tautology reduction.
+
+``repro.fis``
+    Basket databases and support/frequency functions, Apriori with its
+    negative border, disjunctive constraints and disjunctive-free
+    itemsets, the (FDFree, Bd-) concise representation with lossless
+    derivation, and inference-based pruning of disjunctive sets.
+
+``repro.relational``
+    Relations and probabilistic relations, Simpson functions with their
+    pairwise densities, positive boolean dependencies, functional
+    dependencies with the P-time closure decision, and Shannon-entropy
+    probes for the paper's open problem.
+
+``repro.equivalence``
+    Theorem 8.1 evaluated through nine independent code paths.
+
+Quick start::
+
+    >>> from repro import GroundSet, ConstraintSet
+    >>> S = GroundSet("ABC")
+    >>> C = ConstraintSet.of(S, "A -> B", "B -> C")
+    >>> C.implies("A -> C")
+    True
+"""
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    Proof,
+    SetFamily,
+    SetFunction,
+    SparseDensityFunction,
+    atom,
+    atoms,
+    check_proof,
+    decide,
+    decomp,
+    derive,
+    refute,
+)
+from repro.errors import (
+    GroundSetMismatchError,
+    InvalidConstraintError,
+    InvalidProofError,
+    NotAFrequencyFunctionError,
+    NotApplicableError,
+    NotImpliedError,
+    ReproError,
+    UnknownElementError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConstraintSet",
+    "DifferentialConstraint",
+    "GroundSet",
+    "Proof",
+    "SetFamily",
+    "SetFunction",
+    "SparseDensityFunction",
+    "atom",
+    "atoms",
+    "check_proof",
+    "decide",
+    "decomp",
+    "derive",
+    "refute",
+    "GroundSetMismatchError",
+    "InvalidConstraintError",
+    "InvalidProofError",
+    "NotAFrequencyFunctionError",
+    "NotApplicableError",
+    "NotImpliedError",
+    "ReproError",
+    "UnknownElementError",
+    "__version__",
+]

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+A thin, scriptable front door over the library for users who want to
+reason about constraint files without writing Python:
+
+``implies``
+    Decide ``C |= target`` (any decider), optionally printing the
+    Theorem 3.5 counterexample on failure.
+
+``derive``
+    Print a checked derivation of the target (Figure 1/2 or
+    Figure-1-only with ``--primitive``).
+
+``closure``
+    Print the atomic closure ``L(C)`` and a minimal cover of ``C``.
+
+``mine``
+    Mine a basket file: frequent itemsets (Apriori) or the
+    ``(FDFree, Bd-)`` concise representation.
+
+``discover``
+    Discover the basket file's differential theory: the minimal
+    disjunctive rules and a redundancy-free constraint cover.
+
+Constraint files are plain text: first line the ground set (e.g.
+``ABCD``), then one constraint per line in ``A -> B, CD`` syntax; ``#``
+comments and blank lines are ignored.  Basket files: first line the item
+ground set, then one basket per line in the same subset shorthand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, TextIO, Tuple
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    decide,
+    derive,
+    find_uncovered,
+)
+from repro.errors import NotImpliedError, ReproError
+
+__all__ = ["main", "parse_constraint_file", "parse_basket_file"]
+
+
+def parse_constraint_file(lines: Sequence[str]) -> Tuple[GroundSet, ConstraintSet]:
+    """Parse the constraint-file format described in the module docstring."""
+    meaningful = [
+        line.strip()
+        for line in lines
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not meaningful:
+        raise ValueError("empty constraint file: expected a ground-set line")
+    ground = GroundSet(meaningful[0])
+    constraints = [
+        DifferentialConstraint.parse(ground, line) for line in meaningful[1:]
+    ]
+    return ground, ConstraintSet(ground, constraints)
+
+
+def parse_basket_file(lines: Sequence[str]):
+    """Parse the basket-file format (ground set, then one basket/line)."""
+    from repro.fis import BasketDatabase
+
+    meaningful = [
+        line.strip()
+        for line in lines
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not meaningful:
+        raise ValueError("empty basket file: expected a ground-set line")
+    ground = GroundSet(meaningful[0])
+    baskets = [ground.parse(line) for line in meaningful[1:]]
+    return ground, BasketDatabase(ground, baskets)
+
+
+def _read(path: str) -> List[str]:
+    if path == "-":
+        return sys.stdin.read().splitlines()
+    with open(path) as fh:
+        return fh.read().splitlines()
+
+
+def _cmd_implies(args, out: TextIO) -> int:
+    ground, cset = parse_constraint_file(_read(args.file))
+    target = DifferentialConstraint.parse(ground, args.target)
+    answer = decide(cset, target, method=args.method)
+    print(f"{'IMPLIED' if answer else 'NOT IMPLIED'}: {target!r}", file=out)
+    if not answer and args.counterexample:
+        u = find_uncovered(cset, target)
+        print(
+            f"counterexample f^U with U = {ground.format_mask(u)} "
+            "(density 1 at U, satisfies C, violates the target)",
+            file=out,
+        )
+    return 0 if answer else 1
+
+
+def _cmd_derive(args, out: TextIO) -> int:
+    ground, cset = parse_constraint_file(_read(args.file))
+    target = DifferentialConstraint.parse(ground, args.target)
+    try:
+        proof = derive(cset, target, allow_derived=not args.primitive)
+    except NotImpliedError as err:
+        print(f"NOT IMPLIED: {err}", file=out)
+        return 1
+    print(proof.format(), file=out)
+    print(f"# {proof.size()} steps, checked", file=out)
+    return 0
+
+
+def _cmd_closure(args, out: TextIO) -> int:
+    ground, cset = parse_constraint_file(_read(args.file))
+    atoms = list(cset.iter_lattice())
+    print(f"atomic closure L(C): {len(atoms)} sets", file=out)
+    if atoms:
+        print("  " + " ".join(ground.format_mask(u) for u in atoms), file=out)
+    else:
+        print("  (empty)", file=out)
+    cover = cset.minimal_cover()
+    print(f"minimal cover ({len(cover)} of {len(cset)} constraints):", file=out)
+    for c in cover:
+        print(f"  {c!r}", file=out)
+    return 0
+
+
+def _cmd_mine(args, out: TextIO) -> int:
+    from repro.fis import apriori, mine_concise
+
+    ground, db = parse_basket_file(_read(args.file))
+    if args.concise:
+        rep = mine_concise(db, args.minsupport, max_rhs=args.rule_width)
+        print(
+            f"FDFree: {len(rep.elements)} sets, border: {len(rep.border)}",
+            file=out,
+        )
+        for mask in sorted(rep.elements, key=lambda m: (m.bit_count(), m)):
+            print(
+                f"  {rep.elements[mask]:6d}  {ground.format_mask(mask)}",
+                file=out,
+            )
+        for mask, entry in sorted(rep.border.items()):
+            reason = "infrequent" if entry.infrequent else f"rule {entry.rule!r}"
+            print(f"  border {ground.format_mask(mask)}: {reason}", file=out)
+    else:
+        result = apriori(db, args.minsupport)
+        print(
+            f"{len(result.frequent)} frequent itemsets at "
+            f"minsupport {args.minsupport} "
+            f"({result.support_counts} support counts)",
+            file=out,
+        )
+        for mask in sorted(
+            result.frequent, key=lambda m: (m.bit_count(), m)
+        ):
+            print(
+                f"  {result.frequent[mask]:6d}  {ground.format_mask(mask)}",
+                file=out,
+            )
+    return 0
+
+
+def _cmd_discover(args, out: TextIO) -> int:
+    from repro.fis.discovery import discover_cover, minimal_disjunctive_rules
+
+    ground, db = parse_basket_file(_read(args.file))
+    rules = minimal_disjunctive_rules(db, max_rhs=args.rule_width)
+    print(f"{len(rules)} minimal disjunctive rules:", file=out)
+    for rule in rules:
+        print(f"  {rule!r}", file=out)
+    if args.cover:
+        cover = discover_cover(db)
+        print(
+            f"differential-theory cover ({len(cover)} constraints):",
+            file=out,
+        )
+        for c in cover:
+            print(f"  {c!r}", file=out)
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Differential constraints (Sayrafi & Van Gucht, PODS 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("implies", help="decide C |= target")
+    p.add_argument("file", help="constraint file ('-' for stdin)")
+    p.add_argument("target", help='target constraint, e.g. "A -> B, CD"')
+    p.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto", "lattice", "bitset", "sat", "fd"],
+    )
+    p.add_argument(
+        "--counterexample",
+        action="store_true",
+        help="print the Theorem 3.5 witness when not implied",
+    )
+    p.set_defaults(run=_cmd_implies)
+
+    p = sub.add_parser("derive", help="print a checked derivation")
+    p.add_argument("file")
+    p.add_argument("target")
+    p.add_argument(
+        "--primitive",
+        action="store_true",
+        help="expand Figure-2 macro rules into Figure-1 steps",
+    )
+    p.set_defaults(run=_cmd_derive)
+
+    p = sub.add_parser("closure", help="atomic closure and minimal cover")
+    p.add_argument("file")
+    p.set_defaults(run=_cmd_closure)
+
+    p = sub.add_parser("mine", help="mine a basket file")
+    p.add_argument("file")
+    p.add_argument("--minsupport", type=int, default=1)
+    p.add_argument(
+        "--concise",
+        action="store_true",
+        help="mine the (FDFree, Bd-) representation instead of Apriori",
+    )
+    p.add_argument("--rule-width", type=int, default=2)
+    p.set_defaults(run=_cmd_mine)
+
+    p = sub.add_parser(
+        "discover", help="discover minimal rules / the constraint theory"
+    )
+    p.add_argument("file")
+    p.add_argument("--rule-width", type=int, default=2)
+    p.add_argument(
+        "--cover",
+        action="store_true",
+        help="also print a redundancy-free cover of the full theory",
+    )
+    p.set_defaults(run=_cmd_discover)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out: TextIO = sys.stdout) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args, out)
+    except (ReproError, ValueError, OSError) as err:
+        print(f"error: {err}", file=out)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Armstrong functions: generic witnesses for constraint sets.
+
+Armstrong relations — single databases satisfying *exactly* the
+consequences of a dependency set — are a classical tool in dependency
+theory (the paper cites Baixeries–Balcázar's Armstrong work for
+degenerate multivalued dependencies).  Differential constraints admit a
+particularly clean analogue.  By Theorem 3.5 a function satisfies
+``X -> Y`` iff its density vanishes on ``L(X, Y)``, so the function
+whose density is::
+
+    d(U) = 1   if U not in L(C),      0 otherwise
+
+satisfies a constraint ``c`` **iff** ``C |= c``:
+
+* if ``C |= c`` then ``L(c) subseteq L(C)`` and the density vanishes
+  there;
+* if not, any ``U in L(c) - L(C)`` carries density 1 and violates ``c``.
+
+Because the density is a nonnegative integer vector, the Armstrong
+function is a *support function*: :func:`armstrong_database` materializes
+the single basket list whose satisfied differential (equivalently,
+disjunctive -- Prop 6.3) constraints are exactly ``C*``.  The database
+has one basket per subset outside ``L(C)`` -- exponential in ``|S|``, as
+Armstrong-style witnesses tend to be.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.setfunction import SetFunction, SparseDensityFunction
+
+__all__ = ["armstrong_function", "armstrong_database"]
+
+
+def armstrong_function(
+    cset: ConstraintSet, sparse: bool = True
+) -> Union[SetFunction, SparseDensityFunction]:
+    """The generic witness of ``C``: satisfies ``c`` iff ``C |= c``.
+
+    Density 1 on every subset outside ``L(C)``, 0 inside.  Always a
+    frequency (indeed support) function; note the empty constraint set
+    yields density 1 *everywhere* (the fully generic function).
+    """
+    ground = cset.ground
+    density = {
+        u: 1 for u in ground.all_masks() if not cset.lattice_contains(u)
+    }
+    if sparse:
+        return SparseDensityFunction(ground, density)
+    return SetFunction.from_density(ground, density, exact=True)
+
+
+def armstrong_database(cset: ConstraintSet):
+    """The Armstrong basket list of ``C``.
+
+    One basket per subset outside ``L(C)``; by Proposition 6.3 the
+    disjunctive constraints this list satisfies are exactly the
+    differential consequences of ``C``.
+    """
+    from repro.fis.baskets import BasketDatabase
+
+    ground = cset.ground
+    baskets = [
+        u for u in ground.all_masks() if not cset.lattice_contains(u)
+    ]
+    return BasketDatabase(ground, baskets)

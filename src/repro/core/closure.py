@@ -1,0 +1,89 @@
+"""The implied-constraint closure ``C*`` as a queryable oracle.
+
+``C*`` (Definition 3.3) contains doubly-exponentially many constraints,
+so it is never materialized; by Theorem 3.5 it is fully determined by the
+set ``L(C)``, and :class:`ImpliedConstraintOracle` answers membership,
+enumerates the *atomic* closure (``atom(U) in C*`` iff ``U in L(C)``,
+Remark 4.5), and produces the canonical atomic representation -- the
+constraint set ``{atom(U) | U in L(C)}``, which is equivalent to ``C``
+and unique for the equivalence class of ``C``.
+
+The oracle also enumerates implied constraints over bounded shapes
+(bounded family size over a candidate member pool), which is what the
+tests use to compare ``C*`` computed through three independent routes
+(lattice, inference rules, SAT) on small ground sets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List, Sequence
+
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.decomposition import atom
+from repro.core.family import SetFamily
+from repro.core.implication import decide
+
+__all__ = ["ImpliedConstraintOracle", "atomic_representation"]
+
+
+def atomic_representation(cset: ConstraintSet) -> ConstraintSet:
+    """``{atom(U) | U in L(C)}`` -- the canonical equivalent of ``C``.
+
+    Two constraint sets are equivalent iff their atomic representations
+    are identical (both equal ``L``), which the tests exploit.
+    """
+    ground = cset.ground
+    constraints = [atom(ground, u) for u in cset.iter_lattice()]
+    return ConstraintSet(ground, constraints)
+
+
+class ImpliedConstraintOracle:
+    """Query interface over ``C*`` without materializing it."""
+
+    def __init__(self, cset: ConstraintSet, method: str = "lattice"):
+        self._cset = cset
+        self._method = method
+
+    @property
+    def constraint_set(self) -> ConstraintSet:
+        return self._cset
+
+    def __contains__(self, c: DifferentialConstraint) -> bool:
+        """Membership ``c in C*``."""
+        return decide(self._cset, c, method=self._method)
+
+    def implies(self, c: DifferentialConstraint) -> bool:
+        return decide(self._cset, c, method=self._method)
+
+    def atomic_closure(self) -> List[int]:
+        """The masks ``U`` with ``atom(U) in C*`` -- exactly ``L(C)``."""
+        return list(self._cset.iter_lattice())
+
+    def iter_implied(
+        self,
+        lhs_candidates: Sequence[int],
+        member_pool: Sequence[int],
+        max_family_size: int,
+        include_trivial: bool = False,
+    ) -> Iterator[DifferentialConstraint]:
+        """Enumerate implied constraints of bounded shape.
+
+        Yields every implied ``X -> Y`` with ``X`` among
+        ``lhs_candidates`` and ``Y`` a subset of ``member_pool`` of size
+        at most ``max_family_size``.  Exhaustive over the requested shape
+        -- intended for small ground sets (tests, closure-comparison
+        experiments).
+        """
+        ground = self._cset.ground
+        for lhs in lhs_candidates:
+            for k in range(max_family_size + 1):
+                for members in combinations(member_pool, k):
+                    c = DifferentialConstraint(
+                        ground, lhs, SetFamily(ground, members)
+                    )
+                    if not include_trivial and c.is_trivial:
+                        continue
+                    if self.implies(c):
+                        yield c

@@ -1,0 +1,192 @@
+"""Sets of differential constraints and their joint lattice ``L(C)``.
+
+For a set ``C`` of constraints the paper writes ``L(C)`` for the union of
+the individual lattice decompositions; Theorem 3.5 reduces implication to
+the containment ``L(C) superseteq L(X, Y)``.  :class:`ConstraintSet`
+provides an ``O(|C| * |Y_i|)`` membership test into ``L(C)`` (no table
+needed), an optional dense cached bitset for repeated queries on small
+ground sets, satisfaction checking of set functions, and cover
+minimization (removal of constraints already implied by the rest).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.constraint import DENSITY, DifferentialConstraint
+from repro.core.ground import GroundSet
+from repro.core.setfunction import (
+    DEFAULT_TOLERANCE,
+    SetFunction,
+    SparseDensityFunction,
+)
+
+__all__ = ["ConstraintSet"]
+
+AnySetFunction = Union[SetFunction, SparseDensityFunction]
+
+
+class ConstraintSet:
+    """An immutable collection of differential constraints over one ground set."""
+
+    __slots__ = ("_ground", "_constraints", "_bitset_cache")
+
+    def __init__(
+        self, ground: GroundSet, constraints: Iterable[DifferentialConstraint] = ()
+    ):
+        seen = []
+        dedupe = set()
+        for c in constraints:
+            ground.check_same(c.ground)
+            if c not in dedupe:
+                dedupe.add(c)
+                seen.append(c)
+        self._ground = ground
+        self._constraints: Tuple[DifferentialConstraint, ...] = tuple(seen)
+        self._bitset_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, ground: GroundSet, *specs) -> "ConstraintSet":
+        """Build from ``"A -> B, CD"`` strings and/or constraint objects.
+
+        >>> S = GroundSet("ABC")
+        >>> ConstraintSet.of(S, "A -> B", "B -> C")
+        ConstraintSet[A -> {B}, B -> {C}]
+        """
+        constraints = []
+        for spec in specs:
+            if isinstance(spec, DifferentialConstraint):
+                constraints.append(spec)
+            else:
+                constraints.append(DifferentialConstraint.parse(ground, spec))
+        return cls(ground, constraints)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def ground(self) -> GroundSet:
+        return self._ground
+
+    @property
+    def constraints(self) -> Tuple[DifferentialConstraint, ...]:
+        return self._constraints
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[DifferentialConstraint]:
+        return iter(self._constraints)
+
+    def __contains__(self, c: DifferentialConstraint) -> bool:
+        return c in set(self._constraints)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ConstraintSet)
+            and self._ground == other._ground
+            and set(self._constraints) == set(other._constraints)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._ground, frozenset(self._constraints)))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self._constraints)
+        return f"ConstraintSet[{inner}]"
+
+    def add(self, c: DifferentialConstraint) -> "ConstraintSet":
+        """A new set with ``c`` included."""
+        return ConstraintSet(self._ground, self._constraints + (c,))
+
+    def remove(self, c: DifferentialConstraint) -> "ConstraintSet":
+        """A new set with ``c`` excluded."""
+        return ConstraintSet(
+            self._ground, (x for x in self._constraints if x != c)
+        )
+
+    # ------------------------------------------------------------------
+    # the joint lattice L(C)
+    # ------------------------------------------------------------------
+    def lattice_contains(self, u_mask: int) -> bool:
+        """Membership ``U in L(C)`` without materializing ``L(C)``."""
+        return any(c.lattice_contains(u_mask) for c in self._constraints)
+
+    def iter_lattice(self) -> Iterator[int]:
+        """Iterate ``L(C)`` (each mask once, ascending)."""
+        for u in self._ground.all_masks():
+            if self.lattice_contains(u):
+                yield u
+
+    def lattice_bitset(self) -> np.ndarray:
+        """``L(C)`` as a cached boolean table over all masks.
+
+        Useful when many implication queries are asked against the same
+        ``C``; costs ``O(2^|S| * |C|)`` once.
+        """
+        if self._bitset_cache is None:
+            table = np.zeros(1 << self._ground.size, dtype=bool)
+            for c in self._constraints:
+                for u in c.iter_lattice():
+                    table[u] = True
+            self._bitset_cache = table
+        return self._bitset_cache
+
+    # ------------------------------------------------------------------
+    # satisfaction and implication
+    # ------------------------------------------------------------------
+    def satisfied_by(
+        self,
+        f: AnySetFunction,
+        semantics: str = DENSITY,
+        tol: float = DEFAULT_TOLERANCE,
+    ) -> bool:
+        """Whether ``f`` satisfies every constraint in the set."""
+        return all(c.satisfied_by(f, semantics=semantics, tol=tol) for c in self)
+
+    def implies(self, target, method: str = "auto") -> bool:
+        """Whether ``C |= target`` (Theorem 3.5 and friends).
+
+        Delegates to :func:`repro.core.implication.decide`; ``target`` may
+        be a constraint object or a parseable string.
+        """
+        from repro.core.implication import decide
+
+        if not isinstance(target, DifferentialConstraint):
+            target = DifferentialConstraint.parse(self._ground, target)
+        return decide(self, target, method=method)
+
+    # ------------------------------------------------------------------
+    # covers
+    # ------------------------------------------------------------------
+    def is_redundant(self, c: DifferentialConstraint) -> bool:
+        """Whether ``c`` is already implied by the other constraints."""
+        from repro.core.implication import decide
+
+        return decide(self.remove(c), c, method="lattice")
+
+    def minimal_cover(self) -> "ConstraintSet":
+        """A subset of ``C`` with the same ``L`` (greedy redundancy removal).
+
+        The result depends on removal order (minimal covers are not
+        unique); constraints are considered in reverse insertion order so
+        earlier, presumably more fundamental, constraints are preferred.
+        """
+        kept = list(self._constraints)
+        for c in list(reversed(kept)):
+            trial = ConstraintSet(self._ground, (x for x in kept if x != c))
+            if trial.implies(c, method="lattice"):
+                kept = list(trial.constraints)
+        return ConstraintSet(self._ground, kept)
+
+    def equivalent_to(self, other: "ConstraintSet") -> bool:
+        """Whether ``L(C) == L(C')`` -- i.e. the sets imply each other."""
+        self._ground.check_same(other._ground)
+        return all(self.implies(c, method="lattice") for c in other) and all(
+            other.implies(c, method="lattice") for c in self
+        )

@@ -1,0 +1,88 @@
+"""Counterexample functions for non-implication (proof of Theorem 3.5).
+
+For any ``U subseteq S`` and nonzero real ``c`` the function::
+
+    f^U(W) = c  if W subseteq U,   0 otherwise
+
+has density ``c`` at ``U`` and ``0`` everywhere else -- it is the scaled
+indicator of the principal ideal below ``U``.  When
+``U in L(X,Y) - L(C)``, ``f^U`` satisfies every constraint of ``C`` and
+violates ``X -> Y``, which is exactly how Theorem 3.5's completeness
+direction is proved.  For ``c = 1`` the same function is the support
+function of the one-basket list ``(U)`` (proof of Proposition 6.4), so
+the counterexample simultaneously lives in ``support(S)`` and
+``positive(S)`` -- the observation behind the collapse of the implication
+problems over all four function classes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.ground import GroundSet
+from repro.core.implication import find_uncovered
+from repro.core.setfunction import SetFunction, SparseDensityFunction
+
+__all__ = [
+    "principal_ideal_function",
+    "sparse_principal_ideal_function",
+    "refute",
+    "semantic_implies_over_ideals",
+]
+
+
+def principal_ideal_function(
+    ground: GroundSet, u_mask: int, c: float = 1, exact: bool = True
+) -> SetFunction:
+    """The dense Theorem 3.5 counterexample ``f^U`` with constant ``c``."""
+    if c == 0:
+        raise ValueError("the counterexample constant c must be nonzero")
+    return SetFunction.from_density(ground, {u_mask: c}, exact=exact)
+
+
+def sparse_principal_ideal_function(
+    ground: GroundSet, u_mask: int, c: float = 1
+) -> SparseDensityFunction:
+    """The sparse (density = ``c * delta_U``) form of ``f^U``."""
+    if c == 0:
+        raise ValueError("the counterexample constant c must be nonzero")
+    return SparseDensityFunction(ground, {u_mask: c})
+
+
+def refute(
+    constraints: ConstraintSet,
+    target: DifferentialConstraint,
+    c: float = 1,
+    sparse: bool = True,
+) -> Optional[Union[SetFunction, SparseDensityFunction]]:
+    """A function satisfying ``C`` but violating ``target``, if one exists.
+
+    Returns ``None`` exactly when ``C |= target``.
+    """
+    u = find_uncovered(constraints, target)
+    if u is None:
+        return None
+    if sparse:
+        return sparse_principal_ideal_function(target.ground, u, c)
+    return principal_ideal_function(target.ground, u, c)
+
+
+def semantic_implies_over_ideals(
+    constraints: ConstraintSet, target: DifferentialConstraint
+) -> bool:
+    """Semantic implication decided by scanning *all* principal-ideal functions.
+
+    Checks, for every ``U subseteq S``, whether ``f^U`` satisfies ``C``
+    but not ``target``.  By the Theorem 3.5 argument this family of
+    functions is refutation-complete, so the scan decides ``C |= target``
+    -- through the *satisfaction* code path only, giving the test suite a
+    decision procedure independent of the lattice machinery.
+    """
+    ground = target.ground
+    for u in ground.all_masks():
+        f = sparse_principal_ideal_function(ground, u)
+        if constraints.satisfied_by(f) and not target.satisfied_by(f):
+            return False
+    return True

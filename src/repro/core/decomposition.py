@@ -1,0 +1,57 @@
+"""Witness and atomic decompositions of a constraint (Definition 4.4).
+
+``decomp(X -> Y)`` rewrites a constraint as the set of its witness-set
+projections ``{X -> W-tilde | W in W(Y)}`` (``W-tilde`` = the family of
+singletons of ``W``); ``atoms(X -> Y)`` rewrites it as the set of atomic
+constraints ``{atom(U) | U in L(X, Y)}`` with
+``atom(U) = U -> {{z} | z in S - U}``.
+
+Remark 4.5 and Propositions 4.6-4.7 establish that either decomposition
+is equivalent to the original constraint both semantically (equal
+``L``-closures) and proof-theoretically (equal derivational closures);
+both facts are exercised heavily by the completeness engine in
+:mod:`repro.core.derivation` and by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.constraint import DifferentialConstraint
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.witness import iter_witnesses
+
+__all__ = ["atom", "decomp", "atoms"]
+
+
+def atom(ground: GroundSet, u_mask: int) -> DifferentialConstraint:
+    """``atom(U) = U -> {{z} | z in S - U}`` (Section 4.2)."""
+    return DifferentialConstraint.atom(ground, u_mask)
+
+
+def decomp(constraint: DifferentialConstraint) -> List[DifferentialConstraint]:
+    """``decomp(X -> Y) = {X -> W-tilde | W in W(Y)}``.
+
+    Trivial constraints decompose into trivial constraints: a member
+    ``Y0 subseteq X`` forces every witness to intersect ``X``, so each
+    ``X -> W-tilde`` contains a singleton inside ``X`` (and when
+    ``Y0 = emptyset`` there are no witnesses at all).  The paper's
+    Prop 4.6 proof handles this case via the Triviality rule.
+    """
+    ground = constraint.ground
+    out = []
+    for w in iter_witnesses(constraint.family):
+        family = SetFamily.singletons_of(ground, w)
+        out.append(DifferentialConstraint(ground, constraint.lhs, family))
+    return out
+
+
+def atoms(constraint: DifferentialConstraint) -> List[DifferentialConstraint]:
+    """``atoms(X -> Y) = {atom(U) | U in L(X, Y)}``.
+
+    Empty exactly when the constraint is trivial (Definition 3.1 makes
+    ``L`` empty then).
+    """
+    ground = constraint.ground
+    return [atom(ground, u) for u in sorted(constraint.iter_lattice())]

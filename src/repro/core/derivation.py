@@ -1,0 +1,268 @@
+"""Constructive completeness: build explicit derivations (Theorem 4.8).
+
+Theorem 4.8 proves that whenever ``C |= X -> Y`` there is a derivation
+``C |- X -> Y`` in the Figure-1 system.  The proof is constructive, and
+this module turns it into an algorithm.  :func:`derive` produces a
+checkable :class:`~repro.core.proofs.Proof` in four stages mirroring
+Propositions 4.6/4.7:
+
+1. **Atoms from C** -- every ``U in L(X, Y)`` lies in ``L(c')`` for some
+   ``c' in C`` (that is what Theorem 3.5's containment gives us).  Derive
+   ``atom(U)`` from ``c'``: project each family member onto the witness
+   ``W' = (union Y') - U``, separate the projected members into
+   singletons, augment the left-hand side up to ``U``, and add the
+   remaining complement singletons (Prop 4.7, first direction).
+
+2. **Witness constraints from atoms** -- for each witness ``W in W(Y)``
+   derive ``X -> W-tilde`` by the elimination cascade of Prop 4.7's
+   second direction: starting from the atoms ``atom(U)`` for
+   ``U in [X, S - W]``, repeatedly eliminate one free element ``v`` from
+   the right-hand sides, halving the table each round until only
+   ``X -> W-tilde`` remains.  (If ``X`` meets ``W`` the constraint is
+   trivial and Triviality closes it immediately.)
+
+3. **Reassembly** -- combine the witness constraints into ``X -> Y`` by
+   the structural induction of Prop 4.6: split any member with two or
+   more elements into a singleton and the rest, recurse, and merge the
+   two sub-derivations with the Union rule.  (Sub-families are memoized;
+   the recursion's leaves are all-singleton families, whose unique
+   witness is their union -- a witness of the original ``Y``.)
+
+4. Optionally :meth:`~repro.core.proofs.Proof.expand` the Figure-2 macro
+   steps (projection, separation, union) into Figure-1 primitives and
+   re-check the whole proof with the independent checker.
+
+The constructed derivations can be exponential in ``|S|`` -- unavoidable
+for a coNP-complete problem -- but are exact, machine-checked witnesses
+of the completeness theorem on every instance the tests and benches throw
+at them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Union
+
+from repro.core import subsets as sb
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.implication import find_uncovered
+from repro.core.proofs import (
+    Proof,
+    addition,
+    augmentation,
+    axiom,
+    check_proof,
+    elimination,
+    projection,
+    separation,
+    triviality,
+    union_rule,
+)
+from repro.core.witness import iter_witnesses
+from repro.errors import NotImpliedError
+
+__all__ = ["derive", "derivation_size"]
+
+Constraints = Union[ConstraintSet, Iterable[DifferentialConstraint]]
+
+
+def derive(
+    constraints: Constraints,
+    target: DifferentialConstraint,
+    allow_derived: bool = True,
+    check: bool = True,
+) -> Proof:
+    """Derive ``target`` from ``constraints`` in the Figure-1 system.
+
+    Parameters
+    ----------
+    allow_derived:
+        When ``True`` (default) the returned proof may use Figure-2 macro
+        steps; when ``False`` it is fully expanded to Figure-1 primitives.
+    check:
+        Re-validate the final proof with the independent checker.
+
+    Raises
+    ------
+    NotImpliedError
+        If ``constraints`` do not imply ``target`` (with the uncovered
+        lattice element as the certificate).
+    """
+    cset = (
+        constraints
+        if isinstance(constraints, ConstraintSet)
+        else ConstraintSet(target.ground, constraints)
+    )
+    cset.ground.check_same(target.ground)
+    ground = target.ground
+
+    if target.is_trivial:
+        proof = triviality(target)
+    elif target in cset:
+        proof = axiom(target)
+    else:
+        uncovered = find_uncovered(cset, target)
+        if uncovered is not None:
+            raise NotImpliedError(
+                f"{target!r} is not implied: "
+                f"{ground.format_mask(uncovered)} in L(target) - L(C)",
+                uncovered,
+            )
+        proof = _subsumption_fast_path(cset, target)
+        if proof is None:
+            proof = _derive_nontrivial(cset, target)
+
+    if not allow_derived:
+        proof = proof.expand()
+    if check:
+        check_proof(proof, cset.constraints, allow_derived=allow_derived)
+    return proof
+
+
+def derivation_size(constraints: Constraints, target: DifferentialConstraint) -> int:
+    """Number of primitive steps in the expanded derivation of ``target``."""
+    return derive(constraints, target, allow_derived=False, check=False).size()
+
+
+# ----------------------------------------------------------------------
+# fast path: syntactic subsumption by a single premise
+# ----------------------------------------------------------------------
+def _subsumption_fast_path(
+    cset: ConstraintSet, target: DifferentialConstraint
+) -> "Proof | None":
+    """A short derivation when some ``c' in C`` subsumes the target.
+
+    If ``X' subseteq X`` and ``Y' subseteq Y`` then ``X -> Y`` follows
+    from ``X' -> Y'`` by one Augmentation and a few Additions -- a
+    constant-factor proof instead of the exponential Theorem 4.8
+    construction.  Returns ``None`` when no premise applies.
+    """
+    target_members = set(target.family.members)
+    for c in cset:
+        if not sb.is_subset(c.lhs, target.lhs):
+            continue
+        if not set(c.family.members) <= target_members:
+            continue
+        proof = axiom(c)
+        if c.lhs != target.lhs:
+            proof = augmentation(proof, target.lhs)
+        for member in target.family.members:
+            if member not in set(proof.conclusion.family.members):
+                proof = addition(proof, member)
+        return proof
+    return None
+
+
+# ----------------------------------------------------------------------
+# stage 1: atom(U) from a covering constraint of C (Prop 4.7, direction 1)
+# ----------------------------------------------------------------------
+def _derive_atom_from(source: Proof, u_mask: int) -> Proof:
+    """Derive ``atom(U)`` from a proof of a constraint whose lattice
+    decomposition contains ``U``."""
+    c = source.conclusion
+    ground = c.ground
+    witness = c.family.union_support() & ~u_mask
+
+    proof = source
+    # project every member Y onto Y intersect W' (nonempty: U covers no member)
+    for member in c.family.members:
+        projected = member & witness
+        if projected != member:
+            proof = projection(proof, member, projected)
+    # separate multi-element members into singletons
+    while True:
+        fat = next(
+            (m for m in proof.conclusion.family.members if sb.popcount(m) > 1),
+            None,
+        )
+        if fat is None:
+            break
+        first = sb.lowest_bit(fat)
+        proof = separation(proof, fat, first, fat & ~first)
+    # augment the left-hand side up to U
+    if proof.conclusion.lhs != u_mask:
+        proof = augmentation(proof, u_mask)
+    # add the remaining complement singletons
+    rest = ground.universe_mask & ~u_mask & ~witness
+    for bit in sb.iter_singletons(rest):
+        proof = addition(proof, bit)
+    return proof
+
+
+# ----------------------------------------------------------------------
+# stage 2: X -> W-tilde by the elimination cascade (Prop 4.7, direction 2)
+# ----------------------------------------------------------------------
+def _witness_constraint_proof(
+    ground: GroundSet, lhs: int, witness: int, atom_proofs: Dict[int, Proof]
+) -> Proof:
+    """Derive ``lhs -> W-tilde`` from the atoms of ``[lhs, S - W]``."""
+    family = SetFamily.singletons_of(ground, witness)
+    if lhs & witness:
+        return triviality(DifferentialConstraint(ground, lhs, family))
+
+    free = ground.universe_mask & ~(lhs | witness)
+    table: Dict[int, Proof] = {
+        t: atom_proofs[lhs | t] for t in sb.iter_subsets(free)
+    }
+    remaining = free
+    for bit in sb.iter_singletons(free):
+        remaining &= ~bit
+        table = {
+            t: elimination(table[t], table[t | bit], bit)
+            for t in sb.iter_subsets(remaining)
+        }
+    return table[0]
+
+
+# ----------------------------------------------------------------------
+# stage 3: reassemble X -> Y with the Union rule (Prop 4.6)
+# ----------------------------------------------------------------------
+def _assemble(
+    ground: GroundSet,
+    lhs: int,
+    family: SetFamily,
+    witness_proofs: Dict[int, Proof],
+    memo: Dict[SetFamily, Proof],
+) -> Proof:
+    if family in memo:
+        return memo[family]
+
+    if family.is_trivial_for(lhs):
+        proof = triviality(DifferentialConstraint(ground, lhs, family))
+    else:
+        fat = next((m for m in family.members if sb.popcount(m) > 1), None)
+        if fat is None:
+            # all singletons (or empty): the unique witness is the union
+            proof = witness_proofs[family.union_support()]
+        else:
+            head = sb.lowest_bit(fat)
+            tail = fat & ~head
+            base = family.remove(fat)
+            left = _assemble(ground, lhs, base.add(head), witness_proofs, memo)
+            right = _assemble(ground, lhs, base.add(tail), witness_proofs, memo)
+            proof = union_rule(left, right, head, tail, base)
+
+    memo[family] = proof
+    return proof
+
+
+def _derive_nontrivial(
+    cset: ConstraintSet, target: DifferentialConstraint
+) -> Proof:
+    ground = target.ground
+    axiom_proofs = {c: axiom(c) for c in cset}
+
+    atom_proofs: Dict[int, Proof] = {}
+    for u in target.iter_lattice():
+        covering = next(c for c in cset if c.lattice_contains(u))
+        atom_proofs[u] = _derive_atom_from(axiom_proofs[covering], u)
+
+    witness_proofs: Dict[int, Proof] = {}
+    for w in iter_witnesses(target.family):
+        witness_proofs[w] = _witness_constraint_proof(
+            ground, target.lhs, w, atom_proofs
+        )
+
+    return _assemble(ground, target.lhs, target.family, witness_proofs, {})

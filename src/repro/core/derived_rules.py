@@ -1,0 +1,171 @@
+"""Machine-checked expansions of the Figure-2 rules into Figure-1 steps.
+
+The paper states (Section 4) that chain, projection, transitivity,
+separation and union are derivable from triviality, augmentation,
+addition and elimination.  This module *constructs* those derivations:
+each ``expand_*`` function receives proofs of the derived rule's premises
+and returns a proof of its conclusion using only primitive steps.  The
+constructions all share one skeleton -- Addition to introduce the new
+member, Triviality for the augmented side premise, Elimination to discard
+the old member::
+
+    projection  (old -> new subseteq old):
+        (a) X -> F + {new}                      addition on the premise
+        (b) X+old -> (F - {old}) + {new}        triviality   [new subseteq X+old]
+        (c) X -> (F - {old}) + {new}            elimination(a, b) on old
+
+Our auxiliary *absorption* rule (grow a member by elements of the
+left-hand side) gets the same treatment and is what makes the union and
+chain expansions short.  ``expand_proof`` rewrites an arbitrary proof
+bottom-up; the result is checked by the tests with
+``check_proof(..., allow_derived=False)`` -- this is the executable
+content of the paper's "derivable" claim (experiment E2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core import rules as R
+from repro.core.constraint import DifferentialConstraint
+from repro.core.family import SetFamily
+from repro.core.proofs import (
+    Proof,
+    addition,
+    augmentation,
+    elimination,
+    triviality,
+)
+from repro.errors import InvalidProofError
+
+__all__ = [
+    "expand_projection",
+    "expand_separation",
+    "expand_absorption",
+    "expand_union",
+    "expand_transitivity",
+    "expand_chain",
+    "expand_proof",
+]
+
+
+def _trivial_side_premise(
+    ground, lhs: int, family: SetFamily
+) -> Proof:
+    """A Triviality leaf for ``lhs -> family`` (caller guarantees triviality)."""
+    return triviality(DifferentialConstraint(ground, lhs, family))
+
+
+def expand_projection(premise: Proof, old: int, new: int) -> Proof:
+    """Primitive derivation of Projection (shrink ``old`` to ``new``)."""
+    if new == old:
+        return premise
+    c = premise.conclusion
+    target_family = c.family.replace(old, new)
+    a = addition(premise, new)
+    b = _trivial_side_premise(c.ground, c.lhs | old, target_family)
+    return elimination(a, b, old)
+
+
+def expand_separation(premise: Proof, old: int, part1: int, part2: int) -> Proof:
+    """Primitive derivation of Separation (split ``old = part1 | part2``)."""
+    c = premise.conclusion
+    target_family = c.family.remove(old).add(part1).add(part2)
+    if target_family == c.family:
+        return premise
+    a = addition(addition(premise, part1), part2)
+    b = _trivial_side_premise(c.ground, c.lhs | old, target_family)
+    return elimination(a, b, old)
+
+
+def expand_absorption(premise: Proof, old: int, new: int) -> Proof:
+    """Primitive derivation of Absorption (grow ``old`` by LHS elements)."""
+    if new == old:
+        return premise
+    c = premise.conclusion
+    target_family = c.family.replace(old, new)
+    a = addition(premise, new)
+    b = _trivial_side_premise(c.ground, c.lhs | old, target_family)
+    return elimination(a, b, old)
+
+
+def expand_union(
+    p1: Proof, p2: Proof, m1: int, m2: int, base: SetFamily
+) -> Proof:
+    """Primitive derivation of Union (merge ``m1`` and ``m2``)."""
+    m12 = m1 | m2
+    if m12 == m1:
+        return p1
+    if m12 == m2:
+        return p2
+    if m1 in base.members:
+        # premise1 already concludes X -> base; one Addition reaches the goal
+        return addition(p1, m12)
+    if m2 in base.members:
+        return addition(p2, m12)
+    a = addition(p1, m12)
+    b = augmentation(p2, m1)
+    c = expand_absorption(b, m2, m12)
+    return elimination(a, c, m1)
+
+
+def expand_transitivity(
+    p1: Proof, p2: Proof, y: int, z: int, base: SetFamily
+) -> Proof:
+    """Primitive derivation of Transitivity."""
+    x = p1.conclusion.lhs
+    t1 = augmentation(p2, x)
+    t2 = addition(p1, z)
+    return elimination(t2, t1, y)
+
+
+def expand_chain(
+    p1: Proof, p2: Proof, y: int, z: int, base: SetFamily
+) -> Proof:
+    """Primitive derivation of Chain."""
+    yz = y | z
+    if yz == y:
+        return p1
+    a = addition(p1, yz)
+    if z in base.members:
+        b = addition(p2, yz)
+    else:
+        b = expand_absorption(p2, z, yz)
+    return elimination(a, b, y)
+
+
+_EXPANDERS = {
+    R.PROJECTION: lambda node, prem: expand_projection(prem[0], *node.params),
+    R.SEPARATION: lambda node, prem: expand_separation(prem[0], *node.params),
+    R.ABSORPTION: lambda node, prem: expand_absorption(prem[0], *node.params),
+    R.UNION: lambda node, prem: expand_union(prem[0], prem[1], *node.params),
+    R.TRANSITIVITY: lambda node, prem: expand_transitivity(
+        prem[0], prem[1], *node.params
+    ),
+    R.CHAIN: lambda node, prem: expand_chain(prem[0], prem[1], *node.params),
+}
+
+
+def expand_proof(proof: Proof) -> Proof:
+    """Rewrite ``proof`` so that every step is an axiom or a Figure-1 rule.
+
+    Shared sub-proofs stay shared (the rewrite memoizes on node identity),
+    so expansion preserves the DAG structure.
+    """
+    memo: Dict[int, Proof] = {}
+    for node in proof.iter_nodes():
+        new_premises = tuple(memo[id(p)] for p in node.premises)
+        if node.rule in _EXPANDERS:
+            replacement = _EXPANDERS[node.rule](node, new_premises)
+        elif all(m is o for m, o in zip(new_premises, node.premises)):
+            replacement = node
+        else:
+            replacement = Proof(
+                node.conclusion, node.rule, new_premises, node.params
+            )
+        if replacement.conclusion != node.conclusion:
+            raise InvalidProofError(
+                "expansion changed a conclusion -- internal error"
+            )
+        memo[id(node)] = replacement
+    return memo[id(proof)]

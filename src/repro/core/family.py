@@ -1,0 +1,159 @@
+"""Families of subsets -- the right-hand sides ``Y`` of differential constraints.
+
+A *family* is a finite set of subsets of the ground set ``S``; in the
+paper it is the script-``Y`` appearing in differentials ``D_f^Y`` and in
+constraints ``X -> Y``.  :class:`SetFamily` stores the member subsets as a
+sorted tuple of bitmasks (set semantics: duplicates collapse), which makes
+families hashable, canonically ordered, and cheap to compare -- all three
+properties are needed by the proof checker, where rule applications are
+validated by exact constraint equality.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Iterator, Tuple
+
+from repro.core.ground import GroundSet
+from repro.core import subsets as sb
+
+__all__ = ["SetFamily"]
+
+
+class SetFamily:
+    """An immutable set of subsets of a ground set.
+
+    Parameters
+    ----------
+    ground:
+        The ground set the member subsets live in.
+    members:
+        Iterable of member subsets given as bitmasks.  Duplicates are
+        removed and members are stored sorted by mask value.
+    """
+
+    __slots__ = ("_ground", "_members")
+
+    def __init__(self, ground: GroundSet, members: Iterable[int] = ()):
+        unique = sorted(set(members))
+        for mask in unique:
+            ground._check_mask(mask)
+        self._ground = ground
+        self._members: Tuple[int, ...] = tuple(unique)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, ground: GroundSet, *members) -> "SetFamily":
+        """Build a family from labels in the paper's shorthand.
+
+        >>> S = GroundSet("ABCD")
+        >>> SetFamily.of(S, "B", "CD")
+        SetFamily({B, CD})
+        """
+        return cls(ground, (ground.parse(member) for member in members))
+
+    @classmethod
+    def singletons_of(cls, ground: GroundSet, mask: int) -> "SetFamily":
+        """The paper's overline family ``U-bar = {{u} | u in U}``."""
+        return cls(ground, sb.iter_singletons(mask))
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def ground(self) -> GroundSet:
+        return self._ground
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """The member subsets as sorted masks."""
+        return self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._members)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in set(self._members)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SetFamily)
+            and self._ground == other._ground
+            and self._members == other._members
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._ground, self._members))
+
+    def __repr__(self) -> str:
+        return f"SetFamily({self._ground.format_family(self._members)})"
+
+    # ------------------------------------------------------------------
+    # set-of-sets operations
+    # ------------------------------------------------------------------
+    def union_support(self) -> int:
+        """``Union of Y``: the union of all member subsets (a mask)."""
+        return reduce(lambda a, b: a | b, self._members, 0)
+
+    def add(self, mask: int) -> "SetFamily":
+        """The family ``Y union {Z}`` (used by the Addition rule)."""
+        return SetFamily(self._ground, self._members + (mask,))
+
+    def remove(self, mask: int) -> "SetFamily":
+        """The family ``Y - {Z}``; ``Z`` must be a member."""
+        if mask not in self._members:
+            raise KeyError(f"{self._ground.format_mask(mask)} is not a member")
+        return SetFamily(self._ground, (m for m in self._members if m != mask))
+
+    def replace(self, old: int, new: int) -> "SetFamily":
+        """The family ``(Y - {old}) union {new}`` (used by Projection)."""
+        return self.remove(old).add(new)
+
+    def union(self, other: "SetFamily") -> "SetFamily":
+        """The family ``Y union Y'`` (member-wise set union)."""
+        self._ground.check_same(other._ground)
+        return SetFamily(self._ground, self._members + other._members)
+
+    def contains_subset_of(self, mask: int) -> bool:
+        """Whether some member ``Y`` satisfies ``Y subseteq mask``.
+
+        This is the test at the heart of the closed-form lattice
+        decomposition (proof of Proposition 2.9): ``U`` belongs to
+        ``L(X, Y)`` iff ``X subseteq U`` and no member of ``Y`` is
+        contained in ``U``.
+        """
+        return any(sb.is_subset(member, mask) for member in self._members)
+
+    def minimal_members(self) -> "SetFamily":
+        """The antichain of inclusion-minimal members.
+
+        A member that contains another member is redundant for lattice
+        decompositions: if ``m subseteq M`` then ``M subseteq U`` already
+        implies ``m subseteq U``, so dropping ``M`` leaves the closed-form
+        membership test of ``L(X, Y)`` unchanged.  Tests verify
+        ``L(X, Y) == L(X, minimal(Y))``.
+        """
+        minimal = [
+            m
+            for m in self._members
+            if not any(sb.is_proper_subset(o, m) for o in self._members)
+        ]
+        return SetFamily(self._ground, minimal)
+
+    def is_trivial_for(self, lhs_mask: int) -> bool:
+        """Whether ``lhs -> self`` is a *trivial* constraint (Def 3.1).
+
+        True exactly when some member ``Y`` satisfies ``Y subseteq X``;
+        note a family containing the empty set is trivial for every ``X``.
+        """
+        return self.contains_subset_of(lhs_mask)
+
+    def all_singletons(self) -> bool:
+        """Whether every member is a singleton (the FD-like fragment of
+        Section 4's atomic constraints and the decomposed constraints)."""
+        return all(sb.popcount(m) == 1 for m in self._members)

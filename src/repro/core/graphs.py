@@ -1,0 +1,110 @@
+"""Graph views of the paper's objects (networkx integration).
+
+Three converters for exploration, visualization and downstream graph
+algorithms:
+
+* :func:`lattice_hasse_graph` -- the lattice decomposition ``L(X, Y)``
+  as the Hasse diagram of its induced subset order (Section 2.2's
+  union-of-intervals is generally *not* a sublattice; the Hasse view
+  makes its shape inspectable);
+* :func:`proof_graph` -- a derivation DAG with rule/conclusion node
+  attributes (premise edges point premise -> consequence, so topological
+  order = a valid reading order of the proof);
+* :func:`implication_graph` -- the pairwise implication preorder between
+  individual constraints (``c -> c'`` when ``{c} |= c'``), whose
+  condensation exposes equivalence classes of constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.core import subsets as sb
+from repro.core.constraint import DifferentialConstraint
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.implication import implies_lattice
+from repro.core.lattice import iter_lattice
+from repro.core.proofs import Proof
+
+__all__ = [
+    "lattice_hasse_graph",
+    "proof_graph",
+    "implication_graph",
+]
+
+
+def lattice_hasse_graph(
+    lhs_mask: int, family: SetFamily, ground: GroundSet
+) -> "nx.DiGraph":
+    """The Hasse diagram of ``L(X, Y)`` under set inclusion.
+
+    Nodes are the member masks (with a ``label`` attribute in the paper's
+    shorthand); edges are covering pairs *within the decomposition*:
+    ``u -> v`` when ``u`` is a proper subset of ``v`` and no member of
+    ``L(X, Y)`` sits strictly between.
+    """
+    members = sorted(iter_lattice(lhs_mask, family, ground))
+    member_set = set(members)
+    graph = nx.DiGraph()
+    for u in members:
+        graph.add_node(u, label=ground.format_mask(u), size=sb.popcount(u))
+    for u in members:
+        for v in members:
+            if u == v or not sb.is_proper_subset(u, v):
+                continue
+            covered = any(
+                w != u and w != v
+                and sb.is_proper_subset(u, w)
+                and sb.is_proper_subset(w, v)
+                for w in member_set
+            )
+            if not covered:
+                graph.add_edge(u, v)
+    return graph
+
+
+def proof_graph(proof: Proof) -> "nx.DiGraph":
+    """The derivation DAG of ``proof``.
+
+    Node keys are step numbers in postorder (matching
+    :meth:`Proof.format`); attributes carry the rule name and the
+    conclusion's repr.  Edges run premise -> consequence.
+    """
+    graph = nx.DiGraph()
+    numbers = {}
+    for node in proof.iter_nodes():
+        numbers[id(node)] = len(numbers) + 1
+        graph.add_node(
+            numbers[id(node)],
+            rule=node.rule,
+            conclusion=repr(node.conclusion),
+        )
+    for node in proof.iter_nodes():
+        for premise in node.premises:
+            graph.add_edge(numbers[id(premise)], numbers[id(node)])
+    return graph
+
+
+def implication_graph(
+    constraints: Sequence[DifferentialConstraint],
+) -> "nx.DiGraph":
+    """The single-premise implication preorder over ``constraints``.
+
+    ``c -> c'`` (for distinct list positions) when ``{c} |= c'``.  Nodes
+    are list indices with a ``constraint`` attribute; strongly connected
+    components of the result are classes of pairwise-equivalent
+    constraints (equal lattice decompositions).
+    """
+    graph = nx.DiGraph()
+    for i, c in enumerate(constraints):
+        graph.add_node(i, constraint=repr(c))
+    for i, c in enumerate(constraints):
+        for j, other in enumerate(constraints):
+            if i == j:
+                continue
+            if implies_lattice([c], other):
+                graph.add_edge(i, j)
+    return graph

@@ -1,0 +1,231 @@
+"""Deciding the implication problem ``C |= X -> Y``.
+
+Theorem 3.5 reduces implication over ``F(S)`` to the lattice containment
+``L(C) superseteq L(X, Y)``; Proposition 5.4 reduces it to propositional
+implication (hence coNP, Prop 5.5); the paper's conclusion notes that the
+singleton-right-hand-side fragment coincides with functional-dependency
+implication and is decidable in polynomial time.  All three routes are
+implemented here:
+
+``method="lattice"``
+    Enumerate ``L(X, Y)`` (supersets of ``X`` containing no member of
+    ``Y``) and test each against ``L(C)`` membership.  Exact; cost
+    ``O(2^{|S|-|X|} * |C| * |Y|)``.
+
+``method="bitset"``
+    Same containment decided against the cached dense ``L(C)`` table --
+    the right choice when many queries hit one ``C``.
+
+``method="sat"``
+    Refutation search: ``C |= c`` iff ``prop(C) and not prop(c)`` is
+    unsatisfiable (Prop 5.4 + the well-known negminset containment).  Uses
+    the in-tree DPLL solver; scales past dense-table ground sets.
+
+``method="fd"``
+    The P-time fragment: every constraint has exactly one family member.
+    Decided by the classical attribute-closure algorithm.
+
+``method="auto"``
+    ``fd`` when the instance is in the fragment, otherwise ``lattice``
+    for dense-capable ground sets, otherwise ``sat``.
+
+:func:`find_uncovered` exposes the certificate: a set
+``U in L(X,Y) - L(C)``, from which Theorem 3.5's counterexample function
+``f^U`` is built (see :mod:`repro.core.counterexample`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.core import subsets as sb
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.errors import NotApplicableError
+
+__all__ = [
+    "decide",
+    "implies_lattice",
+    "implies_bitset",
+    "implies_sat",
+    "implies_fd",
+    "find_uncovered",
+    "find_uncovered_sat",
+    "fd_closure",
+    "in_fd_fragment",
+]
+
+Constraints = Union[ConstraintSet, Iterable[DifferentialConstraint]]
+
+
+def _as_constraint_set(
+    constraints: Constraints, like: DifferentialConstraint
+) -> ConstraintSet:
+    if isinstance(constraints, ConstraintSet):
+        return constraints
+    return ConstraintSet(like.ground, constraints)
+
+
+def decide(
+    constraints: Constraints,
+    target: DifferentialConstraint,
+    method: str = "auto",
+) -> bool:
+    """Decide ``C |= target`` with the selected ``method``."""
+    cset = _as_constraint_set(constraints, target)
+    cset.ground.check_same(target.ground)
+    if method == "auto":
+        if in_fd_fragment(cset, target):
+            method = "fd"
+        elif cset.ground.is_dense_capable():
+            method = "lattice"
+        else:
+            method = "sat"
+    if method == "lattice":
+        return implies_lattice(cset, target)
+    if method == "bitset":
+        return implies_bitset(cset, target)
+    if method == "sat":
+        return implies_sat(cset, target)
+    if method == "fd":
+        return implies_fd(cset, target)
+    raise ValueError(f"unknown implication method {method!r}")
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.5: lattice containment
+# ----------------------------------------------------------------------
+def implies_lattice(constraints: Constraints, target: DifferentialConstraint) -> bool:
+    """``C |= target`` iff ``L(target) subseteq L(C)`` (Theorem 3.5)."""
+    cset = _as_constraint_set(constraints, target)
+    return find_uncovered(cset, target) is None
+
+
+def find_uncovered(
+    constraints: Constraints, target: DifferentialConstraint
+) -> Optional[int]:
+    """Return some ``U in L(target) - L(C)``, or ``None`` if none exists.
+
+    ``None`` certifies implication; a mask certifies non-implication via
+    the Theorem 3.5 counterexample ``f^U``.
+    """
+    cset = _as_constraint_set(constraints, target)
+    for u in target.iter_lattice():
+        if not cset.lattice_contains(u):
+            return u
+    return None
+
+
+def implies_bitset(constraints: Constraints, target: DifferentialConstraint) -> bool:
+    """Containment against the cached dense ``L(C)`` table."""
+    cset = _as_constraint_set(constraints, target)
+    table = cset.lattice_bitset()
+    return all(table[u] for u in target.iter_lattice())
+
+
+# ----------------------------------------------------------------------
+# Proposition 5.4: propositional refutation (DPLL)
+# ----------------------------------------------------------------------
+def _encode_refutation(
+    cset: ConstraintSet, target: DifferentialConstraint
+) -> Tuple[List[List[int]], int]:
+    """CNF clauses satisfiable iff ``C`` does **not** imply ``target``.
+
+    Ground element ``i`` becomes propositional variable ``i + 1``; each
+    family member of each constraint in ``C`` gets a fresh auxiliary
+    selector variable (one-sided Tseitin: ``z_j -> AND Y_j`` suffices for
+    satisfiability).  A model restricted to the ground variables is a set
+    ``U in L(target) - L(C)``.
+    """
+    n = cset.ground.size
+    clauses: List[List[int]] = []
+    next_var = n + 1
+
+    # not prop(target): AND X  and  for each member Y: OR_{y in Y} not y
+    for bit in sb.iter_bits(target.lhs):
+        clauses.append([bit + 1])
+    for member in target.family:
+        clauses.append([-(bit + 1) for bit in sb.iter_bits(member)])
+
+    # prop(c') for each constraint in C
+    for c in cset:
+        main = [-(bit + 1) for bit in sb.iter_bits(c.lhs)]
+        for member in c.family:
+            z = next_var
+            next_var += 1
+            main.append(z)
+            for bit in sb.iter_bits(member):
+                clauses.append([-z, bit + 1])
+        clauses.append(main)
+    return clauses, next_var - 1
+
+
+def implies_sat(constraints: Constraints, target: DifferentialConstraint) -> bool:
+    """``C |= target`` decided by DPLL refutation (Prop 5.4)."""
+    return find_uncovered_sat(constraints, target) is None
+
+
+def find_uncovered_sat(
+    constraints: Constraints, target: DifferentialConstraint
+) -> Optional[int]:
+    """Like :func:`find_uncovered` but the search is done by the SAT solver."""
+    from repro.logic.sat import solve
+
+    cset = _as_constraint_set(constraints, target)
+    clauses, n_vars = _encode_refutation(cset, target)
+    model = solve(clauses, n_vars)
+    if model is None:
+        return None
+    mask = 0
+    for bit in range(cset.ground.size):
+        if model.get(bit + 1, False):
+            mask |= 1 << bit
+    return mask
+
+
+# ----------------------------------------------------------------------
+# The P-time functional-dependency fragment (paper's conclusion)
+# ----------------------------------------------------------------------
+def in_fd_fragment(
+    constraints: Constraints, target: DifferentialConstraint
+) -> bool:
+    """Whether premises and conclusion all have exactly one family member."""
+    cset = _as_constraint_set(constraints, target)
+    return target.has_singleton_family() and all(
+        c.has_singleton_family() for c in cset
+    )
+
+
+def fd_closure(ground_size_mask: int, start: int, fds: List[Tuple[int, int]]) -> int:
+    """Attribute-set closure of ``start`` under FDs ``(lhs, rhs)``.
+
+    The textbook fixpoint; each pass applies every FD whose left side is
+    contained in the running closure.
+    """
+    closure = start
+    changed = True
+    while changed:
+        changed = False
+        for lhs, rhs in fds:
+            if sb.is_subset(lhs, closure) and rhs & ~closure:
+                closure |= rhs
+                changed = True
+    return closure
+
+
+def implies_fd(constraints: Constraints, target: DifferentialConstraint) -> bool:
+    """Decide the singleton-family fragment via attribute closure.
+
+    ``{X_i -> {Y_i}} |= X -> {Y}`` iff ``Y`` is contained in the closure
+    of ``X`` under the corresponding functional dependencies; the paper's
+    conclusion (and Demetrovics-Libkin-Muchnik) justify the equivalence,
+    which the test suite re-verifies against the lattice decider.
+    """
+    cset = _as_constraint_set(constraints, target)
+    if not in_fd_fragment(cset, target):
+        raise NotApplicableError(
+            "the FD decider requires every family to have exactly one member"
+        )
+    fds = [(c.lhs, c.family.members[0]) for c in cset]
+    closure = fd_closure(cset.ground.universe_mask, target.lhs, fds)
+    return sb.is_subset(target.family.members[0], closure)

@@ -1,0 +1,274 @@
+"""Proof objects: explicit derivations in the Figure 1/2 inference system.
+
+A :class:`Proof` is an immutable DAG node -- a conclusion, the rule that
+produced it, the premise sub-proofs, and the rule parameters.  Builders
+(:func:`axiom`, :func:`triviality`, :func:`augmentation`, ...) construct
+nodes and *validate them on construction* against the exact rule schemas
+of :mod:`repro.core.rules`, so an engine using the builders cannot emit a
+malformed derivation.  :func:`check_proof` re-validates a whole proof
+independently (the belt to the builders' suspenders), optionally
+rejecting Figure-2 macro steps; :meth:`Proof.expand` rewrites a proof
+into Figure-1 primitives only.
+
+``Proof.format()`` renders derivations in the linear numbered style of
+the paper's Example 4.3::
+
+    (1) C -> {D}                      given
+    (2) A -> {BC, CD}                 given
+    (3) A -> {BC, C}                  projection on (2)
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core import rules as R
+from repro.core.constraint import DifferentialConstraint
+from repro.core.family import SetFamily
+from repro.errors import InvalidProofError
+
+__all__ = [
+    "Proof",
+    "axiom",
+    "triviality",
+    "augmentation",
+    "addition",
+    "elimination",
+    "projection",
+    "separation",
+    "union_rule",
+    "transitivity",
+    "chain",
+    "absorption",
+    "check_proof",
+]
+
+
+class Proof:
+    """One node of a derivation DAG.
+
+    Sub-proofs may be shared between nodes; size accounting and
+    formatting deduplicate shared nodes so a proof reads like the paper's
+    numbered derivations.
+    """
+
+    __slots__ = ("_conclusion", "_rule", "_premises", "_params")
+
+    def __init__(
+        self,
+        conclusion: DifferentialConstraint,
+        rule: str,
+        premises: Tuple["Proof", ...] = (),
+        params: Tuple = (),
+    ):
+        R.validate_step(
+            conclusion, rule, [p.conclusion for p in premises], params, None
+        )
+        self._conclusion = conclusion
+        self._rule = rule
+        self._premises = premises
+        self._params = params
+
+    # ------------------------------------------------------------------
+    @property
+    def conclusion(self) -> DifferentialConstraint:
+        return self._conclusion
+
+    @property
+    def rule(self) -> str:
+        return self._rule
+
+    @property
+    def premises(self) -> Tuple["Proof", ...]:
+        return self._premises
+
+    @property
+    def params(self) -> Tuple:
+        return self._params
+
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator["Proof"]:
+        """Postorder iteration over distinct DAG nodes (shared nodes once)."""
+        seen: Set[int] = set()
+        stack: List[Tuple["Proof", bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if id(node) in seen:
+                continue
+            if expanded:
+                seen.add(id(node))
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(node._premises):
+                    if id(child) not in seen:
+                        stack.append((child, False))
+
+    def size(self) -> int:
+        """Number of distinct derivation steps."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def depth(self) -> int:
+        """Longest premise chain (iterative, memoized by node identity)."""
+        memo: Dict[int, int] = {}
+        for node in self.iter_nodes():
+            if node._premises:
+                memo[id(node)] = 1 + max(memo[id(p)] for p in node._premises)
+            else:
+                memo[id(node)] = 1
+        return memo[id(self)]
+
+    def uses_only_primitives(self) -> bool:
+        """Whether every step is an axiom or a Figure-1 rule."""
+        allowed = R.PRIMITIVE_RULES | {R.AXIOM}
+        return all(node._rule in allowed for node in self.iter_nodes())
+
+    def rule_counts(self) -> Dict[str, int]:
+        """Histogram of rule names over distinct steps."""
+        counts: Dict[str, int] = {}
+        for node in self.iter_nodes():
+            counts[node._rule] = counts.get(node._rule, 0) + 1
+        return counts
+
+    def expand(self) -> "Proof":
+        """An equivalent proof using Figure-1 primitives only."""
+        from repro.core.derived_rules import expand_proof
+
+        return expand_proof(self)
+
+    # ------------------------------------------------------------------
+    def format(self) -> str:
+        """Numbered linear rendering in the style of Example 4.3."""
+        numbers: Dict[int, int] = {}
+        lines: List[str] = []
+        for node in self.iter_nodes():
+            numbers[id(node)] = len(numbers) + 1
+            if node._rule == R.AXIOM:
+                justification = "given"
+            elif node._premises:
+                refs = ", ".join(
+                    f"({numbers[id(p)]})" for p in node._premises
+                )
+                justification = f"{node._rule} on {refs}"
+            else:
+                justification = node._rule
+            lines.append(
+                f"({numbers[id(node)]}) {node._conclusion!r}".ljust(48)
+                + justification
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Proof({self._conclusion!r} by {self._rule}, "
+            f"{self.size()} steps)"
+        )
+
+
+# ----------------------------------------------------------------------
+# builders (validate on construction)
+# ----------------------------------------------------------------------
+def axiom(c: DifferentialConstraint) -> Proof:
+    """A leaf citing ``c`` as a hypothesis."""
+    return Proof(c, R.AXIOM)
+
+
+def triviality(c: DifferentialConstraint) -> Proof:
+    """A leaf justified by the Triviality rule; ``c`` must be trivial."""
+    return Proof(c, R.TRIVIALITY)
+
+
+def augmentation(p: Proof, z: int) -> Proof:
+    """``X -> Y  =>  X union Z -> Y``."""
+    c = p.conclusion
+    concl = DifferentialConstraint(c.ground, c.lhs | z, c.family)
+    return Proof(concl, R.AUGMENTATION, (p,), (z,))
+
+
+def addition(p: Proof, z: int) -> Proof:
+    """``X -> Y  =>  X -> Y union {Z}``."""
+    c = p.conclusion
+    concl = DifferentialConstraint(c.ground, c.lhs, c.family.add(z))
+    return Proof(concl, R.ADDITION, (p,), (z,))
+
+
+def elimination(p1: Proof, p2: Proof, z: int) -> Proof:
+    """``X -> Y union {Z},  X union Z -> Y  =>  X -> Y``."""
+    base = p2.conclusion.family
+    lhs = p1.conclusion.lhs
+    concl = DifferentialConstraint(p1.conclusion.ground, lhs, base)
+    return Proof(concl, R.ELIMINATION, (p1, p2), (z,))
+
+
+def projection(p: Proof, old: int, new: int) -> Proof:
+    """Figure 2: shrink the member ``old`` to its subset ``new``."""
+    c = p.conclusion
+    concl = DifferentialConstraint(c.ground, c.lhs, c.family.replace(old, new))
+    return Proof(concl, R.PROJECTION, (p,), (old, new))
+
+
+def separation(p: Proof, old: int, part1: int, part2: int) -> Proof:
+    """Figure 2: split the member ``old = part1 union part2`` in two."""
+    c = p.conclusion
+    fam = c.family.remove(old).add(part1).add(part2)
+    concl = DifferentialConstraint(c.ground, c.lhs, fam)
+    return Proof(concl, R.SEPARATION, (p,), (old, part1, part2))
+
+
+def union_rule(p1: Proof, p2: Proof, m1: int, m2: int, base: SetFamily) -> Proof:
+    """Figure 2: merge members ``m1`` and ``m2`` over the shared ``base``."""
+    c1 = p1.conclusion
+    concl = DifferentialConstraint(c1.ground, c1.lhs, base.add(m1 | m2))
+    return Proof(concl, R.UNION, (p1, p2), (m1, m2, base))
+
+
+def transitivity(p1: Proof, p2: Proof, y: int, z: int, base: SetFamily) -> Proof:
+    """Figure 2: ``X -> Y+{Y}``, ``Y -> Y+{Z}``  =>  ``X -> Y+{Z}``."""
+    c1 = p1.conclusion
+    concl = DifferentialConstraint(c1.ground, c1.lhs, base.add(z))
+    return Proof(concl, R.TRANSITIVITY, (p1, p2), (y, z, base))
+
+
+def chain(p1: Proof, p2: Proof, y: int, z: int, base: SetFamily) -> Proof:
+    """Figure 2: ``X -> Y+{Y}``, ``X union Y -> Y+{Z}``  =>
+    ``X -> Y+{Y union Z}``."""
+    c1 = p1.conclusion
+    concl = DifferentialConstraint(c1.ground, c1.lhs, base.add(y | z))
+    return Proof(concl, R.CHAIN, (p1, p2), (y, z, base))
+
+
+def absorption(p: Proof, old: int, new: int) -> Proof:
+    """Grow member ``old`` to ``new subseteq old union X`` (our lemma)."""
+    c = p.conclusion
+    concl = DifferentialConstraint(c.ground, c.lhs, c.family.replace(old, new))
+    return Proof(concl, R.ABSORPTION, (p,), (old, new))
+
+
+# ----------------------------------------------------------------------
+# independent checker
+# ----------------------------------------------------------------------
+def check_proof(
+    proof: Proof,
+    hypotheses: Sequence[DifferentialConstraint] = (),
+    allow_derived: bool = True,
+) -> None:
+    """Re-validate every step of ``proof``.
+
+    Raises :class:`InvalidProofError` if any step fails its rule schema,
+    if an axiom is not among ``hypotheses``, or (with
+    ``allow_derived=False``) if a Figure-2 macro step appears.
+    """
+    hypothesis_set = set(hypotheses)
+    for node in proof.iter_nodes():
+        if not allow_derived and node.rule in R.DERIVED_RULES:
+            raise InvalidProofError(
+                f"derived rule {node.rule!r} not allowed in primitive-only mode"
+            )
+        R.validate_step(
+            node.conclusion,
+            node.rule,
+            [p.conclusion for p in node.premises],
+            node.params,
+            hypothesis_set,
+        )

@@ -1,0 +1,263 @@
+"""Rule schemas of Figures 1 and 2, with exact step validators.
+
+Figure 1 (the primitive, sound and complete system):
+
+========================  =====================================================
+Triviality                ``Y in Y, Y subseteq X  =>  X -> Y``
+Augmentation              ``X -> Y  =>  X union Z -> Y``
+Addition                  ``X -> Y  =>  X -> Y union {Z}``
+Elimination               ``X -> Y union {Z},  X union Z -> Y  =>  X -> Y``
+========================  =====================================================
+
+Figure 2 (derivable rules; :mod:`repro.core.derived_rules` provides the
+machine-checked expansions into Figure-1 steps):
+
+========================  =====================================================
+Projection                ``X -> Y union {Y union Z}  =>  X -> Y union {Y}``
+Separation                ``X -> Y union {Y union Z}  =>  X -> Y union {Y} union {Z}``
+Union                     ``X -> Y+{Y}, X -> Y+{Z}  =>  X -> Y+{Y union Z}``
+Transitivity              ``X -> Y+{Y}, Y -> Y+{Z}  =>  X -> Y+{Z}``
+Chain                     ``X -> Y+{Y}, X union Y -> Y+{Z}  =>  X -> Y+{Y union Z}``
+Absorption (ours)         ``X -> Y+{M}  =>  X -> Y+{M'}``  for ``M subseteq M'
+                          subseteq M union X`` -- a lemma used by the Figure-2
+                          expansions, itself expanded into Figure-1 steps
+========================  =====================================================
+
+Each validator receives the step's conclusion, the premises' conclusions
+and the rule parameters, and raises :class:`InvalidProofError` unless the
+step is an exact instance of the schema.  Families are sets, so
+degenerate applications (adding an already-present member, replacing a
+member by itself) validate naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set, Tuple
+
+from repro.core import subsets as sb
+from repro.core.constraint import DifferentialConstraint
+from repro.core.family import SetFamily
+from repro.errors import InvalidProofError
+
+__all__ = [
+    "AXIOM",
+    "TRIVIALITY",
+    "AUGMENTATION",
+    "ADDITION",
+    "ELIMINATION",
+    "PROJECTION",
+    "SEPARATION",
+    "UNION",
+    "TRANSITIVITY",
+    "CHAIN",
+    "ABSORPTION",
+    "PRIMITIVE_RULES",
+    "DERIVED_RULES",
+    "ALL_RULES",
+    "validate_step",
+]
+
+AXIOM = "axiom"
+TRIVIALITY = "triviality"
+AUGMENTATION = "augmentation"
+ADDITION = "addition"
+ELIMINATION = "elimination"
+PROJECTION = "projection"
+SEPARATION = "separation"
+UNION = "union"
+TRANSITIVITY = "transitivity"
+CHAIN = "chain"
+ABSORPTION = "absorption"
+
+PRIMITIVE_RULES = frozenset({TRIVIALITY, AUGMENTATION, ADDITION, ELIMINATION})
+DERIVED_RULES = frozenset(
+    {PROJECTION, SEPARATION, UNION, TRANSITIVITY, CHAIN, ABSORPTION}
+)
+ALL_RULES = PRIMITIVE_RULES | DERIVED_RULES | {AXIOM}
+
+
+def _fail(rule: str, why: str) -> None:
+    raise InvalidProofError(f"invalid {rule} step: {why}")
+
+
+def _need_premises(rule: str, premises: Sequence, count: int) -> None:
+    if len(premises) != count:
+        _fail(rule, f"expected {count} premise(s), got {len(premises)}")
+
+
+def _need_params(rule: str, params: Tuple, count: int) -> None:
+    if len(params) != count:
+        _fail(rule, f"expected {count} parameter(s), got {len(params)}")
+
+
+def validate_step(
+    conclusion: DifferentialConstraint,
+    rule: str,
+    premises: Sequence[DifferentialConstraint],
+    params: Tuple,
+    hypotheses: Optional[Set[DifferentialConstraint]] = None,
+) -> None:
+    """Validate one inference step; raise :class:`InvalidProofError` if bad.
+
+    ``hypotheses`` is consulted only for ``axiom`` steps; passing ``None``
+    accepts any axiom (used when a proof is checked for shape only).
+    """
+    ground = conclusion.ground
+    for p in premises:
+        if p.ground != ground:
+            _fail(rule, "premise over a different ground set")
+
+    if rule == AXIOM:
+        _need_premises(rule, premises, 0)
+        if hypotheses is not None and conclusion not in hypotheses:
+            _fail(rule, f"{conclusion!r} is not a hypothesis")
+        return
+
+    if rule == TRIVIALITY:
+        _need_premises(rule, premises, 0)
+        if not conclusion.is_trivial:
+            _fail(rule, f"{conclusion!r} is not trivial")
+        return
+
+    if rule == AUGMENTATION:
+        _need_premises(rule, premises, 1)
+        _need_params(rule, params, 1)
+        (z,) = params
+        p = premises[0]
+        expected = DifferentialConstraint(ground, p.lhs | z, p.family)
+        if conclusion != expected:
+            _fail(rule, f"expected {expected!r}, got {conclusion!r}")
+        return
+
+    if rule == ADDITION:
+        _need_premises(rule, premises, 1)
+        _need_params(rule, params, 1)
+        (z,) = params
+        p = premises[0]
+        expected = DifferentialConstraint(ground, p.lhs, p.family.add(z))
+        if conclusion != expected:
+            _fail(rule, f"expected {expected!r}, got {conclusion!r}")
+        return
+
+    if rule == ELIMINATION:
+        _need_premises(rule, premises, 2)
+        _need_params(rule, params, 1)
+        (z,) = params
+        p1, p2 = premises
+        want_p1 = DifferentialConstraint(
+            ground, conclusion.lhs, conclusion.family.add(z)
+        )
+        want_p2 = DifferentialConstraint(
+            ground, conclusion.lhs | z, conclusion.family
+        )
+        if p1 != want_p1:
+            _fail(rule, f"first premise should be {want_p1!r}, got {p1!r}")
+        if p2 != want_p2:
+            _fail(rule, f"second premise should be {want_p2!r}, got {p2!r}")
+        return
+
+    if rule == PROJECTION:
+        _need_premises(rule, premises, 1)
+        _need_params(rule, params, 2)
+        old, new = params
+        p = premises[0]
+        if not sb.is_subset(new, old):
+            _fail(rule, "projected member must be a subset of the original")
+        if old not in p.family.members:
+            _fail(rule, "original member absent from the premise family")
+        expected = DifferentialConstraint(
+            ground, p.lhs, p.family.replace(old, new)
+        )
+        if conclusion != expected:
+            _fail(rule, f"expected {expected!r}, got {conclusion!r}")
+        return
+
+    if rule == SEPARATION:
+        _need_premises(rule, premises, 1)
+        _need_params(rule, params, 3)
+        old, part1, part2 = params
+        p = premises[0]
+        if part1 | part2 != old:
+            _fail(rule, "the two parts must union to the separated member")
+        if old not in p.family.members:
+            _fail(rule, "separated member absent from the premise family")
+        expected = DifferentialConstraint(
+            ground, p.lhs, p.family.remove(old).add(part1).add(part2)
+        )
+        if conclusion != expected:
+            _fail(rule, f"expected {expected!r}, got {conclusion!r}")
+        return
+
+    if rule == UNION:
+        _need_premises(rule, premises, 2)
+        _need_params(rule, params, 3)
+        m1, m2, base = params
+        if not isinstance(base, SetFamily):
+            _fail(rule, "third parameter must be the shared base family")
+        p1, p2 = premises
+        want_p1 = DifferentialConstraint(ground, conclusion.lhs, base.add(m1))
+        want_p2 = DifferentialConstraint(ground, conclusion.lhs, base.add(m2))
+        expected = DifferentialConstraint(
+            ground, conclusion.lhs, base.add(m1 | m2)
+        )
+        if p1 != want_p1 or p2 != want_p2:
+            _fail(rule, f"premises should be {want_p1!r} and {want_p2!r}")
+        if conclusion != expected:
+            _fail(rule, f"expected {expected!r}, got {conclusion!r}")
+        return
+
+    if rule == TRANSITIVITY:
+        _need_premises(rule, premises, 2)
+        _need_params(rule, params, 3)
+        y, z, base = params
+        if not isinstance(base, SetFamily):
+            _fail(rule, "third parameter must be the shared base family")
+        p1, p2 = premises
+        want_p1 = DifferentialConstraint(ground, conclusion.lhs, base.add(y))
+        want_p2 = DifferentialConstraint(ground, y, base.add(z))
+        expected = DifferentialConstraint(ground, conclusion.lhs, base.add(z))
+        if p1 != want_p1 or p2 != want_p2:
+            _fail(rule, f"premises should be {want_p1!r} and {want_p2!r}")
+        if conclusion != expected:
+            _fail(rule, f"expected {expected!r}, got {conclusion!r}")
+        return
+
+    if rule == CHAIN:
+        _need_premises(rule, premises, 2)
+        _need_params(rule, params, 3)
+        y, z, base = params
+        if not isinstance(base, SetFamily):
+            _fail(rule, "third parameter must be the shared base family")
+        p1, p2 = premises
+        want_p1 = DifferentialConstraint(ground, conclusion.lhs, base.add(y))
+        want_p2 = DifferentialConstraint(
+            ground, conclusion.lhs | y, base.add(z)
+        )
+        expected = DifferentialConstraint(
+            ground, conclusion.lhs, base.add(y | z)
+        )
+        if p1 != want_p1 or p2 != want_p2:
+            _fail(rule, f"premises should be {want_p1!r} and {want_p2!r}")
+        if conclusion != expected:
+            _fail(rule, f"expected {expected!r}, got {conclusion!r}")
+        return
+
+    if rule == ABSORPTION:
+        _need_premises(rule, premises, 1)
+        _need_params(rule, params, 2)
+        old, new = params
+        p = premises[0]
+        if not sb.is_subset(old, new):
+            _fail(rule, "absorbed member must contain the original")
+        if not sb.is_subset(new, old | p.lhs):
+            _fail(rule, "absorbed member may only grow by left-hand-side elements")
+        if old not in p.family.members:
+            _fail(rule, "original member absent from the premise family")
+        expected = DifferentialConstraint(
+            ground, p.lhs, p.family.replace(old, new)
+        )
+        if conclusion != expected:
+            _fail(rule, f"expected {expected!r}, got {conclusion!r}")
+        return
+
+    _fail(rule, "unknown rule name")

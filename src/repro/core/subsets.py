@@ -1,0 +1,158 @@
+"""Bitmask algebra for subsets of a finite ground set.
+
+Subsets of the ground set ``S`` are represented internally as Python
+integers used as bitmasks: bit ``i`` is set exactly when the ``i``-th
+element of the ground set belongs to the subset.  All functions in this
+module operate on raw masks and are independent of any particular
+:class:`~repro.core.ground.GroundSet`; the ground set object provides the
+label <-> bit codec on top of these primitives.
+
+The module implements the handful of combinatorial loops the whole paper
+rests on: enumeration of subsets/supersets, interval enumeration
+``[X, Z] = {U | X subseteq U subseteq Z}`` (Section 2.2 of the paper), and
+the alternating Moebius sign ``(-1)^|Z|`` from Definition 2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = [
+    "popcount",
+    "is_subset",
+    "is_proper_subset",
+    "intersects",
+    "mobius_sign",
+    "iter_bits",
+    "iter_singletons",
+    "iter_subsets",
+    "iter_proper_subsets",
+    "iter_supersets",
+    "iter_interval",
+    "lowest_bit",
+    "without_lowest_bit",
+    "mask_of_bits",
+]
+
+
+def popcount(mask: int) -> int:
+    """Return ``|mask|``, the number of elements of the subset."""
+    return mask.bit_count()
+
+
+def is_subset(a: int, b: int) -> bool:
+    """Return ``True`` iff ``a`` is a (not necessarily proper) subset of ``b``."""
+    return a & ~b == 0
+
+
+def is_proper_subset(a: int, b: int) -> bool:
+    """Return ``True`` iff ``a`` is a proper subset of ``b``."""
+    return a != b and a & ~b == 0
+
+
+def intersects(a: int, b: int) -> bool:
+    """Return ``True`` iff the subsets ``a`` and ``b`` share an element."""
+    return a & b != 0
+
+
+def mobius_sign(mask: int) -> int:
+    """Return ``(-1)^|mask|``, the sign used in Definition 2.1 and eq. (4)."""
+    return -1 if mask.bit_count() & 1 else 1
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the bit *positions* of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def iter_singletons(mask: int) -> Iterator[int]:
+    """Yield the singleton sub-masks (one bit each) of ``mask``.
+
+    This realizes the paper's overline notation ``U-bar = {{u} | u in U}``
+    at the mask level.
+    """
+    while mask:
+        low = mask & -mask
+        yield low
+        mask ^= low
+
+
+def iter_subsets(mask: int) -> Iterator[int]:
+    """Yield every subset of ``mask``, including ``0`` and ``mask`` itself.
+
+    Uses the classic descending ``sub = (sub - 1) & mask`` walk; subsets are
+    produced in decreasing numeric order starting from ``mask``.
+    """
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def iter_proper_subsets(mask: int) -> Iterator[int]:
+    """Yield every proper subset of ``mask`` (``mask`` itself is skipped)."""
+    if mask == 0:
+        return
+    sub = (mask - 1) & mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def iter_supersets(mask: int, universe: int) -> Iterator[int]:
+    """Yield every ``U`` with ``mask subseteq U subseteq universe``.
+
+    Equivalent to :func:`iter_interval` with the interval ``[mask, universe]``
+    but kept as the common-case name used throughout the lattice code.
+    """
+    if mask & ~universe:
+        return
+    free = universe & ~mask
+    sub = free
+    while True:
+        yield mask | sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & free
+
+
+def iter_interval(lo: int, hi: int) -> Iterator[int]:
+    """Yield the interval ``[lo, hi] = {U | lo subseteq U subseteq hi}``.
+
+    The interval is empty when ``lo`` is not a subset of ``hi`` (this is the
+    situation in Definition 2.6 when the lower bound meets the complement of
+    a witness set); in that case nothing is yielded.
+    """
+    yield from iter_supersets(lo, hi)
+
+
+def lowest_bit(mask: int) -> int:
+    """Return the lowest set bit of ``mask`` as a singleton mask.
+
+    Raises :class:`ValueError` on the empty mask, which has no elements.
+    """
+    if mask == 0:
+        raise ValueError("the empty mask has no lowest bit")
+    return mask & -mask
+
+
+def without_lowest_bit(mask: int) -> int:
+    """Return ``mask`` with its lowest set bit removed."""
+    if mask == 0:
+        raise ValueError("the empty mask has no lowest bit")
+    return mask & (mask - 1)
+
+
+def mask_of_bits(bits) -> int:
+    """Build a mask from an iterable of bit positions."""
+    mask = 0
+    for bit in bits:
+        mask |= 1 << bit
+    return mask

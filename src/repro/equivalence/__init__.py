@@ -1,0 +1,9 @@
+"""Theorem 8.1 -- the grand equivalence -- as an executable experiment."""
+
+from repro.equivalence.theorem81 import (
+    STATEMENT_NAMES,
+    Theorem81Report,
+    evaluate_theorem81,
+)
+
+__all__ = ["STATEMENT_NAMES", "Theorem81Report", "evaluate_theorem81"]

@@ -1,0 +1,206 @@
+"""Theorem 8.1 as an executable object.
+
+The paper's closing theorem asserts the equivalence of nine statements
+about a constraint set ``C`` and a target ``X -> Y``.  This module
+evaluates **all nine through independent code paths** and reports the
+agreement vector -- the reproduction's experiment E6:
+
+=====================  ==================================================
+``semantic_F``         counterexample scan over the principal-ideal
+                       functions ``f^U`` (density-semantics satisfaction)
+``semantic_positive``  the same scan with *differential*-semantics
+                       satisfaction (valid on ``positive(S)``, where the
+                       two semantics coincide)
+``semantic_support``   scan over one-basket support functions (sparse
+                       density path through basket machinery)
+``semantic_simpson``   scan over two-tuple probabilistic relations with
+                       pairwise-density satisfaction
+``prop``               minset containment over the Definition 5.2
+                       formulas (truth tables; no lattice code)
+``disj``               scan over one-basket lists with *cover*-based
+                       disjunctive satisfaction
+``boolean``            scan over two-tuple relations with pair-based
+                       boolean-dependency satisfaction
+``derivable``          the constructive Theorem 4.8 engine, with the
+                       resulting Figure-1 proof independently re-checked
+``lattice``            the Theorem 3.5 containment ``L(C) >= L(X,Y)``
+=====================  ==================================================
+
+One documented edge: the two *relational* statements have no "zero"
+model.  Relations are nonempty, so every reflexive pair ``(t, t)``
+violates an empty-family boolean dependency, and ``d_simpson(S) =
+sum p^2 > 0`` keeps every Simpson function from satisfying an
+empty-family constraint.  ``F(S)`` contains the zero function and
+``support(S)`` the empty basket list, so when ``C`` contains an
+empty-family constraint the ``boolean`` and ``semantic_simpson``
+statements hold vacuously while the other seven can fail -- consistent
+with Corollary 7.4 (the two relational statements stay equivalent to each
+other), but a genuine boundary of the printed Theorem 8.1.  The report
+flags the situation (``relational_vacuous``) and
+:meth:`Theorem81Report.consistent_with_paper` accepts exactly that
+divergence pattern; EXPERIMENTS.md discusses the finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.core.constraint import DENSITY, DIFFERENTIAL, DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.counterexample import sparse_principal_ideal_function
+from repro.core.derivation import derive
+from repro.core.implication import implies_lattice
+from repro.core.proofs import check_proof
+from repro.errors import NotImpliedError
+from repro.fis.baskets import BasketDatabase
+from repro.fis.disjunctive import (
+    DisjunctiveConstraint,
+    semantic_implies_over_single_basket_lists,
+)
+from repro.logic.implication_constraint import implies_prop
+from repro.relational.boolean_dependency import (
+    BooleanDependency,
+    semantic_implies_over_two_tuple_relations,
+)
+from repro.relational.probability import Distribution
+from repro.relational.relation import two_tuple_relation
+from repro.relational.simpson import simpson_satisfies
+
+__all__ = ["Theorem81Report", "evaluate_theorem81", "STATEMENT_NAMES"]
+
+STATEMENT_NAMES: Tuple[str, ...] = (
+    "semantic_F",
+    "semantic_positive",
+    "semantic_support",
+    "semantic_simpson",
+    "prop",
+    "disj",
+    "boolean",
+    "derivable",
+    "lattice",
+)
+
+
+#: The two statements whose model classes contain no "zero" object.
+RELATIONAL_STATEMENTS = ("semantic_simpson", "boolean")
+
+
+@dataclass(frozen=True)
+class Theorem81Report:
+    """Agreement vector for one ``(C, X -> Y)`` instance."""
+
+    statements: Dict[str, bool]
+    relational_vacuous: bool
+
+    def value(self) -> bool:
+        """The common truth value (meaningful when all statements agree)."""
+        return self.statements["lattice"]
+
+    def all_agree(self) -> bool:
+        """Strict nine-way agreement."""
+        values = set(self.statements.values())
+        return len(values) == 1
+
+    def consistent_with_paper(self) -> bool:
+        """Agreement modulo the documented relational vacuity edge.
+
+        Either all nine statements agree, or ``C`` contains an
+        empty-family constraint (making it unsatisfiable over nonempty
+        relations and over ``simpson(S)``), the ``boolean`` and
+        ``semantic_simpson`` statements are vacuously true, and the
+        remaining seven agree.
+        """
+        if self.all_agree():
+            return True
+        others = {
+            name: val
+            for name, val in self.statements.items()
+            if name not in RELATIONAL_STATEMENTS
+        }
+        return (
+            self.relational_vacuous
+            and all(self.statements[name] for name in RELATIONAL_STATEMENTS)
+            and len(set(others.values())) == 1
+        )
+
+    def disagreeing(self) -> Dict[str, bool]:
+        """Statements differing from the lattice decision (diagnostics)."""
+        reference = self.statements["lattice"]
+        return {
+            name: val
+            for name, val in self.statements.items()
+            if val != reference
+        }
+
+
+def _semantic_over_ideals(
+    cset: ConstraintSet, target: DifferentialConstraint, semantics: str
+) -> bool:
+    ground = target.ground
+    for u in ground.all_masks():
+        f = sparse_principal_ideal_function(ground, u)
+        if semantics == DIFFERENTIAL:
+            f = f.to_dense()
+        sat_c = all(c.satisfied_by(f, semantics=semantics) for c in cset)
+        if sat_c and not target.satisfied_by(f, semantics=semantics):
+            return False
+    return True
+
+
+def _semantic_over_support(
+    cset: ConstraintSet, target: DifferentialConstraint
+) -> bool:
+    ground = target.ground
+    for u in ground.all_masks():
+        f = BasketDatabase(ground, [u]).support_function()
+        if cset.satisfied_by(f) and not target.satisfied_by(f):
+            return False
+    return True
+
+
+def _semantic_over_simpson(
+    cset: ConstraintSet, target: DifferentialConstraint
+) -> bool:
+    ground = target.ground
+    for u in ground.all_masks():
+        dist = Distribution.uniform(two_tuple_relation(ground, u))
+        sat_c = all(simpson_satisfies(dist, c) for c in cset)
+        if sat_c and not simpson_satisfies(dist, target):
+            return False
+    return True
+
+
+def _derivable(cset: ConstraintSet, target: DifferentialConstraint) -> bool:
+    try:
+        proof = derive(cset, target, allow_derived=False, check=False)
+    except NotImpliedError:
+        return False
+    check_proof(proof, cset.constraints, allow_derived=False)
+    return proof.conclusion == target
+
+
+def evaluate_theorem81(
+    cset: ConstraintSet, target: DifferentialConstraint
+) -> Theorem81Report:
+    """Evaluate all nine Theorem 8.1 statements on ``(C, target)``."""
+    cset.ground.check_same(target.ground)
+    statements: Dict[str, bool] = {
+        "semantic_F": _semantic_over_ideals(cset, target, DENSITY),
+        "semantic_positive": _semantic_over_ideals(cset, target, DIFFERENTIAL),
+        "semantic_support": _semantic_over_support(cset, target),
+        "semantic_simpson": _semantic_over_simpson(cset, target),
+        "prop": implies_prop(cset, target, method="minset"),
+        "disj": semantic_implies_over_single_basket_lists(
+            [DisjunctiveConstraint.from_differential(c) for c in cset],
+            DisjunctiveConstraint.from_differential(target),
+        ),
+        "boolean": semantic_implies_over_two_tuple_relations(
+            [BooleanDependency.from_differential(c) for c in cset],
+            BooleanDependency.from_differential(target),
+        ),
+        "derivable": _derivable(cset, target),
+        "lattice": implies_lattice(cset, target),
+    }
+    relational_vacuous = any(len(c.family) == 0 for c in cset)
+    return Theorem81Report(statements, relational_vacuous)

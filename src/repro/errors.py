@@ -1,0 +1,68 @@
+"""Exception types shared across the :mod:`repro` package.
+
+The library raises narrowly-typed errors so callers can distinguish
+user mistakes (e.g. a label that is not in the ground set) from internal
+invariant violations (which raise plain :class:`AssertionError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GroundSetMismatchError",
+    "UnknownElementError",
+    "InvalidConstraintError",
+    "InvalidProofError",
+    "NotAFrequencyFunctionError",
+    "NotApplicableError",
+    "NotImpliedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GroundSetMismatchError(ReproError):
+    """Raised when two objects defined over different ground sets are mixed.
+
+    Every constraint, set function, family and relation is bound to one
+    :class:`~repro.core.ground.GroundSet`; operations across distinct
+    ground sets are rejected rather than silently re-interpreted.
+    """
+
+
+class UnknownElementError(ReproError, KeyError):
+    """Raised when a label is not an element of the ground set."""
+
+
+class InvalidConstraintError(ReproError, ValueError):
+    """Raised when a differential constraint is syntactically malformed."""
+
+
+class InvalidProofError(ReproError):
+    """Raised by the proof checker when a derivation step is not a valid
+    application of the inference rules of Figure 1 (or, in macro mode,
+    Figure 2) of the paper."""
+
+
+class NotAFrequencyFunctionError(ReproError, ValueError):
+    """Raised when a set function expected to lie in ``positive(S)``
+    (nonnegative density; Section 6 of the paper) does not."""
+
+
+class NotApplicableError(ReproError):
+    """Raised when a specialized decision procedure (e.g. the P-time
+    functional-dependency decider for singleton right-hand sides) is asked
+    to decide an instance outside its fragment."""
+
+
+class NotImpliedError(ReproError):
+    """Raised by the derivation engine when asked to derive a constraint
+    that is *not* implied (completeness only promises derivations for
+    implied constraints).  Carries the uncovered lattice element that
+    certifies non-implication via Theorem 3.5."""
+
+    def __init__(self, message: str, uncovered_mask: int):
+        super().__init__(message)
+        self.uncovered_mask = uncovered_mask

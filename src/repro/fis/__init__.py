@@ -1,0 +1,107 @@
+"""Frequent-itemset substrate (Section 6 of the paper).
+
+Basket databases and support functions, frequency functions
+(``positive(S)``), the Apriori baseline with its negative border,
+disjunctive constraints and disjunctive-free itemsets, the
+``(FDFree, Bd-)`` concise representation with lossless support
+derivation, inference-based pruning of disjunctive sets, and seeded
+synthetic workload generators.
+"""
+
+from repro.fis.baskets import BasketDatabase
+from repro.fis.frequency import (
+    check_differentials_nonnegative,
+    induce_basket_database,
+    is_frequency_function,
+    is_support_function,
+    semantics_agree_on,
+)
+from repro.fis.apriori import (
+    MiningResult,
+    apriori,
+    bruteforce_frequent,
+    negative_border_of,
+)
+from repro.fis.disjunctive import (
+    DisjunctiveConstraint,
+    implies_disjunctive,
+    semantic_implies_over_single_basket_lists,
+)
+from repro.fis.disjunctive_free import (
+    find_disjunctive_rule,
+    holds_singleton_rule,
+    is_disjunctive,
+    is_disjunctive_bruteforce,
+    is_disjunctive_free,
+    iter_disjunctive_free,
+)
+from repro.fis.concise import (
+    BorderEntry,
+    ConciseRepresentation,
+    mine_concise,
+    verify_lossless,
+)
+from repro.fis.inference_pruning import (
+    derivable_beyond_support_sets,
+    is_derivably_disjunctive,
+    prune_redundant_rules,
+    support_set_upclosure,
+)
+from repro.fis.datagen import (
+    correlated_baskets,
+    plant_disjunctive_rule,
+    random_baskets,
+)
+from repro.fis.freqsat import (
+    FrequencyConstraint,
+    GeneralizedDensityConstraint,
+    measure_sat,
+    support_sat,
+)
+from repro.fis.discovery import (
+    discover_cover,
+    minimal_disjunctive_rules,
+    theory_of,
+    zero_set,
+)
+
+__all__ = [
+    "BasketDatabase",
+    "check_differentials_nonnegative",
+    "induce_basket_database",
+    "is_frequency_function",
+    "is_support_function",
+    "semantics_agree_on",
+    "MiningResult",
+    "apriori",
+    "bruteforce_frequent",
+    "negative_border_of",
+    "DisjunctiveConstraint",
+    "implies_disjunctive",
+    "semantic_implies_over_single_basket_lists",
+    "find_disjunctive_rule",
+    "holds_singleton_rule",
+    "is_disjunctive",
+    "is_disjunctive_bruteforce",
+    "is_disjunctive_free",
+    "iter_disjunctive_free",
+    "BorderEntry",
+    "ConciseRepresentation",
+    "mine_concise",
+    "verify_lossless",
+    "derivable_beyond_support_sets",
+    "is_derivably_disjunctive",
+    "prune_redundant_rules",
+    "support_set_upclosure",
+    "correlated_baskets",
+    "plant_disjunctive_rule",
+    "random_baskets",
+    "FrequencyConstraint",
+    "GeneralizedDensityConstraint",
+    "measure_sat",
+    "support_sat",
+    "discover_cover",
+    "minimal_disjunctive_rules",
+    "theory_of",
+    "zero_set",
+]

@@ -1,0 +1,152 @@
+"""The Apriori algorithm and the negative border (Section 6.1.1).
+
+The paper positions Apriori [Agrawal-Srikant 1994] as the baseline
+deduction machinery for the FIS problem: the monotonicity ("Apriori")
+rule prunes every superset of an infrequent itemset, and the algorithm's
+failed candidates are exactly the *negative border* -- the minimal
+infrequent itemsets, a concise representation of all infrequent sets.
+
+This module implements levelwise Apriori over
+:class:`~repro.fis.baskets.BasketDatabase` with candidate generation by
+prefix join and subset pruning, plus a brute-force miner used as the test
+oracle.  The result object also reports how many support counts were
+performed -- the cost currency of Section 6.1.1's deduction-vs-counting
+discussion and of experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core import subsets as sb
+from repro.core.ground import GroundSet
+from repro.fis.baskets import BasketDatabase
+
+__all__ = ["MiningResult", "apriori", "bruteforce_frequent", "negative_border_of"]
+
+
+@dataclass(frozen=True)
+class MiningResult:
+    """Outcome of a frequent-itemset mining run.
+
+    Attributes
+    ----------
+    frequent:
+        ``{mask: support}`` for every frequent itemset.
+    negative_border:
+        ``{mask: support}`` for the minimal infrequent itemsets.
+    kappa:
+        The support threshold used.
+    support_counts:
+        Number of itemsets whose support was counted against the data.
+    """
+
+    frequent: Dict[int, int]
+    negative_border: Dict[int, int]
+    kappa: int
+    support_counts: int
+
+    def is_frequent(self, mask: int) -> bool:
+        return mask in self.frequent
+
+    def status_by_border(self, mask: int) -> bool:
+        """Frequency status deduced from the negative border alone
+        (monotonicity: infrequent iff some border set is contained)."""
+        return not any(
+            sb.is_subset(border, mask) for border in self.negative_border
+        )
+
+    def max_level(self) -> int:
+        return max((sb.popcount(m) for m in self.frequent), default=0)
+
+
+def apriori(db: BasketDatabase, kappa: int) -> MiningResult:
+    """Levelwise Apriori: returns frequent sets, border, and count cost."""
+    ground = db.ground
+    frequent: Dict[int, int] = {}
+    border: Dict[int, int] = {}
+    counts = 0
+
+    # level 0: the empty itemset (support = |B|)
+    empty_support = len(db)
+    counts += 1
+    if empty_support >= kappa:
+        frequent[0] = empty_support
+    else:
+        border[0] = empty_support
+        return MiningResult(frequent, border, kappa, counts)
+
+    # level 1: single items
+    current: List[int] = []
+    for bit in range(ground.size):
+        mask = 1 << bit
+        support = db.support(mask)
+        counts += 1
+        if support >= kappa:
+            frequent[mask] = support
+            current.append(mask)
+        else:
+            border[mask] = support
+
+    level = 1
+    while current:
+        candidates = _generate_candidates(current, set(current), level)
+        level += 1
+        next_level: List[int] = []
+        for mask in candidates:
+            support = db.support(mask)
+            counts += 1
+            if support >= kappa:
+                frequent[mask] = support
+                next_level.append(mask)
+            else:
+                border[mask] = support
+        current = next_level
+    return MiningResult(frequent, border, kappa, counts)
+
+
+def _generate_candidates(
+    level_sets: List[int], level_lookup: Set[int], level: int
+) -> List[int]:
+    """Join + prune candidate generation.
+
+    Joins pairs of frequent ``level``-sets whose union has ``level + 1``
+    elements, then prunes candidates having an infrequent ``level``-subset.
+    """
+    unions: Set[int] = set()
+    sorted_sets = sorted(level_sets)
+    for i, a in enumerate(sorted_sets):
+        for b in sorted_sets[i + 1 :]:
+            u = a | b
+            if sb.popcount(u) == level + 1:
+                unions.add(u)
+    candidates = []
+    for u in sorted(unions):
+        if all(u & ~bit in level_lookup for bit in sb.iter_singletons(u)):
+            candidates.append(u)
+    return candidates
+
+
+def bruteforce_frequent(db: BasketDatabase, kappa: int) -> Dict[int, int]:
+    """All frequent itemsets by exhaustive enumeration (test oracle)."""
+    out = {}
+    for mask in db.ground.all_masks():
+        support = db.support(mask)
+        if support >= kappa:
+            out[mask] = support
+    return out
+
+
+def negative_border_of(frequent: Dict[int, int], ground: GroundSet) -> Set[int]:
+    """Minimal non-frequent itemsets given the (downward-closed) frequent
+    collection -- computed directly from the definition (test oracle)."""
+    border: Set[int] = set()
+    for mask in ground.all_masks():
+        if mask in frequent:
+            continue
+        if all(
+            (mask & ~bit) in frequent for bit in sb.iter_singletons(mask)
+        ):
+            border.add(mask)
+    return border

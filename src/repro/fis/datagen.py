@@ -1,0 +1,124 @@
+"""Synthetic basket workloads (the evaluation substrate for Section 6).
+
+The paper reports no datasets; its application section leans on the
+Bykowski-Rigotti observation that concise representations shrink
+dramatically on *correlated* data.  These seeded generators provide the
+three workload families the benchmarks sweep:
+
+* :func:`random_baskets` -- independent Bernoulli items ("sparse" /
+  "dense" by the item probability): the unstructured control.
+* :func:`correlated_baskets` -- baskets drawn from a small pool of
+  templates with add/drop noise (an IBM-Quest-style generator): many
+  satisfied disjunctive rules, the regime where ``FDFree + Bd-`` wins.
+* :func:`plant_disjunctive_rule` -- post-process a database so a given
+  rule holds exactly (used to create ground-truth rule structure for the
+  inference-pruning experiment E11).
+
+All generators take an explicit :class:`random.Random` so every
+experiment is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core import subsets as sb
+from repro.core.ground import GroundSet
+from repro.fis.baskets import BasketDatabase
+from repro.fis.disjunctive import DisjunctiveConstraint
+
+__all__ = [
+    "random_baskets",
+    "correlated_baskets",
+    "plant_disjunctive_rule",
+]
+
+
+def random_baskets(
+    ground: GroundSet,
+    n_baskets: int,
+    item_probability: float,
+    rng: random.Random,
+) -> BasketDatabase:
+    """Independent items: each of the ``|S|`` items joins each basket
+    with probability ``item_probability``."""
+    baskets: List[int] = []
+    for _ in range(n_baskets):
+        mask = 0
+        for bit in range(ground.size):
+            if rng.random() < item_probability:
+                mask |= 1 << bit
+        baskets.append(mask)
+    return BasketDatabase(ground, baskets)
+
+
+def correlated_baskets(
+    ground: GroundSet,
+    n_baskets: int,
+    n_templates: int,
+    template_size: int,
+    drop_probability: float,
+    add_probability: float,
+    rng: random.Random,
+) -> BasketDatabase:
+    """Template-based correlated data.
+
+    ``n_templates`` random itemsets of ``template_size`` items are drawn;
+    each basket copies a random template, drops each template item with
+    ``drop_probability`` and adds each outside item with
+    ``add_probability``.  Low noise means strongly correlated items --
+    the regime of Section 6.1.1 where disjunctive rules abound.
+    """
+    bits = list(range(ground.size))
+    templates: List[int] = []
+    for _ in range(n_templates):
+        chosen = rng.sample(bits, min(template_size, len(bits)))
+        templates.append(sb.mask_of_bits(chosen))
+    baskets: List[int] = []
+    for _ in range(n_baskets):
+        template = rng.choice(templates)
+        mask = 0
+        for bit in range(ground.size):
+            bit_mask = 1 << bit
+            if template & bit_mask:
+                if rng.random() >= drop_probability:
+                    mask |= bit_mask
+            elif rng.random() < add_probability:
+                mask |= bit_mask
+        baskets.append(mask)
+    return BasketDatabase(ground, baskets)
+
+
+def plant_disjunctive_rule(
+    db: BasketDatabase,
+    rule: DisjunctiveConstraint,
+    rng: random.Random,
+) -> BasketDatabase:
+    """Rewrite baskets so that ``rule`` holds in the result.
+
+    Every basket containing the rule's left-hand side but none of
+    ``X union Y`` gets a uniformly chosen member ``Y`` added (the minimal
+    edit that repairs the rule; a rule with an empty family instead drops
+    one left-hand-side item, making the left side never occur).
+    """
+    ground = db.ground
+    members = rule.family.members
+    if not members and rule.lhs == 0:
+        # "(/) =>disj {}" holds only in the empty list
+        return BasketDatabase(ground, [])
+    fixed: List[int] = []
+    for basket in db:
+        if not sb.is_subset(rule.lhs, basket):
+            fixed.append(basket)
+            continue
+        if any(sb.is_subset(rule.lhs | m, basket) for m in members):
+            fixed.append(basket)
+            continue
+        if members:
+            fixed.append(basket | rng.choice(members))
+        else:
+            # empty right-hand side: the left side must never occur
+            drop_bit = rng.choice(list(sb.iter_singletons(rule.lhs)))
+            fixed.append(basket & ~drop_bit)
+    return BasketDatabase(ground, fixed)

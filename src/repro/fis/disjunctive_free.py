@@ -1,0 +1,137 @@
+"""Disjunctive and disjunctive-free itemsets (Definition 6.2).
+
+An itemset ``X`` is *disjunctive* in ``B`` when ``B`` satisfies some
+nontrivial disjunctive constraint ``X' =>disj Y'`` whose support set
+``X' union (union Y')`` fits inside ``X``; it is *disjunctive-free*
+otherwise.  Bykowski-Rigotti's disjunctive rules (two singletons on the
+right) and Kryszkiewicz-Gajek's generalized rules (any number of
+singletons) are the special cases the paper names.
+
+Two structural facts keep the search tractable and are verified by the
+test suite:
+
+* **Singleton reduction.**  For a fixed ``X' subset X`` the union
+  ``union over Y of B(X' + Y)`` only grows as members are added, and
+  every ``B(X' + Y)`` is contained in ``B(X' + {y})`` for ``y in Y``;
+  hence *some* nontrivial constraint confined to ``X`` holds iff the
+  all-singleton constraint ``X' =>disj {{y} | y in X - X'}`` holds.  The
+  paper's arbitrary-family notion therefore coincides with the
+  generalized-rule notion, and the search space is the subsets of ``X``.
+
+* **Maximal-LHS reduction.**  Satisfied rules survive augmentation of the
+  left-hand side (the Augmentation rule, sound over support functions),
+  so a width-``k`` rule exists inside ``X`` iff one of the form
+  ``(X - T) =>disj {{y} | y in T}`` with ``|T| <= k`` holds.
+
+The decisive support-side identity (used by the concise-representation
+miner, which never touches covers): for ``T = {y_1, ..., y_k}``::
+
+    B(X') = union B(X' + {y_i})   iff   s(X') = -sum_{emptyset != T' subseteq T}
+                                              (-1)^{|T'|} s(X' + T')
+
+by inclusion-exclusion on the covers (all contained in ``B(X')``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.core import subsets as sb
+from repro.core.family import SetFamily
+from repro.fis.baskets import BasketDatabase
+from repro.fis.disjunctive import DisjunctiveConstraint
+
+__all__ = [
+    "holds_singleton_rule",
+    "find_disjunctive_rule",
+    "is_disjunctive",
+    "is_disjunctive_free",
+    "iter_disjunctive_free",
+    "is_disjunctive_bruteforce",
+]
+
+
+def holds_singleton_rule(db: BasketDatabase, lhs_mask: int, rhs_items: int) -> bool:
+    """Whether ``B`` satisfies ``lhs =>disj {{y} | y in rhs_items}``.
+
+    Decided on covers; ``rhs_items`` is a mask of the singleton members.
+    """
+    rule = DisjunctiveConstraint(
+        db.ground, lhs_mask, SetFamily.singletons_of(db.ground, rhs_items)
+    )
+    return rule.satisfied_by(db)
+
+
+def find_disjunctive_rule(
+    db: BasketDatabase, x_mask: int, max_rhs: Optional[int] = None
+) -> Optional[DisjunctiveConstraint]:
+    """A nontrivial satisfied rule certifying that ``X`` is disjunctive.
+
+    Searches rules of the form ``(X - T) =>disj {{y} | y in T}`` over the
+    nonempty ``T subseteq X`` (with ``|T| <= max_rhs`` when given;
+    ``max_rhs=1`` is the pure-association-rule case, ``max_rhs=2`` the
+    Bykowski-Rigotti case, ``None`` the paper's general case).  Returns
+    ``None`` when ``X`` is disjunctive-free at this width.
+
+    Note ``y_1 = y_2`` rules of the two-singleton formulation are covered
+    by ``|T| = 1``.
+    """
+    for t in sb.iter_subsets(x_mask):
+        if t == 0:
+            continue
+        if max_rhs is not None and sb.popcount(t) > max_rhs:
+            continue
+        lhs = x_mask & ~t
+        if holds_singleton_rule(db, lhs, t):
+            return DisjunctiveConstraint(
+                db.ground, lhs, SetFamily.singletons_of(db.ground, t)
+            )
+    return None
+
+
+def is_disjunctive(
+    db: BasketDatabase, x_mask: int, max_rhs: Optional[int] = None
+) -> bool:
+    """Definition 6.2 membership (at rule width ``max_rhs``)."""
+    return find_disjunctive_rule(db, x_mask, max_rhs) is not None
+
+
+def is_disjunctive_free(
+    db: BasketDatabase, x_mask: int, max_rhs: Optional[int] = None
+) -> bool:
+    """Whether ``X`` is disjunctive-free (Definition 6.2)."""
+    return find_disjunctive_rule(db, x_mask, max_rhs) is None
+
+
+def iter_disjunctive_free(
+    db: BasketDatabase, max_rhs: Optional[int] = None
+) -> Iterator[int]:
+    """All disjunctive-free itemsets, ascending by mask (small ``|S|``)."""
+    for mask in db.ground.all_masks():
+        if is_disjunctive_free(db, mask, max_rhs):
+            yield mask
+
+
+def is_disjunctive_bruteforce(db: BasketDatabase, x_mask: int) -> bool:
+    """Literal Definition 6.2: search *all* nontrivial constraints
+    ``X' =>disj Y'`` with support set inside ``X``.
+
+    Doubly exponential in ``|X|``; the oracle against which the singleton
+    and maximal-LHS reductions are validated.
+    """
+    ground = db.ground
+    for lhs in sb.iter_subsets(x_mask):
+        # family members range over nonempty subsets of X (they may
+        # overlap the LHS); enumerate all sub-collections
+        members = [m for m in sb.iter_subsets(x_mask) if m != 0]
+        for pick in range(1, 1 << len(members)):
+            family = SetFamily(
+                ground,
+                (members[i] for i in range(len(members)) if pick >> i & 1),
+            )
+            constraint = DisjunctiveConstraint(ground, lhs, family)
+            if constraint.is_trivial:
+                continue
+            if constraint.satisfied_by(db):
+                return True
+    return False

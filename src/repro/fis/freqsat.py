@@ -1,0 +1,228 @@
+"""Frequency constraints and satisfiability (the Calders-Paredaens bridge).
+
+The introduction contrasts the paper's differential constraints with the
+*frequency constraints* ``k <= f(X) <= l`` of Calders and Paredaens, and
+the conclusion proposes "more general differential constraints" that pin
+density values to ranges rather than to zero.  This module supplies both
+ends and their combination:
+
+* :class:`FrequencyConstraint` -- ``k <= f(X) <= l`` on the function
+  (support) side;
+* :class:`GeneralizedDensityConstraint` -- ``lo <= d_f(U) <= hi`` for
+  every ``U in L(X, Y)``; the paper's ``X -> Y`` is the ``lo = hi = 0``
+  special case;
+* :func:`measure_sat` -- joint satisfiability over ``positive(S)``
+  (rational relaxation) or ``support(S)`` (integral), decided by linear
+  programming over the density coordinates: by Remark 2.3 the map
+  ``d -> f`` is linear and triangular, so ``f(X) = sum of d(U) over
+  U superseteq X`` turns every frequency bound into one linear row, and
+  density constraints are variable bounds.  Integral mode asks HiGHS for
+  an integer point, whose basket database witness is returned via
+  :func:`repro.fis.frequency.induce_basket_database`.
+
+The LP view makes the FREQSAT connection exact for ``positive(S)``:
+a frequency-constraint system is satisfiable by a frequency function iff
+the LP is feasible (densities *are* the free coordinates), and by a
+basket list iff the integer program is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import inf
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core import subsets as sb
+from repro.core.constraint import DifferentialConstraint
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.lattice import iter_lattice
+from repro.core.setfunction import DEFAULT_TOLERANCE, SetFunction
+
+__all__ = [
+    "FrequencyConstraint",
+    "GeneralizedDensityConstraint",
+    "measure_sat",
+    "support_sat",
+]
+
+
+@dataclass(frozen=True)
+class FrequencyConstraint:
+    """``lower <= f(X) <= upper`` (Calders-Paredaens style).
+
+    ``upper=None`` means unbounded above.  ``X`` is a mask; use
+    :meth:`of` for label shorthand.
+    """
+
+    x_mask: int
+    lower: float = 0.0
+    upper: Optional[float] = None
+
+    @classmethod
+    def of(
+        cls, ground: GroundSet, x, lower: float = 0.0, upper: Optional[float] = None
+    ) -> "FrequencyConstraint":
+        return cls(ground.parse(x), lower, upper)
+
+    def satisfied_by(self, f, tol: float = DEFAULT_TOLERANCE) -> bool:
+        value = f.value(self.x_mask)
+        if value < self.lower - tol:
+            return False
+        if self.upper is not None and value > self.upper + tol:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class GeneralizedDensityConstraint:
+    """``lower <= d_f(U) <= upper`` for every ``U in L(X, Y)``.
+
+    The conclusion's generalization: the classical differential
+    constraint is :meth:`from_differential` (``lower = upper = 0``).
+    """
+
+    lhs_mask: int
+    family: SetFamily
+    lower: float = 0.0
+    upper: Optional[float] = 0.0
+
+    @classmethod
+    def from_differential(
+        cls, constraint: DifferentialConstraint
+    ) -> "GeneralizedDensityConstraint":
+        return cls(constraint.lhs, constraint.family, 0.0, 0.0)
+
+    @classmethod
+    def of(
+        cls,
+        ground: GroundSet,
+        lhs,
+        members: Sequence,
+        lower: float = 0.0,
+        upper: Optional[float] = 0.0,
+    ) -> "GeneralizedDensityConstraint":
+        family = SetFamily(ground, (ground.parse(m) for m in members))
+        return cls(ground.parse(lhs), family, lower, upper)
+
+    def region(self, ground: GroundSet) -> List[int]:
+        """The lattice decomposition the bounds apply to."""
+        return list(iter_lattice(self.lhs_mask, self.family, ground))
+
+    def satisfied_by(self, f, tol: float = DEFAULT_TOLERANCE) -> bool:
+        ground = f.ground
+        for u in iter_lattice(self.lhs_mask, self.family, ground):
+            value = f.density_value(u)
+            if value < self.lower - tol:
+                return False
+            if self.upper is not None and value > self.upper + tol:
+                return False
+        return True
+
+
+def _build_lp(
+    ground: GroundSet,
+    frequency_constraints: Sequence[FrequencyConstraint],
+    density_constraints: Sequence[GeneralizedDensityConstraint],
+) -> Tuple[np.ndarray, np.ndarray, List[Tuple[float, Optional[float]]]]:
+    size = 1 << ground.size
+    rows: List[np.ndarray] = []
+    rhs: List[float] = []
+
+    for fc in frequency_constraints:
+        ground._check_mask(fc.x_mask)
+        indicator = np.zeros(size)
+        for u in ground.iter_supersets(fc.x_mask):
+            indicator[u] = 1.0
+        if fc.upper is not None:
+            rows.append(indicator)
+            rhs.append(float(fc.upper))
+        if fc.lower > 0:
+            rows.append(-indicator)
+            rhs.append(-float(fc.lower))
+
+    bounds: List[Tuple[float, Optional[float]]] = [(0.0, None)] * size
+    for dc in density_constraints:
+        for u in dc.region(ground):
+            lo, hi = bounds[u]
+            lo = max(lo, float(dc.lower))
+            if dc.upper is not None:
+                hi = float(dc.upper) if hi is None else min(hi, float(dc.upper))
+            bounds[u] = (lo, hi)
+
+    matrix = np.vstack(rows) if rows else np.zeros((0, size))
+    return matrix, np.asarray(rhs), bounds
+
+
+def measure_sat(
+    ground: GroundSet,
+    frequency_constraints: Iterable[FrequencyConstraint] = (),
+    constraints: Iterable[
+        Union[DifferentialConstraint, GeneralizedDensityConstraint]
+    ] = (),
+    integral: bool = False,
+) -> Optional[SetFunction]:
+    """A frequency function satisfying all the constraints, or ``None``.
+
+    ``constraints`` may mix plain differential constraints (treated as
+    zero-density bounds) and generalized density constraints.  With
+    ``integral=True`` the witness has integer density -- i.e. it is a
+    support function, realizable as a basket list.
+
+    Completeness: over ``positive(S)`` the density coordinates are free
+    nonnegative reals, so LP feasibility is *equivalent* to
+    satisfiability (``None`` is a proof of unsatisfiability, not a
+    heuristic failure); likewise the integer program for ``support(S)``.
+    """
+    from scipy.optimize import linprog
+
+    freq = list(frequency_constraints)
+    dens: List[GeneralizedDensityConstraint] = []
+    for c in constraints:
+        if isinstance(c, DifferentialConstraint):
+            dens.append(GeneralizedDensityConstraint.from_differential(c))
+        else:
+            dens.append(c)
+    matrix, rhs, bounds = _build_lp(ground, freq, dens)
+    for lo, hi in bounds:
+        if hi is not None and lo > hi:
+            return None
+    size = 1 << ground.size
+    result = linprog(
+        c=np.zeros(size),
+        A_ub=matrix if matrix.size else None,
+        b_ub=rhs if matrix.size else None,
+        bounds=bounds,
+        method="highs",
+        integrality=np.ones(size) if integral else None,
+    )
+    if not result.success:
+        return None
+    density = {
+        mask: (round(v) if integral else v)
+        for mask, v in enumerate(result.x)
+        if abs(v) > 1e-9
+    }
+    witness = SetFunction.from_density(ground, density, exact=integral)
+    return witness
+
+
+def support_sat(
+    ground: GroundSet,
+    frequency_constraints: Iterable[FrequencyConstraint] = (),
+    constraints: Iterable[
+        Union[DifferentialConstraint, GeneralizedDensityConstraint]
+    ] = (),
+):
+    """Like :func:`measure_sat` with ``integral=True``, returning the
+    witness *basket database* (or ``None``)."""
+    from repro.fis.frequency import induce_basket_database
+
+    witness = measure_sat(
+        ground, frequency_constraints, constraints, integral=True
+    )
+    if witness is None:
+        return None
+    return induce_basket_database(witness)

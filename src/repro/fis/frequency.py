@@ -1,0 +1,116 @@
+"""Frequency functions -- the class ``positive(S)`` (Section 6).
+
+The paper defines a *frequency function* as an ``f : 2^S -> R`` all of
+whose differentials ``D_f^Y`` are nonnegative, and shows (via
+Proposition 2.9, since every density value is itself a differential and
+every differential is a sum of density values) that this is equivalent to
+the density ``d_f`` being nonnegative everywhere.  Support functions are
+exactly the frequency functions with *integer* densities, and every
+frequency function with integer density is induced by a basket list --
+the "induce a basket space" remark of Section 6 made executable by
+:func:`induce_basket_database`.
+
+On ``positive(S)`` the density-based and differential-based semantics of
+Remark 3.6 coincide; :func:`semantics_agree_on` lets tests and benches
+measure exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.core.constraint import DENSITY, DIFFERENTIAL, DifferentialConstraint
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.setfunction import (
+    DEFAULT_TOLERANCE,
+    SetFunction,
+    SparseDensityFunction,
+)
+from repro.core.differential import differential_value
+from repro.errors import NotAFrequencyFunctionError
+from repro.fis.baskets import BasketDatabase
+
+__all__ = [
+    "is_frequency_function",
+    "is_support_function",
+    "check_differentials_nonnegative",
+    "induce_basket_database",
+    "semantics_agree_on",
+]
+
+AnySetFunction = Union[SetFunction, SparseDensityFunction]
+
+
+def is_frequency_function(f: AnySetFunction, tol: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether ``f`` is in ``positive(S)`` (nonnegative density)."""
+    return f.is_nonnegative_density(tol)
+
+
+def is_support_function(f: AnySetFunction, tol: float = DEFAULT_TOLERANCE) -> bool:
+    """Whether ``f`` is in ``support(S)``.
+
+    Support functions are the frequency functions whose density is a
+    nonnegative *integer* at every subset (Remark 2.3 + Section 6.1:
+    the density of ``s_B`` counts basket multiplicities).
+    """
+    for _, value in f.density_items():
+        if value < -tol:
+            return False
+        if abs(value - round(value)) > tol:
+            return False
+    return True
+
+
+def check_differentials_nonnegative(
+    f: AnySetFunction,
+    families: Iterable[SetFamily],
+    tol: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """Definition-level check: ``D_f^Y >= 0`` for the supplied families.
+
+    The definition quantifies over *all* families; by the density
+    equivalence it suffices to check densities, but tests use this
+    routine on sampled families to confirm the equivalence empirically.
+    """
+    ground = f.ground
+    for family in families:
+        for x in ground.all_masks():
+            if differential_value(f, family, x) < -tol:
+                return False
+    return True
+
+
+def induce_basket_database(
+    f: AnySetFunction, tol: float = DEFAULT_TOLERANCE
+) -> BasketDatabase:
+    """The basket list whose support function is ``f``.
+
+    Requires ``f`` to be a support function (nonnegative integer
+    density); each subset ``U`` contributes ``d_f(U)`` copies of the
+    basket ``U``.  Together with
+    :meth:`~repro.fis.baskets.BasketDatabase.support_function` this is the
+    paper's bijection between ``support(S)`` and basket spaces (up to
+    basket order).
+    """
+    if not is_support_function(f, tol):
+        raise NotAFrequencyFunctionError(
+            "only nonnegative-integer-density functions are induced by baskets"
+        )
+    baskets = []
+    for mask, value in f.density_items():
+        baskets.extend([mask] * int(round(value)))
+    return BasketDatabase(f.ground, sorted(baskets))
+
+
+def semantics_agree_on(
+    f: AnySetFunction,
+    constraint: DifferentialConstraint,
+    tol: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """Whether density- and differential-based satisfaction coincide on
+    ``f`` for ``constraint`` (always true on ``positive(S)``; Remark 3.6
+    shows it can fail outside)."""
+    by_density = constraint.satisfied_by(f, semantics=DENSITY, tol=tol)
+    by_diff = constraint.satisfied_by(f, semantics=DIFFERENTIAL, tol=tol)
+    return by_density == by_diff

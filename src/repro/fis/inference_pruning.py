@@ -1,0 +1,122 @@
+"""Inference over disjunctive itemsets (end of Section 6).
+
+The paper closes Section 6 by observing that the Section 4 inference
+system licenses *extra* reasoning about disjunctive sets: if
+``{A,B,D}`` and ``{B,C,D}`` are disjunctive on account of the rules
+``A -> {B,D}`` and ``B -> {C,D}``, transitivity yields ``A -> {C,D}``,
+so ``{A,C,D}`` is disjunctive *without storing any rule for it* -- a
+representation can drop it.  This module makes that executable:
+
+* :func:`is_derivably_disjunctive` -- whether a set ``W`` is certified
+  disjunctive by the *closure* of a rule set under implication.  By the
+  singleton-reduction argument (see
+  :mod:`repro.fis.disjunctive_free`), it suffices to test, for each
+  ``X' subseteq W``, the weakest confined constraint
+  ``X' -> {{y} | y in W - X'}``; the check is an implication query.
+* :func:`prune_redundant_rules` -- greedy removal of rules implied by the
+  remaining ones (the representation-shrinking step).
+* :func:`derivable_beyond_support_sets` -- the sets the closure certifies
+  that no stored rule's support set reaches directly; the quantity
+  experiment E11 reports.
+
+The paper also notes that deciding disjunctiveness *according to a rule
+set* sits in Sigma-2; the implementation is accordingly exponential and
+meant for the moderate sizes of the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.core import subsets as sb
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.implication import decide
+from repro.fis.disjunctive import DisjunctiveConstraint
+
+__all__ = [
+    "is_derivably_disjunctive",
+    "prune_redundant_rules",
+    "support_set_upclosure",
+    "derivable_beyond_support_sets",
+]
+
+
+def _to_constraint_set(
+    rules: Iterable[DisjunctiveConstraint], ground: GroundSet
+) -> ConstraintSet:
+    return ConstraintSet(ground, (r.to_differential() for r in rules))
+
+
+def is_derivably_disjunctive(
+    rules: Iterable[DisjunctiveConstraint],
+    w_mask: int,
+    ground: GroundSet,
+    method: str = "auto",
+) -> bool:
+    """Whether the rule closure certifies ``W`` as a disjunctive set.
+
+    ``W`` is derivably disjunctive iff some nontrivial constraint with
+    support set inside ``W`` is implied; for each left-hand side
+    ``X' subseteq W`` the all-singleton constraint over ``W - X'`` is the
+    weakest such (smallest lattice decomposition), so testing those
+    ``2^|W|`` implication queries is complete.
+    """
+    cset = _to_constraint_set(rules, ground)
+    for lhs in sb.iter_subsets(w_mask):
+        family = SetFamily.singletons_of(ground, w_mask & ~lhs)
+        candidate = DifferentialConstraint(ground, lhs, family)
+        if candidate.is_trivial:
+            continue
+        if decide(cset, candidate, method=method):
+            return True
+    return False
+
+
+def prune_redundant_rules(
+    rules: Iterable[DisjunctiveConstraint], ground: GroundSet
+) -> List[DisjunctiveConstraint]:
+    """Drop rules implied by the remaining ones (order: last added first).
+
+    The surviving list has the same implication closure, hence certifies
+    exactly the same derivably-disjunctive sets.
+    """
+    kept = list(rules)
+    for rule in list(reversed(kept)):
+        rest = [r for r in kept if r != rule]
+        cset = _to_constraint_set(rest, ground)
+        if decide(cset, rule.to_differential()):
+            kept = rest
+    return kept
+
+
+def support_set_upclosure(
+    rules: Iterable[DisjunctiveConstraint], ground: GroundSet
+) -> Set[int]:
+    """Sets marked disjunctive *directly*: supersets of some stored
+    rule's support set (the augmentation-only reasoning already present
+    in Bykowski-Rigotti)."""
+    out: Set[int] = set()
+    supports = [r.support_set() for r in rules]
+    for mask in ground.all_masks():
+        if any(sb.is_subset(s, mask) for s in supports):
+            out.add(mask)
+    return out
+
+
+def derivable_beyond_support_sets(
+    rules: Iterable[DisjunctiveConstraint], ground: GroundSet
+) -> Set[int]:
+    """Sets certified only by *inference* (the paper's ``{A,C,D}``
+    phenomenon): derivably disjunctive but above no stored support set."""
+    rules = list(rules)
+    direct = support_set_upclosure(rules, ground)
+    extra: Set[int] = set()
+    for mask in ground.all_masks():
+        if mask in direct:
+            continue
+        if is_derivably_disjunctive(rules, mask, ground):
+            extra.add(mask)
+    return extra

@@ -1,0 +1,228 @@
+"""Seeded random-instance generators shared by tests and benchmarks.
+
+Every generator takes an explicit :class:`random.Random`; experiments are
+reproducible from their seeds.  The generators cover the paper's whole
+object zoo: subsets, families, constraints and constraint sets, set
+functions of each class (general / nonnegative-density / support), DNF
+formulas for the Proposition 5.5 reduction, and planted *implied* pairs
+``(C, target)`` for exercising the completeness engine on positive
+instances.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.core import subsets as sb
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.decomposition import atoms, decomp
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.setfunction import SetFunction
+from repro.logic.tautology import DnfTerm
+
+__all__ = [
+    "random_mask",
+    "random_nonempty_mask",
+    "random_family",
+    "random_constraint",
+    "random_constraint_set",
+    "random_implied_pair",
+    "random_set_function",
+    "random_nonneg_density_function",
+    "random_satisfying_function",
+    "random_dnf",
+]
+
+
+def random_mask(rng: random.Random, ground: GroundSet, p: float = 0.5) -> int:
+    """A random subset: each element included with probability ``p``."""
+    mask = 0
+    for bit in range(ground.size):
+        if rng.random() < p:
+            mask |= 1 << bit
+    return mask
+
+
+def random_nonempty_mask(
+    rng: random.Random, ground: GroundSet, p: float = 0.5
+) -> int:
+    """A random nonempty subset."""
+    mask = random_mask(rng, ground, p)
+    if mask == 0:
+        mask = 1 << rng.randrange(ground.size)
+    return mask
+
+
+def random_family(
+    rng: random.Random,
+    ground: GroundSet,
+    max_members: int = 3,
+    min_members: int = 0,
+    allow_empty_member: bool = False,
+    member_p: float = 0.5,
+) -> SetFamily:
+    """A random family with ``min_members..max_members`` member subsets."""
+    count = rng.randint(min_members, max_members)
+    members: List[int] = []
+    for _ in range(count):
+        if allow_empty_member:
+            members.append(random_mask(rng, ground, member_p))
+        else:
+            members.append(random_nonempty_mask(rng, ground, member_p))
+    return SetFamily(ground, members)
+
+
+def random_constraint(
+    rng: random.Random,
+    ground: GroundSet,
+    max_members: int = 3,
+    min_members: int = 0,
+    lhs_p: float = 0.35,
+    allow_empty_member: bool = False,
+) -> DifferentialConstraint:
+    """A random differential constraint (possibly trivial)."""
+    lhs = random_mask(rng, ground, lhs_p)
+    family = random_family(
+        rng,
+        ground,
+        max_members=max_members,
+        min_members=min_members,
+        allow_empty_member=allow_empty_member,
+    )
+    return DifferentialConstraint(ground, lhs, family)
+
+
+def random_constraint_set(
+    rng: random.Random,
+    ground: GroundSet,
+    n_constraints: int,
+    max_members: int = 3,
+    min_members: int = 0,
+    allow_empty_member: bool = False,
+) -> ConstraintSet:
+    """A random set of ``n_constraints`` constraints."""
+    constraints = [
+        random_constraint(
+            rng,
+            ground,
+            max_members=max_members,
+            min_members=min_members,
+            allow_empty_member=allow_empty_member,
+        )
+        for _ in range(n_constraints)
+    ]
+    return ConstraintSet(ground, constraints)
+
+
+def random_implied_pair(
+    rng: random.Random,
+    ground: GroundSet,
+    max_members: int = 3,
+    noise_constraints: int = 2,
+    mode: str = "atoms",
+) -> Tuple[ConstraintSet, DifferentialConstraint]:
+    """A pair ``(C, target)`` with ``C |= target`` guaranteed.
+
+    ``C`` is built from a decomposition of the target (Remark 4.5 makes
+    either ``decomp`` or ``atoms`` equivalent to it) plus random noise
+    constraints; useful for stressing the derivation engine on positive
+    instances of controlled shape.
+    """
+    target = random_constraint(rng, ground, max_members=max_members, min_members=1)
+    if mode == "atoms":
+        base = atoms(target)
+    elif mode == "decomp":
+        base = decomp(target)
+    elif mode == "self":
+        base = [target]
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    extras = [
+        random_constraint(rng, ground, max_members=max_members)
+        for _ in range(noise_constraints)
+    ]
+    if not base:
+        # trivial target: anything implies it
+        base = extras or [target]
+    return ConstraintSet(ground, list(base) + extras), target
+
+
+def random_set_function(
+    rng: random.Random,
+    ground: GroundSet,
+    low: float = -1.0,
+    high: float = 1.0,
+    exact: bool = False,
+) -> SetFunction:
+    """A dense function with independent uniform values."""
+    if exact:
+        values = [rng.randint(int(low * 10), int(high * 10)) for _ in ground.all_masks()]
+        return SetFunction(ground, values, exact=True)
+    values = [rng.uniform(low, high) for _ in ground.all_masks()]
+    return SetFunction(ground, values)
+
+
+def random_nonneg_density_function(
+    rng: random.Random,
+    ground: GroundSet,
+    zero_probability: float = 0.6,
+    integral: bool = False,
+) -> SetFunction:
+    """A random member of ``positive(S)`` (sparse nonnegative density).
+
+    With ``integral=True`` the density is integer-valued, i.e. the result
+    is a support function.
+    """
+    density = {}
+    for mask in ground.all_masks():
+        if rng.random() >= zero_probability:
+            density[mask] = rng.randint(1, 5) if integral else rng.uniform(0.1, 2.0)
+    return SetFunction.from_density(ground, density, exact=integral)
+
+
+def random_satisfying_function(
+    rng: random.Random,
+    cset: ConstraintSet,
+    zero_probability: float = 0.3,
+    integral: bool = True,
+) -> SetFunction:
+    """A random frequency function satisfying every constraint of ``C``.
+
+    By Theorem 3.5 the models of ``C`` in ``positive(S)`` are exactly the
+    nonnegative densities vanishing on ``L(C)``, so sampling is direct:
+    random mass on a random selection of subsets *outside* ``L(C)``.
+    With ``integral=True`` the result is a support function (realizable
+    as a basket list).  Note a function sampled this way satisfies ``C``
+    but usually also violates non-consequences (its mass spreads over
+    the whole complement of ``L(C)``), making it useful as a randomized
+    quasi-Armstrong witness in Monte-Carlo experiments.
+    """
+    ground = cset.ground
+    density = {}
+    for mask in ground.all_masks():
+        if cset.lattice_contains(mask):
+            continue
+        if rng.random() < zero_probability:
+            continue
+        density[mask] = (
+            rng.randint(1, 5) if integral else rng.uniform(0.1, 2.0)
+        )
+    return SetFunction.from_density(ground, density, exact=integral)
+
+
+def random_dnf(
+    rng: random.Random,
+    ground: GroundSet,
+    n_terms: int,
+    literal_p: float = 0.4,
+) -> List[DnfTerm]:
+    """A random DNF formula as ``(P_mask, Q_mask)`` terms."""
+    terms: List[DnfTerm] = []
+    for _ in range(n_terms):
+        pos = random_mask(rng, ground, literal_p)
+        neg = random_mask(rng, ground, literal_p) & ~pos
+        terms.append((pos, neg))
+    return terms

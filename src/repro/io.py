@@ -1,0 +1,178 @@
+"""JSON serialization for ground sets, constraints, theories and proofs.
+
+Stable, versioned, human-auditable representations so theories can be
+stored, diffed and exchanged:
+
+* ground sets serialize to their element list (order is significant --
+  it fixes bit positions);
+* subsets serialize as sorted label lists (not masks), so files survive
+  re-ordering-free schema edits and are readable in review;
+* proofs serialize as a flat step table (postorder, premise indices),
+  and **deserialization re-validates every step** through the standard
+  builders -- a loaded proof is a checked proof.
+
+The format deliberately contains no pickled objects; everything is plain
+JSON with a ``format`` tag.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.core import rules as R
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.proofs import Proof
+from repro.errors import InvalidProofError
+
+__all__ = [
+    "ground_to_json",
+    "ground_from_json",
+    "constraint_to_json",
+    "constraint_from_json",
+    "constraint_set_to_json",
+    "constraint_set_from_json",
+    "proof_to_json",
+    "proof_from_json",
+    "dumps",
+    "loads",
+]
+
+_FORMAT = "repro/differential-constraints@1"
+
+
+def _subset(ground: GroundSet, mask: int) -> List[str]:
+    return sorted(str(label) for label in ground.subset(mask))
+
+
+def _mask(ground: GroundSet, labels: List[str]) -> int:
+    return ground.mask(labels)
+
+
+def ground_to_json(ground: GroundSet) -> Dict[str, Any]:
+    return {"elements": [str(e) for e in ground.elements]}
+
+
+def ground_from_json(data: Dict[str, Any]) -> GroundSet:
+    return GroundSet(data["elements"])
+
+
+def constraint_to_json(c: DifferentialConstraint) -> Dict[str, Any]:
+    ground = c.ground
+    return {
+        "lhs": _subset(ground, c.lhs),
+        "family": [_subset(ground, m) for m in c.family.members],
+    }
+
+
+def constraint_from_json(
+    ground: GroundSet, data: Dict[str, Any]
+) -> DifferentialConstraint:
+    lhs = _mask(ground, data["lhs"])
+    family = SetFamily(ground, (_mask(ground, m) for m in data["family"]))
+    return DifferentialConstraint(ground, lhs, family)
+
+
+def constraint_set_to_json(cset: ConstraintSet) -> Dict[str, Any]:
+    return {
+        "format": _FORMAT,
+        "ground": ground_to_json(cset.ground),
+        "constraints": [constraint_to_json(c) for c in cset],
+    }
+
+
+def constraint_set_from_json(data: Dict[str, Any]) -> ConstraintSet:
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"unknown format tag {data.get('format')!r}")
+    ground = ground_from_json(data["ground"])
+    constraints = [
+        constraint_from_json(ground, c) for c in data["constraints"]
+    ]
+    return ConstraintSet(ground, constraints)
+
+
+def proof_to_json(proof: Proof) -> Dict[str, Any]:
+    """Flatten the proof DAG into a postorder step table."""
+    ground = proof.conclusion.ground
+    numbers: Dict[int, int] = {}
+    steps: List[Dict[str, Any]] = []
+    for node in proof.iter_nodes():
+        numbers[id(node)] = len(numbers)
+        params: List[Any] = []
+        for p in node.params:
+            if isinstance(p, SetFamily):
+                params.append(
+                    {"family": [_subset(ground, m) for m in p.members]}
+                )
+            else:
+                params.append({"subset": _subset(ground, p)})
+        steps.append(
+            {
+                "rule": node.rule,
+                "conclusion": constraint_to_json(node.conclusion),
+                "premises": [numbers[id(p)] for p in node.premises],
+                "params": params,
+            }
+        )
+    return {
+        "format": _FORMAT,
+        "ground": ground_to_json(ground),
+        "steps": steps,
+    }
+
+
+def proof_from_json(data: Dict[str, Any]) -> Proof:
+    """Rebuild (and thereby re-validate) a proof from its step table."""
+    if data.get("format") != _FORMAT:
+        raise ValueError(f"unknown format tag {data.get('format')!r}")
+    ground = ground_from_json(data["ground"])
+    built: List[Proof] = []
+    for index, step in enumerate(data["steps"]):
+        rule = step["rule"]
+        if rule not in R.ALL_RULES:
+            raise InvalidProofError(f"unknown rule {rule!r} at step {index}")
+        conclusion = constraint_from_json(ground, step["conclusion"])
+        premises = []
+        for p in step["premises"]:
+            if not 0 <= p < index:
+                raise InvalidProofError(
+                    f"step {index} references future/invalid step {p}"
+                )
+            premises.append(built[p])
+        params: List[Any] = []
+        for raw in step["params"]:
+            if "family" in raw:
+                params.append(
+                    SetFamily(
+                        ground, (_mask(ground, m) for m in raw["family"])
+                    )
+                )
+            else:
+                params.append(_mask(ground, raw["subset"]))
+        # the Proof constructor re-validates the step against its schema
+        built.append(Proof(conclusion, rule, tuple(premises), tuple(params)))
+    if not built:
+        raise InvalidProofError("empty proof")
+    return built[-1]
+
+
+def dumps(obj, indent: int = 2) -> str:
+    """Serialize a ConstraintSet or Proof to a JSON string."""
+    if isinstance(obj, ConstraintSet):
+        return json.dumps(constraint_set_to_json(obj), indent=indent)
+    if isinstance(obj, Proof):
+        return json.dumps(proof_to_json(obj), indent=indent)
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads(text: str):
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    data = json.loads(text)
+    if "steps" in data:
+        return proof_from_json(data)
+    if "constraints" in data:
+        return constraint_set_from_json(data)
+    raise ValueError("unrecognized repro JSON document")

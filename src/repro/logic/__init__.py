@@ -1,0 +1,88 @@
+"""Propositional-logic substrate (Section 5 of the paper).
+
+Formula AST, normal forms, a from-scratch DPLL solver, minterms/minsets
+(Definition 5.1), implication constraints ``X =>prop Y`` (Definition 5.2)
+and the DNF-tautology reduction behind the coNP-completeness result
+(Proposition 5.5).
+"""
+
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Var,
+    conj,
+    disj,
+)
+from repro.logic.normal_forms import (
+    VariableMap,
+    to_cnf_clauses,
+    to_cnf_clauses_distributive,
+    to_dnf_terms,
+)
+from repro.logic.sat import check_model, enumerate_models, is_satisfiable, solve
+from repro.logic.minterms import (
+    assignment_of_mask,
+    equivalent,
+    implies_by_minsets,
+    minset,
+    minterm,
+    negminset,
+)
+from repro.logic.implication_constraint import (
+    implies_prop,
+    negminset_of_constraint,
+    to_formula,
+)
+from repro.logic.tautology import (
+    DnfTerm,
+    dnf_evaluate,
+    dnf_to_constraint_set,
+    everything_constraint,
+    is_tautology_bruteforce,
+    is_tautology_via_differential,
+    term_satisfied,
+)
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "And",
+    "Const",
+    "Formula",
+    "Implies",
+    "Not",
+    "Or",
+    "Var",
+    "conj",
+    "disj",
+    "VariableMap",
+    "to_cnf_clauses",
+    "to_cnf_clauses_distributive",
+    "to_dnf_terms",
+    "check_model",
+    "enumerate_models",
+    "is_satisfiable",
+    "solve",
+    "assignment_of_mask",
+    "equivalent",
+    "implies_by_minsets",
+    "minset",
+    "minterm",
+    "negminset",
+    "implies_prop",
+    "negminset_of_constraint",
+    "to_formula",
+    "DnfTerm",
+    "dnf_evaluate",
+    "dnf_to_constraint_set",
+    "everything_constraint",
+    "is_tautology_bruteforce",
+    "is_tautology_via_differential",
+    "term_satisfied",
+]

@@ -1,0 +1,279 @@
+"""Propositional formula AST (Section 5 substrate).
+
+A tiny, explicit formula language over hashable variable names:
+:class:`Var`, :class:`Not`, :class:`And`, :class:`Or`, :class:`Implies`
+and the constants :data:`TRUE` / :data:`FALSE`.  Formulas are immutable
+and hashable, evaluate against ``{name: bool}`` assignments, and support
+the operator sugar ``&``, ``|``, ``~`` and ``>>`` (implication) so the
+paper's formulas read naturally::
+
+    >>> a, b = Var("A"), Var("B")
+    >>> (a >> b).evaluate({"A": True, "B": False})
+    False
+
+Helpers :func:`conj` and :func:`disj` build n-ary conjunctions and
+disjunctions with the logical conventions for empty operand lists
+(``conj([]) == TRUE``, ``disj([]) == FALSE``) -- exactly the conventions
+Definition 5.2's implication constraints rely on when a constraint's
+family (or a family member) is empty.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Mapping, Tuple
+
+__all__ = [
+    "Formula",
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Const",
+    "TRUE",
+    "FALSE",
+    "conj",
+    "disj",
+]
+
+
+class Formula:
+    """Base class for propositional formulas."""
+
+    __slots__ = ()
+
+    # -- operator sugar -------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+    # -- interface -------------------------------------------------------
+    def evaluate(self, assignment: Mapping[Hashable, bool]) -> bool:
+        """Truth value under a total assignment of the formula's variables."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[Hashable]:
+        """The set of variable names occurring in the formula."""
+        raise NotImplementedError
+
+    def to_nnf(self, negate: bool = False) -> "Formula":
+        """Negation normal form (negations pushed onto variables)."""
+        raise NotImplementedError
+
+
+class Const(Formula):
+    """A propositional constant (use the :data:`TRUE`/:data:`FALSE`
+    singletons rather than constructing new ones)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        object.__setattr__(self, "value", bool(value))
+
+    def __setattr__(self, *a):  # immutability
+        raise AttributeError("formulas are immutable")
+
+    def evaluate(self, assignment):
+        return self.value
+
+    def variables(self):
+        return frozenset()
+
+    def to_nnf(self, negate=False):
+        return Const(self.value != negate)
+
+    def __eq__(self, other):
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("const", self.value))
+
+    def __repr__(self):
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = Const(True)
+FALSE = Const(False)
+
+
+class Var(Formula):
+    """A propositional variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: Hashable):
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *a):
+        raise AttributeError("formulas are immutable")
+
+    def evaluate(self, assignment):
+        return bool(assignment[self.name])
+
+    def variables(self):
+        return frozenset((self.name,))
+
+    def to_nnf(self, negate=False):
+        return Not(self) if negate else self
+
+    def __eq__(self, other):
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self):
+        return hash(("var", self.name))
+
+    def __repr__(self):
+        return str(self.name)
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula):
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, *a):
+        raise AttributeError("formulas are immutable")
+
+    def evaluate(self, assignment):
+        return not self.operand.evaluate(assignment)
+
+    def variables(self):
+        return self.operand.variables()
+
+    def to_nnf(self, negate=False):
+        return self.operand.to_nnf(not negate)
+
+    def __eq__(self, other):
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self):
+        return hash(("not", self.operand))
+
+    def __repr__(self):
+        return f"~{self.operand!r}"
+
+
+class _Nary(Formula):
+    __slots__ = ("operands",)
+    _symbol = "?"
+
+    def __init__(self, operands: Iterable[Formula]):
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def __setattr__(self, *a):
+        raise AttributeError("formulas are immutable")
+
+    def variables(self):
+        out: FrozenSet[Hashable] = frozenset()
+        for op in self.operands:
+            out |= op.variables()
+        return out
+
+    def __eq__(self, other):
+        return type(other) is type(self) and self.operands == other.operands
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.operands))
+
+    def __repr__(self):
+        if not self.operands:
+            return "TRUE" if isinstance(self, And) else "FALSE"
+        inner = f" {self._symbol} ".join(repr(op) for op in self.operands)
+        return f"({inner})"
+
+
+class And(_Nary):
+    """N-ary conjunction; the empty conjunction is true."""
+
+    __slots__ = ()
+    _symbol = "&"
+
+    def evaluate(self, assignment):
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def to_nnf(self, negate=False):
+        parts = tuple(op.to_nnf(negate) for op in self.operands)
+        return Or(parts) if negate else And(parts)
+
+
+class Or(_Nary):
+    """N-ary disjunction; the empty disjunction is false."""
+
+    __slots__ = ()
+    _symbol = "|"
+
+    def evaluate(self, assignment):
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def to_nnf(self, negate=False):
+        parts = tuple(op.to_nnf(negate) for op in self.operands)
+        return And(parts) if negate else Or(parts)
+
+
+class Implies(Formula):
+    """Material implication ``antecedent => consequent``."""
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Formula, consequent: Formula):
+        object.__setattr__(self, "antecedent", antecedent)
+        object.__setattr__(self, "consequent", consequent)
+
+    def __setattr__(self, *a):
+        raise AttributeError("formulas are immutable")
+
+    def evaluate(self, assignment):
+        return (not self.antecedent.evaluate(assignment)) or self.consequent.evaluate(
+            assignment
+        )
+
+    def variables(self):
+        return self.antecedent.variables() | self.consequent.variables()
+
+    def to_nnf(self, negate=False):
+        rewritten = Or((Not(self.antecedent), self.consequent))
+        return rewritten.to_nnf(negate)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Implies)
+            and self.antecedent == other.antecedent
+            and self.consequent == other.consequent
+        )
+
+    def __hash__(self):
+        return hash(("implies", self.antecedent, self.consequent))
+
+    def __repr__(self):
+        return f"({self.antecedent!r} => {self.consequent!r})"
+
+
+def conj(operands: Iterable[Formula]) -> Formula:
+    """N-ary conjunction with ``conj([]) == TRUE``."""
+    ops = tuple(operands)
+    if not ops:
+        return TRUE
+    if len(ops) == 1:
+        return ops[0]
+    return And(ops)
+
+
+def disj(operands: Iterable[Formula]) -> Formula:
+    """N-ary disjunction with ``disj([]) == FALSE``."""
+    ops = tuple(operands)
+    if not ops:
+        return FALSE
+    if len(ops) == 1:
+        return ops[0]
+    return Or(ops)

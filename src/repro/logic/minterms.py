@@ -1,0 +1,89 @@
+"""Minterms, minsets and negminsets (Definition 5.1).
+
+For a set ``S`` of propositional variables and ``X subseteq S`` the
+*minterm* ``X-bar`` is the complete conjunction true exactly on the
+assignment "the variables of ``X`` and nothing else".  Identifying
+assignments over ``S`` with subsets of ``S`` (a variable is in the subset
+iff true), the *minset* of a formula is simply its set of satisfying
+assignments encoded as subset masks of a
+:class:`~repro.core.ground.GroundSet`, and ``negminset(phi) =
+minset(not phi)`` is the complement.
+
+The module also implements the "well-known" propositional fact the paper
+leans on right before Proposition 5.4::
+
+    Phi |= phi    iff    negminset(phi) subseteq union of
+                         negminset(phi') over phi' in Phi
+
+whose resemblance to Theorem 3.5 is the bridge between the two worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.core import subsets as sb
+from repro.core.ground import GroundSet
+from repro.logic.formula import And, Formula, Not, Var, conj
+
+__all__ = [
+    "assignment_of_mask",
+    "minterm",
+    "minset",
+    "negminset",
+    "equivalent",
+    "implies_by_minsets",
+]
+
+
+def assignment_of_mask(ground: GroundSet, mask: int) -> dict:
+    """The total assignment over ``ground`` encoded by ``mask``."""
+    return {
+        label: bool(mask >> bit & 1)
+        for bit, label in enumerate(ground.elements)
+    }
+
+
+def minterm(ground: GroundSet, mask: int) -> Formula:
+    """The minterm ``X-bar`` of the subset ``mask`` (Definition 5.1)."""
+    literals: List[Formula] = []
+    for bit, label in enumerate(ground.elements):
+        v = Var(label)
+        literals.append(v if mask >> bit & 1 else Not(v))
+    return conj(literals)
+
+
+def minset(formula: Formula, ground: GroundSet) -> Set[int]:
+    """``minset(phi) = {X | X-bar |= phi}`` as a set of masks.
+
+    Evaluates ``phi`` on all ``2^|S|`` assignments; variables of the
+    formula must all belong to the ground set.
+    """
+    extra = formula.variables() - set(ground.elements)
+    if extra:
+        raise ValueError(f"formula uses variables outside S: {sorted(map(str, extra))}")
+    out = set()
+    for mask in ground.all_masks():
+        if formula.evaluate(assignment_of_mask(ground, mask)):
+            out.add(mask)
+    return out
+
+
+def negminset(formula: Formula, ground: GroundSet) -> Set[int]:
+    """``negminset(phi) = minset(not phi)``."""
+    return minset(Not(formula), ground)
+
+
+def equivalent(a: Formula, b: Formula, ground: GroundSet) -> bool:
+    """Logical equivalence over ``ground`` (equal minsets)."""
+    return minset(a, ground) == minset(b, ground)
+
+
+def implies_by_minsets(
+    premises: Iterable[Formula], conclusion: Formula, ground: GroundSet
+) -> bool:
+    """``Phi |= phi`` decided by the negminset-containment criterion."""
+    covered: Set[int] = set()
+    for premise in premises:
+        covered |= negminset(premise, ground)
+    return negminset(conclusion, ground) <= covered

@@ -1,0 +1,176 @@
+"""CNF conversion for the formula AST, feeding the DPLL solver.
+
+Two routes are provided:
+
+* :func:`to_cnf_clauses` -- Tseitin-style structural encoding.  Each
+  non-literal subformula receives a fresh selector variable; the result
+  is equisatisfiable with the input and linear in its size.  This is the
+  scalable route used when a :class:`~repro.logic.formula.Formula` must
+  be handed to :mod:`repro.logic.sat`.
+
+* :func:`to_dnf_terms` / :func:`to_cnf_clauses_distributive` -- textbook
+  distributive expansions, exponential but exact (logically equivalent,
+  same variable set), used by the minset machinery and the tests.
+
+Clause representation matches :mod:`repro.logic.sat`: lists of signed
+integers against a :class:`VariableMap` from formula variable names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+
+from repro.logic.formula import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Var,
+)
+
+__all__ = [
+    "VariableMap",
+    "to_cnf_clauses",
+    "to_dnf_terms",
+    "to_cnf_clauses_distributive",
+]
+
+#: A DNF term: (positive variable names, negated variable names).
+Term = Tuple[FrozenSet[Hashable], FrozenSet[Hashable]]
+
+
+class VariableMap:
+    """Bijection between formula variable names and DIMACS-style ints."""
+
+    def __init__(self):
+        self._by_name: Dict[Hashable, int] = {}
+        self._by_index: List[Hashable] = []
+
+    def index_of(self, name: Hashable) -> int:
+        """The positive integer for ``name`` (allocated on first use)."""
+        if name not in self._by_name:
+            self._by_name[name] = len(self._by_index) + 1
+            self._by_index.append(name)
+        return self._by_name[name]
+
+    def fresh(self) -> int:
+        """A fresh auxiliary variable (no name)."""
+        self._by_index.append(None)
+        return len(self._by_index)
+
+    def name_of(self, index: int) -> Hashable:
+        return self._by_index[index - 1]
+
+    @property
+    def count(self) -> int:
+        return len(self._by_index)
+
+
+def to_cnf_clauses(
+    formula: Formula, varmap: VariableMap
+) -> List[List[int]]:
+    """Equisatisfiable CNF clauses via Tseitin encoding.
+
+    The returned clause set is satisfiable iff ``formula`` is; models
+    restricted to named variables are models of ``formula``.
+    """
+    clauses: List[List[int]] = []
+    root = _tseitin(formula.to_nnf(), varmap, clauses)
+    clauses.append([root])
+    return clauses
+
+
+def _tseitin(
+    formula: Formula, varmap: VariableMap, clauses: List[List[int]]
+) -> int:
+    """Return a literal equisatisfiably representing ``formula`` (NNF input)."""
+    if isinstance(formula, Var):
+        return varmap.index_of(formula.name)
+    if isinstance(formula, Not):
+        operand = formula.operand
+        if not isinstance(operand, Var):
+            raise ValueError("input must be in negation normal form")
+        return -varmap.index_of(operand.name)
+    if isinstance(formula, Const):
+        aux = varmap.fresh()
+        if formula.value:
+            clauses.append([aux])
+        else:
+            clauses.append([-aux])
+        return aux
+    if isinstance(formula, And):
+        lits = [_tseitin(op, varmap, clauses) for op in formula.operands]
+        aux = varmap.fresh()
+        for lit in lits:  # aux -> lit
+            clauses.append([-aux, lit])
+        return aux
+    if isinstance(formula, Or):
+        lits = [_tseitin(op, varmap, clauses) for op in formula.operands]
+        aux = varmap.fresh()
+        clauses.append([-aux] + lits)  # aux -> OR lits
+        return aux
+    if isinstance(formula, Implies):
+        return _tseitin(formula.to_nnf(), varmap, clauses)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def to_dnf_terms(formula: Formula) -> List[Term]:
+    """Distributive DNF expansion (exponential; exact equivalence).
+
+    Contradictory terms (a variable both positive and negative) are
+    dropped; the empty term list denotes FALSE and the list containing
+    the empty term denotes TRUE.
+    """
+    nnf = formula.to_nnf()
+    raw = _dnf(nnf)
+    out = []
+    for pos, neg in raw:
+        if pos & neg:
+            continue
+        out.append((frozenset(pos), frozenset(neg)))
+    return out
+
+
+def _dnf(formula: Formula) -> List[Tuple[Set[Hashable], Set[Hashable]]]:
+    if isinstance(formula, Var):
+        return [({formula.name}, set())]
+    if isinstance(formula, Not):
+        return [(set(), {formula.operand.name})]
+    if isinstance(formula, Const):
+        return [(set(), set())] if formula.value else []
+    if isinstance(formula, Or):
+        out = []
+        for op in formula.operands:
+            out.extend(_dnf(op))
+        return out
+    if isinstance(formula, And):
+        acc: List[Tuple[Set[Hashable], Set[Hashable]]] = [(set(), set())]
+        for op in formula.operands:
+            branch = _dnf(op)
+            acc = [
+                (p1 | p2, n1 | n2)
+                for (p1, n1) in acc
+                for (p2, n2) in branch
+            ]
+        return acc
+    raise TypeError(f"formula not in NNF: {formula!r}")
+
+
+def to_cnf_clauses_distributive(
+    formula: Formula, varmap: VariableMap
+) -> List[List[int]]:
+    """Exact CNF by expanding the *negation's* DNF (De Morgan).
+
+    Each DNF term of ``not formula`` becomes one clause of ``formula``.
+    Exponential; used to cross-check the Tseitin route in tests.
+    """
+    clauses = []
+    for pos, neg in to_dnf_terms(Not(formula)):
+        clause = [-varmap.index_of(v) for v in sorted(pos, key=str)]
+        clause += [varmap.index_of(v) for v in sorted(neg, key=str)]
+        clauses.append(clause)
+    return clauses

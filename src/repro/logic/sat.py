@@ -1,0 +1,172 @@
+"""A DPLL satisfiability solver, written from scratch.
+
+The implication problem for differential constraints is coNP-complete
+(Proposition 5.5); deciding an instance means refuting the existence of a
+model of ``prop(C) and not prop(target)``.  This module provides the
+propositional engine: clauses are lists of nonzero integers (positive =
+variable, negative = negation), and :func:`solve` returns a satisfying
+assignment as a ``dict`` or ``None``.
+
+The solver is a classic iterative DPLL with:
+
+* unit propagation (queue-based, with clause watching kept simple:
+  clauses are rescanned lazily -- adequate for the instance sizes the
+  reproduction meets),
+* pure-literal elimination at the root,
+* most-frequent-literal branching.
+
+It is deliberately dependency-free and small enough to audit; the test
+suite cross-validates it against brute-force enumeration on random
+formulas up to 12 variables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["solve", "is_satisfiable", "enumerate_models", "check_model"]
+
+Clause = Sequence[int]
+Assignment = Dict[int, bool]
+
+
+def check_model(clauses: Iterable[Clause], model: Assignment) -> bool:
+    """Whether ``model`` satisfies every clause (unassigned vars fail)."""
+    for clause in clauses:
+        if not any(
+            model.get(abs(lit), None) == (lit > 0) for lit in clause
+        ):
+            return False
+    return True
+
+
+def _simplify(
+    clauses: List[List[int]], assignment: Assignment
+) -> Optional[List[List[int]]]:
+    """Apply ``assignment``; return simplified clauses or ``None`` on conflict."""
+    out: List[List[int]] = []
+    for clause in clauses:
+        satisfied = False
+        reduced: List[int] = []
+        for lit in clause:
+            val = assignment.get(abs(lit))
+            if val is None:
+                reduced.append(lit)
+            elif val == (lit > 0):
+                satisfied = True
+                break
+        if satisfied:
+            continue
+        if not reduced:
+            return None
+        out.append(reduced)
+    return out
+
+
+def _unit_propagate(
+    clauses: List[List[int]], assignment: Assignment
+) -> Optional[List[List[int]]]:
+    """Exhaust unit clauses; return simplified clauses or ``None`` on conflict."""
+    while True:
+        units = [c[0] for c in clauses if len(c) == 1]
+        if not units:
+            return clauses
+        step: Assignment = {}
+        for lit in units:
+            var, val = abs(lit), lit > 0
+            if step.get(var, val) != val or assignment.get(var, val) != val:
+                return None
+            step[var] = val
+        assignment.update(step)
+        clauses = _simplify(clauses, step)
+        if clauses is None:
+            return None
+
+
+def _pure_literals(clauses: List[List[int]]) -> Assignment:
+    polarity: Dict[int, int] = {}
+    for clause in clauses:
+        for lit in clause:
+            var = abs(lit)
+            sign = 1 if lit > 0 else -1
+            polarity[var] = 0 if polarity.get(var, sign) != sign else sign
+    return {var: sign > 0 for var, sign in polarity.items() if sign != 0}
+
+
+def _choose_literal(clauses: List[List[int]]) -> int:
+    counts: Counter = Counter()
+    for clause in clauses:
+        for lit in clause:
+            counts[lit] += 1
+    return counts.most_common(1)[0][0]
+
+
+def solve(
+    clauses: Iterable[Clause], n_vars: Optional[int] = None
+) -> Optional[Assignment]:
+    """Return a satisfying assignment, or ``None`` if unsatisfiable.
+
+    Variables absent from every clause are left out of the returned
+    assignment (callers treat them as "don't care"); pass ``n_vars`` only
+    to document intent -- it does not change the result.
+    """
+    # dedupe literals per clause, drop tautological clauses (p or not p)
+    working = [list(dict.fromkeys(c)) for c in clauses]
+    if any(not c for c in working):
+        return None  # an (initially) empty clause is unsatisfiable outright
+    working = [c for c in working if not any(-lit in c for lit in c)]
+    assignment: Assignment = {}
+
+    pure = _pure_literals(working)
+    if pure:
+        assignment.update(pure)
+        simplified = _simplify(working, pure)
+        if simplified is None:
+            return None
+        working = simplified
+
+    # iterative DPLL with an explicit trail
+    frames: List[Tuple[List[List[int]], Assignment, Optional[int]]] = [
+        (working, dict(assignment), None)
+    ]
+    while frames:
+        clauses_now, assign_now, forced = frames.pop()
+        if forced is not None:
+            step = {abs(forced): forced > 0}
+            assign_now = dict(assign_now)
+            assign_now.update(step)
+            simplified = _simplify(clauses_now, step)
+            if simplified is None:
+                continue
+            clauses_now = simplified
+        clauses_now = _unit_propagate(list(clauses_now), assign_now)
+        if clauses_now is None:
+            continue
+        if not clauses_now:
+            return assign_now
+        branch = _choose_literal(clauses_now)
+        frames.append((clauses_now, assign_now, -branch))
+        frames.append((clauses_now, assign_now, branch))
+    return None
+
+
+def is_satisfiable(clauses: Iterable[Clause]) -> bool:
+    """Whether the clause set has a model."""
+    return solve(clauses) is not None
+
+
+def enumerate_models(
+    clauses: Iterable[Clause], variables: Sequence[int]
+) -> List[Assignment]:
+    """All total models over ``variables`` (brute force; testing aid)."""
+    base = [list(c) for c in clauses]
+    models: List[Assignment] = []
+    n = len(variables)
+    for bits in range(1 << n):
+        model = {
+            var: bool(bits >> i & 1) for i, var in enumerate(variables)
+        }
+        if check_model(base, model):
+            models.append(model)
+    return models

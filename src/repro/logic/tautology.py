@@ -1,0 +1,86 @@
+"""DNF tautology and the Proposition 5.5 reduction.
+
+Proposition 5.5 proves coNP-hardness of differential-constraint
+implication by reducing DNF tautology: a DNF ``phi = OR_psi (AND P_psi
+and AND not Q_psi)`` is a tautology iff ``C_phi |= (/) -> {}`` where::
+
+    C_phi = { P_psi -> {{q} | q in Q_psi}  |  psi a term of phi }
+
+(``not phi`` is the conjunction of the corresponding implication
+constraints, and it is a contradiction iff the constraint set forces
+*every* density to vanish, i.e. implies the everything-constraint
+``(/) -> {}`` whose lattice decomposition is all of ``2^S``.)
+
+The module implements DNF formulas as ``(P_mask, Q_mask)`` term lists
+over a :class:`~repro.core.ground.GroundSet` of propositional variables,
+a brute-force tautology oracle, and the reduction in both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core import subsets as sb
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.implication import decide
+
+__all__ = [
+    "DnfTerm",
+    "term_satisfied",
+    "dnf_evaluate",
+    "is_tautology_bruteforce",
+    "dnf_to_constraint_set",
+    "everything_constraint",
+    "is_tautology_via_differential",
+]
+
+#: One DNF term ``AND P and AND not Q`` as ``(P_mask, Q_mask)``.
+DnfTerm = Tuple[int, int]
+
+
+def term_satisfied(term: DnfTerm, mask: int) -> bool:
+    """Whether assignment ``mask`` satisfies the term."""
+    pos, neg = term
+    return sb.is_subset(pos, mask) and not (neg & mask)
+
+
+def dnf_evaluate(terms: Sequence[DnfTerm], mask: int) -> bool:
+    """Truth of the DNF under assignment ``mask``."""
+    return any(term_satisfied(t, mask) for t in terms)
+
+
+def is_tautology_bruteforce(terms: Sequence[DnfTerm], ground: GroundSet) -> bool:
+    """Tautology by exhaustive evaluation (the oracle side of E5)."""
+    return all(dnf_evaluate(terms, mask) for mask in ground.all_masks())
+
+
+def dnf_to_constraint_set(
+    terms: Iterable[DnfTerm], ground: GroundSet
+) -> ConstraintSet:
+    """``C_phi``: one constraint ``P_psi -> {{q} | q in Q_psi}`` per term."""
+    constraints: List[DifferentialConstraint] = []
+    for pos, neg in terms:
+        family = SetFamily.singletons_of(ground, neg)
+        constraints.append(DifferentialConstraint(ground, pos, family))
+    return ConstraintSet(ground, constraints)
+
+
+def everything_constraint(ground: GroundSet) -> DifferentialConstraint:
+    """``(/) -> {}`` -- the constraint with ``L = 2^S`` (only the zero
+    function satisfies it)."""
+    return DifferentialConstraint(ground, 0, SetFamily(ground))
+
+
+def is_tautology_via_differential(
+    terms: Iterable[DnfTerm], ground: GroundSet, method: str = "auto"
+) -> bool:
+    """Decide DNF tautology through the Prop 5.5 reduction.
+
+    ``phi`` is a tautology iff ``C_phi |= (/) -> {}``; any implication
+    decider can sit underneath.
+    """
+    cset = dnf_to_constraint_set(terms, ground)
+    return decide(cset, everything_constraint(ground), method=method)

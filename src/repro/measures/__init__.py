@@ -1,0 +1,17 @@
+"""Measure-based constraints (the conclusion's research direction).
+
+The paper's conclusion points to measure constraints arising in the
+Dempster-Shafer theory of evidence; this subpackage supplies the theory
+(mass/belief/plausibility/commonality, Dempster's rule) and the bridge:
+commonality functions are frequency functions whose density is the mass,
+so differential constraints speak directly about focal elements.
+"""
+
+from repro.measures.dempster_shafer import (
+    MassFunction,
+    bayesian_mass,
+    random_mass,
+    vacuous_mass,
+)
+
+__all__ = ["MassFunction", "bayesian_mass", "random_mass", "vacuous_mass"]

@@ -1,0 +1,254 @@
+"""Dempster-Shafer belief theory and its differential-constraint bridge.
+
+The paper's conclusion points at the authors' measure-constraint research
+and notes that such constraints "occur naturally in ... the
+Dempster-Shafer theory of reasoning about uncertainty" (citing Halpern's
+exposition).  This module supplies that substrate from scratch and makes
+the bridge precise:
+
+* a *mass function* (basic probability assignment) is an
+  ``m : 2^S -> [0, 1]`` with ``sum m = 1`` and ``m(emptyset) = 0``;
+* belief ``Bel(X) = sum over U subseteq X of m(U)`` (subset zeta of
+  ``m``), plausibility ``Pl(X) = 1 - Bel(S - X)``;
+* the *commonality function* ``Q(X) = sum over U superseteq X of m(U)``
+  is exactly a set function whose **density is the mass** -- i.e. a
+  frequency function in the paper's sense, normalized to ``Q((/)) = 1``.
+
+Consequently a differential constraint ``X -> Y`` holds of the
+commonality function iff the mass vanishes on the lattice decomposition
+``L(X, Y)`` -- Theorem 3.5's machinery transfers verbatim to reasoning
+about which focal elements a belief state may carry.
+
+Two facts about Dempster's rule of combination sharpen the picture and
+are locked in by the tests:
+
+* commonalities multiply (Shafer): ``Q_12 = K * Q_1 * Q_2`` pointwise,
+  so the *zero set of the commonality function* only grows under
+  combination -- support-style constraints ``f(X) = 0`` (the
+  Calders-Paredaens end of the spectrum) are preserved;
+* differential constraints are **not** preserved: focal elements of the
+  combination are intersections of focal elements, and an intersection
+  can fall into ``L(X, Y)`` even when neither operand's focal elements
+  do (masses on ``AB`` and on ``AC`` both satisfy ``A -> {B, C}``, their
+  combination is focal on ``A`` and violates it).  Evidence fusion can
+  thus *create* violations of structural constraints -- a concrete
+  observation for the conclusion's measure-constraint program.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.core import subsets as sb
+from repro.core import transforms
+from repro.core.constraint import DifferentialConstraint
+from repro.core.ground import GroundSet
+from repro.core.setfunction import DEFAULT_TOLERANCE, SetFunction
+
+__all__ = ["MassFunction", "vacuous_mass", "bayesian_mass", "random_mass"]
+
+
+class MassFunction:
+    """A basic probability assignment over a ground set (the frame).
+
+    Parameters
+    ----------
+    ground:
+        The frame of discernment ``S``.
+    masses:
+        Mapping of focal elements (masks or parseable labels) to masses.
+        Must be nonnegative, sum to 1, and give the empty set no mass.
+    """
+
+    __slots__ = ("_ground", "_masses")
+
+    def __init__(self, ground: GroundSet, masses: Mapping):
+        clean: Dict[int, float] = {}
+        for key, value in masses.items():
+            mask = key if isinstance(key, int) else ground.parse(key)
+            ground._check_mask(mask)
+            value = float(value)
+            if value < -DEFAULT_TOLERANCE:
+                raise ValueError(f"negative mass {value} at {mask:#x}")
+            if value > 0:
+                clean[mask] = clean.get(mask, 0.0) + value
+        if clean.get(0, 0.0) > DEFAULT_TOLERANCE:
+            raise ValueError("a normalized mass function gives (/) no mass")
+        clean.pop(0, None)
+        total = sum(clean.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"masses must sum to 1 (got {total})")
+        self._ground = ground
+        self._masses = clean
+
+    # ------------------------------------------------------------------
+    @property
+    def ground(self) -> GroundSet:
+        return self._ground
+
+    def mass(self, mask: int) -> float:
+        """``m(U)``."""
+        self._ground._check_mask(mask)
+        return self._masses.get(mask, 0.0)
+
+    def focal_elements(self) -> Tuple[int, ...]:
+        """The subsets with positive mass, sorted by mask."""
+        return tuple(sorted(self._masses))
+
+    def items(self):
+        return sorted(self._masses.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"MassFunction({len(self._masses)} focal elements over "
+            f"|S|={self._ground.size})"
+        )
+
+    # ------------------------------------------------------------------
+    # the three classic set functions
+    # ------------------------------------------------------------------
+    def belief(self, mask: int) -> float:
+        """``Bel(X) = sum of m(U) over U subseteq X``."""
+        self._ground._check_mask(mask)
+        return sum(v for u, v in self._masses.items() if sb.is_subset(u, mask))
+
+    def plausibility(self, mask: int) -> float:
+        """``Pl(X) = sum of m(U) over U intersecting X = 1 - Bel(S - X)``."""
+        self._ground._check_mask(mask)
+        return sum(v for u, v in self._masses.items() if u & mask)
+
+    def commonality(self, mask: int) -> float:
+        """``Q(X) = sum of m(U) over U superseteq X``."""
+        self._ground._check_mask(mask)
+        return sum(v for u, v in self._masses.items() if sb.is_subset(mask, u))
+
+    def belief_function(self) -> SetFunction:
+        """``Bel`` as a dense set function (subset zeta of the mass)."""
+        table = [0.0] * (1 << self._ground.size)
+        for u, v in self._masses.items():
+            table[u] += v
+        transforms.subset_zeta_inplace(table)
+        return SetFunction(self._ground, table)
+
+    def commonality_function(self) -> SetFunction:
+        """``Q`` as a dense set function -- a *frequency function* whose
+        density is exactly the mass (the bridge to the paper)."""
+        return SetFunction.from_density(
+            self._ground, dict(self._masses), exact=False
+        )
+
+    @classmethod
+    def from_belief(cls, bel: SetFunction) -> "MassFunction":
+        """Recover the mass from a belief function (subset Moebius)."""
+        table = bel.table()
+        if not isinstance(table, list):
+            table = list(table)
+        transforms.subset_mobius_inplace(table)
+        masses = {
+            mask: value
+            for mask, value in enumerate(table)
+            if abs(value) > DEFAULT_TOLERANCE
+        }
+        return cls(bel.ground, masses)
+
+    @classmethod
+    def from_commonality(cls, q: SetFunction) -> "MassFunction":
+        """Recover the mass from a commonality function (its density)."""
+        density = q.density()
+        masses = {
+            mask: density.value(mask)
+            for mask in q.ground.all_masks()
+            if abs(density.value(mask)) > DEFAULT_TOLERANCE
+        }
+        return cls(q.ground, masses)
+
+    # ------------------------------------------------------------------
+    # Dempster's rule of combination
+    # ------------------------------------------------------------------
+    def combine(self, other: "MassFunction") -> "MassFunction":
+        """Dempster's rule: ``m12(Z)  proportional to  sum over
+        X cap Y = Z, Z != (/) of m1(X) m2(Y)``.
+
+        Raises :class:`ValueError` on total conflict (all product mass on
+        the empty intersection).
+        """
+        self._ground.check_same(other._ground)
+        raw: Dict[int, float] = {}
+        conflict = 0.0
+        for x, mx in self._masses.items():
+            for y, my in other._masses.items():
+                z = x & y
+                if z == 0:
+                    conflict += mx * my
+                else:
+                    raw[z] = raw.get(z, 0.0) + mx * my
+        if conflict >= 1.0 - 1e-12:
+            raise ValueError("total conflict: Dempster combination undefined")
+        scale = 1.0 / (1.0 - conflict)
+        return MassFunction(
+            self._ground, {z: v * scale for z, v in raw.items()}
+        )
+
+    def conflict_with(self, other: "MassFunction") -> float:
+        """The conflict mass ``K`` absorbed by normalization."""
+        self._ground.check_same(other._ground)
+        return sum(
+            mx * my
+            for x, mx in self._masses.items()
+            for y, my in other._masses.items()
+            if x & y == 0
+        )
+
+    # ------------------------------------------------------------------
+    # the differential-constraint bridge
+    # ------------------------------------------------------------------
+    def satisfies(
+        self,
+        constraint: DifferentialConstraint,
+        tol: float = DEFAULT_TOLERANCE,
+    ) -> bool:
+        """Whether the commonality function satisfies ``constraint``.
+
+        Equivalent (Theorem 3.5 + the density-equals-mass identity) to:
+        no focal element lies in ``L(X, Y)`` -- a structural statement
+        about where belief may be committed.
+        """
+        self._ground.check_same(constraint.ground)
+        return not any(
+            constraint.lattice_contains(u)
+            for u in self._masses
+        )
+
+
+def vacuous_mass(ground: GroundSet) -> MassFunction:
+    """Total ignorance: all mass on the frame ``S``."""
+    return MassFunction(ground, {ground.universe_mask: 1.0})
+
+
+def bayesian_mass(ground: GroundSet, probabilities: Mapping) -> MassFunction:
+    """A probability distribution as a mass on singletons."""
+    masses = {}
+    for key, value in probabilities.items():
+        mask = key if isinstance(key, int) else ground.parse(key)
+        if sb.popcount(mask) != 1:
+            raise ValueError("bayesian masses live on singletons")
+        masses[mask] = value
+    return MassFunction(ground, masses)
+
+
+def random_mass(
+    ground: GroundSet,
+    rng: random.Random,
+    n_focal: int = 4,
+) -> MassFunction:
+    """A random mass with ``n_focal`` (attempted) focal elements."""
+    weights: Dict[int, float] = {}
+    universe = ground.universe_mask
+    for _ in range(n_focal):
+        mask = rng.randrange(1, universe + 1)
+        weights[mask] = weights.get(mask, 0.0) + rng.random() + 0.05
+    total = sum(weights.values())
+    return MassFunction(
+        ground, {m: w / total for m, w in weights.items()}
+    )

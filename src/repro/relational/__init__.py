@@ -1,0 +1,72 @@
+"""Relational substrate (Section 7 of the paper).
+
+Finite relations and probability distributions, Simpson functions with
+their pairwise densities (Definition 7.1, Proposition 7.2), positive
+boolean dependencies (formula (6), Proposition 7.3, Corollary 7.4),
+classical functional dependencies with the P-time closure decision, and
+Shannon-entropy probes for the paper's open problem.
+"""
+
+from repro.relational.relation import Relation, two_tuple_relation
+from repro.relational.probability import Distribution
+from repro.relational.simpson import (
+    simpson_density_function_pairsum,
+    simpson_density_pairsum,
+    simpson_function,
+    simpson_satisfies,
+    simpson_value,
+)
+from repro.relational.boolean_dependency import (
+    BooleanDependency,
+    implies_boolean,
+    semantic_implies_over_two_tuple_relations,
+)
+from repro.relational.fd import (
+    FunctionalDependency,
+    armstrong_derives,
+    candidate_keys,
+    closure,
+    implies_fd_classic,
+    is_superkey,
+)
+from repro.relational.shannon import (
+    entropy_density_can_be_negative,
+    entropy_function,
+    entropy_value,
+    fd_holds_by_entropy,
+)
+from repro.relational.datagen import (
+    random_probabilistic_relation,
+    random_relation,
+    relation_satisfying_fds,
+)
+from repro.relational.dmvd import DegenerateMVD, implies_dmvd
+
+__all__ = [
+    "Relation",
+    "two_tuple_relation",
+    "Distribution",
+    "simpson_density_function_pairsum",
+    "simpson_density_pairsum",
+    "simpson_function",
+    "simpson_satisfies",
+    "simpson_value",
+    "BooleanDependency",
+    "implies_boolean",
+    "semantic_implies_over_two_tuple_relations",
+    "FunctionalDependency",
+    "armstrong_derives",
+    "candidate_keys",
+    "closure",
+    "implies_fd_classic",
+    "is_superkey",
+    "entropy_density_can_be_negative",
+    "entropy_function",
+    "entropy_value",
+    "fd_holds_by_entropy",
+    "random_probabilistic_relation",
+    "random_relation",
+    "relation_satisfying_fds",
+    "DegenerateMVD",
+    "implies_dmvd",
+]

@@ -1,0 +1,138 @@
+"""Positive boolean dependencies (Section 7, formula (6), Prop 7.3, Cor 7.4).
+
+``X =>bool Y`` holds in a relation ``r`` when every pair of tuples that
+agrees on ``X`` agrees on some member of ``Y``::
+
+    for all t, t' in r :   t[X] = t'[X]  =>  OR over Y in Y: t[Y] = t'[Y]
+
+The quantifier ranges over *all* ordered pairs including ``t = t'`` --
+the reading forced by Proposition 7.3 (a reflexive pair agrees on every
+attribute, so it only matters when ``Y`` is empty, exactly where the
+Simpson density at ``S`` is the obstruction; see
+:mod:`repro.relational.simpson`).
+
+Boolean dependencies generalize functional dependencies (take
+``Y = {Y}``); Sagiv-Delobel-Parker-Fagin proved their implication problem
+propositional, and Corollary 7.4 chains that equivalence through
+differential constraints.  :func:`semantic_implies_over_two_tuple_relations`
+decides implication purely by satisfaction scans over the two-tuple
+relations ``r_U`` -- the independent code path used by the Theorem 8.1
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.implication import decide
+from repro.relational.relation import Relation, two_tuple_relation
+
+__all__ = [
+    "BooleanDependency",
+    "implies_boolean",
+    "semantic_implies_over_two_tuple_relations",
+]
+
+
+class BooleanDependency:
+    """A positive boolean dependency ``X =>bool Y``."""
+
+    __slots__ = ("_constraint",)
+
+    def __init__(self, ground: GroundSet, lhs_mask: int, family: SetFamily):
+        self._constraint = DifferentialConstraint(ground, lhs_mask, family)
+
+    @classmethod
+    def of(cls, ground: GroundSet, lhs, *members) -> "BooleanDependency":
+        """Build from labels: ``BooleanDependency.of(S, "A", "B", "CD")``."""
+        return cls(ground, ground.parse(lhs), SetFamily.of(ground, *members))
+
+    @classmethod
+    def from_differential(
+        cls, constraint: DifferentialConstraint
+    ) -> "BooleanDependency":
+        return cls(constraint.ground, constraint.lhs, constraint.family)
+
+    def to_differential(self) -> DifferentialConstraint:
+        """The differential constraint with the same ``(X, Y)`` (Prop 7.3)."""
+        return self._constraint
+
+    # ------------------------------------------------------------------
+    @property
+    def ground(self) -> GroundSet:
+        return self._constraint.ground
+
+    @property
+    def lhs(self) -> int:
+        return self._constraint.lhs
+
+    @property
+    def family(self) -> SetFamily:
+        return self._constraint.family
+
+    # ------------------------------------------------------------------
+    def satisfied_by(self, relation: Relation) -> bool:
+        """Formula (6) evaluated over all (unordered, with repeats) pairs."""
+        self.ground.check_same(relation.ground)
+        members = self._constraint.family.members
+        rows = relation.rows
+        for i, t in enumerate(rows):
+            for t_prime in rows[i:]:
+                agreement = relation.agreement_set(t, t_prime)
+                # t[X] = t'[X] iff X is inside the agreement set
+                if self.lhs & ~agreement:
+                    continue
+                if not any(m & ~agreement == 0 for m in members):
+                    return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BooleanDependency)
+            and self._constraint == other._constraint
+        )
+
+    def __hash__(self) -> int:
+        return hash(("bool", self._constraint))
+
+    def __repr__(self) -> str:
+        ground = self.ground
+        lhs = ground.format_mask(self.lhs)
+        rhs = ground.format_family(self.family.members)
+        return f"{lhs} =>bool {rhs}"
+
+
+def implies_boolean(
+    dependencies: Iterable[BooleanDependency],
+    target: BooleanDependency,
+    method: str = "auto",
+) -> bool:
+    """``Cboolean |= X =>bool Y`` via Corollary 7.4 (any core decider)."""
+    cset = ConstraintSet(
+        target.ground, (d.to_differential() for d in dependencies)
+    )
+    return decide(cset, target.to_differential(), method=method)
+
+
+def semantic_implies_over_two_tuple_relations(
+    dependencies: Iterable[BooleanDependency],
+    target: BooleanDependency,
+) -> bool:
+    """Boolean implication decided by satisfaction scans over ``r_U``.
+
+    ``r_U`` satisfies ``X =>bool Y`` iff ``U`` is outside ``L(X, Y)``, so
+    the two-tuple relations are refutation-complete; the scan exercises
+    only :meth:`BooleanDependency.satisfied_by`, independent of the
+    lattice machinery.
+    """
+    ground = target.ground
+    deps = list(dependencies)
+    for u in ground.all_masks():
+        r = two_tuple_relation(ground, u)
+        if all(d.satisfied_by(r) for d in deps) and not target.satisfied_by(r):
+            return False
+    return True

@@ -1,0 +1,102 @@
+"""Random relations and distributions (evaluation substrate for Section 7).
+
+Seeded generators for the relational experiments: uniform random
+relations, relations repaired to satisfy a set of functional
+dependencies (chase-style value merging), and random probabilistic
+relations.  Repair is by fixpoint: tuples agreeing on an FD's left side
+get their right-side values overwritten from a representative until no
+violation remains, then the result is verified.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core import subsets as sb
+from repro.core.ground import GroundSet
+from repro.relational.fd import FunctionalDependency
+from repro.relational.probability import Distribution
+from repro.relational.relation import Relation
+
+__all__ = [
+    "random_relation",
+    "random_probabilistic_relation",
+    "relation_satisfying_fds",
+]
+
+
+def random_relation(
+    ground: GroundSet,
+    n_rows: int,
+    domain_size: int,
+    rng: random.Random,
+) -> Relation:
+    """``n_rows`` random tuples over ``{0, ..., domain_size - 1}``.
+
+    Duplicates collapse, so the result may have fewer rows.
+    """
+    rows = [
+        tuple(rng.randrange(domain_size) for _ in range(ground.size))
+        for _ in range(n_rows)
+    ]
+    return Relation(ground, rows)
+
+
+def random_probabilistic_relation(
+    ground: GroundSet,
+    n_rows: int,
+    domain_size: int,
+    rng: random.Random,
+    uniform: bool = False,
+) -> Distribution:
+    """A random nonempty relation with a (random or uniform) distribution."""
+    relation = random_relation(ground, max(1, n_rows), domain_size, rng)
+    if uniform:
+        return Distribution.uniform(relation)
+    return Distribution.random(relation, rng)
+
+
+def relation_satisfying_fds(
+    ground: GroundSet,
+    fds: Sequence[FunctionalDependency],
+    n_rows: int,
+    domain_size: int,
+    rng: random.Random,
+    max_rounds: int = 100,
+) -> Relation:
+    """A random relation repaired until it satisfies every FD.
+
+    Each round scans each FD, groups rows by their left-side projection,
+    and copies the right-side values of the group's first row onto the
+    others.  Merging only equates values, so the process reaches a
+    fixpoint; the result is verified before being returned.
+    """
+    rows: List[Tuple] = [
+        tuple(rng.randrange(domain_size) for _ in range(ground.size))
+        for _ in range(n_rows)
+    ]
+    for _ in range(max_rounds):
+        changed = False
+        for fd in fds:
+            groups: Dict[Tuple, Tuple] = {}
+            for i, row in enumerate(rows):
+                key = tuple(row[bit] for bit in sb.iter_bits(fd.lhs))
+                if key not in groups:
+                    groups[key] = row
+                    continue
+                rep = groups[key]
+                patched = list(row)
+                for bit in sb.iter_bits(fd.rhs):
+                    patched[bit] = rep[bit]
+                patched_t = tuple(patched)
+                if patched_t != row:
+                    rows[i] = patched_t
+                    changed = True
+        if not changed:
+            break
+    relation = Relation(ground, rows)
+    for fd in fds:
+        if not fd.satisfied_by(relation):
+            raise RuntimeError(f"FD repair failed to converge for {fd!r}")
+    return relation

@@ -1,0 +1,128 @@
+"""Degenerate multivalued dependencies (the Baixeries-Balcazar connection).
+
+Section 2.2 credits Baixeries and Balcazar with a concept-lattice
+characterization of the implication problem for *degenerate multivalued
+dependencies* (DMVDs).  A DMVD ``X ->-> Y | Z`` (with ``Y, Z``
+partitioning ``S - X``) holds in a relation when any two tuples agreeing
+on ``X`` agree on ``Y`` or agree on ``Z`` -- which is precisely the
+positive boolean dependency ``X =>bool {Y, Z}``, i.e. a two-member-family
+differential constraint.  This module makes the specialization concrete:
+
+* :class:`DegenerateMVD` with relation-level satisfaction and the
+  conversion to :class:`~repro.relational.boolean_dependency.BooleanDependency`
+  / :class:`~repro.core.constraint.DifferentialConstraint`;
+* implication through the Theorem 3.5 machinery, so the DMVD implication
+  problem inherits every decider (and, via ``derive``, explicit
+  Figure-1 derivations for implied DMVDs).
+
+Classical (non-degenerate) MVDs are *not* expressible this way -- their
+semantics requires a third tuple -- which is why the paper's framework
+captures the degenerate class exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core import subsets as sb
+from repro.core.constraint import DifferentialConstraint
+from repro.core.constraint_set import ConstraintSet
+from repro.core.family import SetFamily
+from repro.core.ground import GroundSet
+from repro.core.implication import decide
+from repro.relational.boolean_dependency import BooleanDependency
+from repro.relational.relation import Relation
+
+__all__ = ["DegenerateMVD", "implies_dmvd"]
+
+
+class DegenerateMVD:
+    """``X ->-> Y | Z`` with ``Y union Z = S - X`` and ``Y, Z`` disjoint."""
+
+    __slots__ = ("_ground", "_lhs", "_left", "_right")
+
+    def __init__(self, ground: GroundSet, lhs_mask: int, left_mask: int):
+        """Build ``X ->-> Y | Z`` from ``X`` and ``Y`` (``Z`` is the rest)."""
+        ground._check_mask(lhs_mask)
+        ground._check_mask(left_mask)
+        if left_mask & lhs_mask:
+            raise ValueError("the left branch must be disjoint from X")
+        self._ground = ground
+        self._lhs = lhs_mask
+        self._left = left_mask
+        self._right = ground.universe_mask & ~(lhs_mask | left_mask)
+
+    @classmethod
+    def of(cls, ground: GroundSet, lhs, left) -> "DegenerateMVD":
+        """``DegenerateMVD.of(S, "A", "BC")`` builds ``A ->-> BC | rest``."""
+        return cls(ground, ground.parse(lhs), ground.parse(left))
+
+    # ------------------------------------------------------------------
+    @property
+    def ground(self) -> GroundSet:
+        return self._ground
+
+    @property
+    def lhs(self) -> int:
+        return self._lhs
+
+    @property
+    def left(self) -> int:
+        return self._left
+
+    @property
+    def right(self) -> int:
+        return self._right
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DegenerateMVD)
+            and self._ground == other._ground
+            and self._lhs == other._lhs
+            # X ->-> Y | Z and X ->-> Z | Y are the same dependency
+            and {self._left, self._right} == {other._left, other._right}
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._ground, self._lhs, frozenset((self._left, self._right)))
+        )
+
+    def __repr__(self) -> str:
+        g = self._ground
+        return (
+            f"{g.format_mask(self._lhs)} ->-> "
+            f"{g.format_mask(self._left)} | {g.format_mask(self._right)}"
+        )
+
+    # ------------------------------------------------------------------
+    def satisfied_by(self, relation: Relation) -> bool:
+        """Two tuples agreeing on ``X`` agree on ``Y`` or on ``Z``."""
+        return self.to_boolean().satisfied_by(relation)
+
+    def to_boolean(self) -> BooleanDependency:
+        """The boolean dependency ``X =>bool {Y, Z}``.
+
+        An empty branch contributes the empty-set member, which is
+        trivially agreed upon -- matching the DMVD convention that
+        ``X ->-> (S-X) | (/)`` always holds.
+        """
+        family = SetFamily(self._ground, [self._left, self._right])
+        return BooleanDependency(self._ground, self._lhs, family)
+
+    def to_differential(self) -> DifferentialConstraint:
+        """The two-member-family differential constraint."""
+        family = SetFamily(self._ground, [self._left, self._right])
+        return DifferentialConstraint(self._ground, self._lhs, family)
+
+
+def implies_dmvd(
+    premises: Iterable[DegenerateMVD],
+    target: DegenerateMVD,
+    method: str = "auto",
+) -> bool:
+    """DMVD implication through the differential-constraint machinery."""
+    cset = ConstraintSet(
+        target.ground, (p.to_differential() for p in premises)
+    )
+    return decide(cset, target.to_differential(), method=method)

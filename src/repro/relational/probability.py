@@ -1,0 +1,82 @@
+"""Probability distributions over relations (Definition 7.1 substrate).
+
+A *probabilistic relation* pairs a nonempty relation ``r`` with a
+distribution ``p`` that is strictly positive on the tuples of ``r`` and
+zero elsewhere.  :class:`Distribution` enforces exactly those conditions
+and provides the marginals ``p_X`` used by the Simpson function::
+
+    p_X(x) = sum of p(t) over tuples t with t[X] = x
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Mapping, Tuple
+
+from repro.relational.relation import Relation, Row
+
+__all__ = ["Distribution"]
+
+_TOL = 1e-9
+
+
+class Distribution:
+    """A strictly positive probability distribution on a relation's rows."""
+
+    __slots__ = ("_relation", "_probs")
+
+    def __init__(self, relation: Relation, probs: Mapping[Row, float]):
+        if relation.is_empty():
+            raise ValueError("Definition 7.1 requires a nonempty relation")
+        clean: Dict[Row, float] = {}
+        for row in relation:
+            p = float(probs.get(row, 0.0))
+            if p <= 0:
+                raise ValueError(f"p must be strictly positive on r; p({row!r}) = {p}")
+            clean[row] = p
+        extra = set(probs) - set(relation.rows)
+        if extra:
+            raise ValueError(f"p assigns mass outside r: {sorted(map(str, extra))[:3]}")
+        total = sum(clean.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"p must sum to 1 (got {total})")
+        self._relation = relation
+        self._probs = clean
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, relation: Relation) -> "Distribution":
+        """The uniform distribution on the rows of ``relation``."""
+        n = len(relation)
+        return cls(relation, {row: 1.0 / n for row in relation})
+
+    @classmethod
+    def random(cls, relation: Relation, rng: random.Random) -> "Distribution":
+        """A random strictly positive distribution (normalized weights)."""
+        weights = {row: rng.random() + 0.05 for row in relation}
+        total = sum(weights.values())
+        return cls(relation, {row: w / total for row, w in weights.items()})
+
+    # ------------------------------------------------------------------
+    @property
+    def relation(self) -> Relation:
+        return self._relation
+
+    def prob(self, row: Row) -> float:
+        """``p(t)`` (zero off the relation)."""
+        return self._probs.get(tuple(row), 0.0)
+
+    def items(self):
+        """Iterate ``(row, p(row))``."""
+        return self._probs.items()
+
+    def marginal(self, x_mask: int) -> Dict[Row, float]:
+        """The marginal ``p_X`` as ``{projected-tuple: mass}``."""
+        out: Dict[Row, float] = {}
+        for row, p in self._probs.items():
+            key = self._relation.project_row(row, x_mask)
+            out[key] = out.get(key, 0.0) + p
+        return out
+
+    def __repr__(self) -> str:
+        return f"Distribution(over {self._relation!r})"

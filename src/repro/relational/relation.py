@@ -1,0 +1,133 @@
+"""Finite relations over an attribute ground set (Section 7 substrate).
+
+A :class:`Relation` is a finite set of tuples over the attributes of a
+:class:`~repro.core.ground.GroundSet`; rows are plain Python tuples
+aligned with the attribute order.  The module provides projections
+``pi_X(r)``, tuple agreement ``t[X] = t'[X]`` and the *two-tuple
+relations* ``r_U`` (two rows agreeing exactly on ``U``) that make the
+boolean-dependency implication problem semantically decidable by a scan
+-- the relational analogue of Theorem 3.5's counterexample functions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.core import subsets as sb
+from repro.core.ground import GroundSet
+
+__all__ = ["Relation", "two_tuple_relation"]
+
+Row = Tuple
+
+
+class Relation:
+    """An immutable finite relation (set of tuples) over a schema.
+
+    Parameters
+    ----------
+    ground:
+        The attribute ground set; bit order fixes the column order.
+    rows:
+        Tuples of attribute values (hashable); duplicates collapse
+        (relations have set semantics, unlike basket *lists*).
+    """
+
+    __slots__ = ("_ground", "_rows")
+
+    def __init__(self, ground: GroundSet, rows: Iterable[Sequence]):
+        width = ground.size
+        seen: Set[Row] = set()
+        ordered: List[Row] = []
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != width:
+                raise ValueError(
+                    f"row {tup!r} has {len(tup)} values, schema has {width}"
+                )
+            if tup not in seen:
+                seen.add(tup)
+                ordered.append(tup)
+        self._ground = ground
+        self._rows: Tuple[Row, ...] = tuple(ordered)
+
+    @classmethod
+    def of(cls, ground: GroundSet, *rows) -> "Relation":
+        """Build from rows given positionally."""
+        return cls(ground, rows)
+
+    # ------------------------------------------------------------------
+    @property
+    def ground(self) -> GroundSet:
+        return self._ground
+
+    @property
+    def rows(self) -> Tuple[Row, ...]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Relation)
+            and self._ground == other._ground
+            and set(self._rows) == set(other._rows)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._ground, frozenset(self._rows)))
+
+    def __repr__(self) -> str:
+        return f"Relation({len(self._rows)} rows over |S|={self._ground.size})"
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    # ------------------------------------------------------------------
+    # projections and agreement
+    # ------------------------------------------------------------------
+    def project_row(self, row: Row, x_mask: int) -> Row:
+        """``t[X]``: the sub-tuple of ``row`` on the attributes of ``X``."""
+        return tuple(row[bit] for bit in sb.iter_bits(x_mask))
+
+    def project(self, x_mask: int) -> Set[Row]:
+        """``pi_X(r)`` as a set of sub-tuples."""
+        self._ground._check_mask(x_mask)
+        return {self.project_row(row, x_mask) for row in self._rows}
+
+    def agree(self, t: Row, t_prime: Row, x_mask: int) -> bool:
+        """Whether ``t[X] = t'[X]``."""
+        return all(t[bit] == t_prime[bit] for bit in sb.iter_bits(x_mask))
+
+    def agreement_set(self, t: Row, t_prime: Row) -> int:
+        """The mask of attributes on which the two rows agree."""
+        mask = 0
+        for bit in range(self._ground.size):
+            if t[bit] == t_prime[bit]:
+                mask |= 1 << bit
+        return mask
+
+
+def two_tuple_relation(ground: GroundSet, u_mask: int) -> Relation:
+    """The relation ``r_U``: two rows agreeing exactly on ``U``.
+
+    Row one is all zeros; row two is zero on ``U`` and one elsewhere.
+    For ``U = S`` the rows coincide and the relation has a single row.
+    Pairs of rows have exact agreement set ``U`` (the cross pair) or ``S``
+    (the reflexive pairs), so ``r_U`` satisfies the boolean dependency
+    ``X =>bool Y`` iff **both** ``U`` and ``S`` avoid ``L(X, Y)``; since
+    ``S in L(X, Y)`` happens exactly for empty families, this reduces to
+    ``U not in L(X, Y)`` on nonempty-family dependencies.  The family
+    ``{r_U}`` is refutation-complete for boolean-dependency implication
+    (and, through the Simpson function, for ``|=simpson``).
+    """
+    ground._check_mask(u_mask)
+    row0 = tuple(0 for _ in range(ground.size))
+    row1 = tuple(
+        0 if u_mask >> bit & 1 else 1 for bit in range(ground.size)
+    )
+    return Relation(ground, [row0, row1])

@@ -1,0 +1,103 @@
+"""Shannon-entropy set functions -- the paper's open problem, made testable.
+
+Section 7 notes that Lee/Malvestuto (and later Dalkilic-Robertson) used
+Shannon entropy rather than the Simpson index, and that "it remains an
+open problem whether results in this section apply to Shannon functions".
+This module supplies the entropy function::
+
+    h_{r,p}(X) = - sum over x in pi_X(r) of p_X(x) * log2 p_X(x)
+
+and probes for the experiments:
+
+* the density of an entropy function is (up to sign conventions) the
+  multivariate *interaction information*, which famously can be negative
+  -- so Shannon functions are not frequency functions in general, and the
+  Theorem 3.5 machinery does not specialize as it does for Simpson
+  (:func:`entropy_density_can_be_negative` exhibits the XOR relation);
+* functional dependencies nevertheless match exactly:
+  ``r |= X -> Y`` iff ``h(X union Y) = h(X)`` (Lee's characterization),
+  implemented as :func:`fd_holds_by_entropy` and tested against the
+  relational definition.
+
+Nothing here claims to *settle* the open problem; the probes document its
+precise shape (experiment E9 reports agreement/divergence rates between
+Simpson-based and entropy-based constraint satisfaction).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.core.ground import GroundSet
+from repro.core.setfunction import SetFunction
+from repro.relational.probability import Distribution
+from repro.relational.relation import Relation
+
+__all__ = [
+    "entropy_value",
+    "entropy_function",
+    "fd_holds_by_entropy",
+    "entropy_density_can_be_negative",
+]
+
+
+def entropy_value(dist: Distribution, x_mask: int) -> float:
+    """``h_{r,p}(X)``: Shannon entropy of the ``X``-marginal (bits)."""
+    total = 0.0
+    for mass in dist.marginal(x_mask).values():
+        if mass > 0:
+            total -= mass * math.log2(mass)
+    return total
+
+
+def entropy_function(dist: Distribution) -> SetFunction:
+    """The entropy set function as a dense element of ``F(S)``."""
+    ground = dist.relation.ground
+    values = [entropy_value(dist, mask) for mask in ground.all_masks()]
+    return SetFunction(ground, values)
+
+
+def fd_holds_by_entropy(
+    dist: Distribution, lhs_mask: int, rhs_mask: int, tol: float = 1e-9
+) -> bool:
+    """Lee's information-theoretic FD test: ``H(Y | X) = 0``.
+
+    ``r`` satisfies ``X -> Y`` iff ``h(X union Y) = h(X)``; agreement with
+    the pairwise relational definition is verified by the tests.
+    """
+    return abs(
+        entropy_value(dist, lhs_mask | rhs_mask) - entropy_value(dist, lhs_mask)
+    ) <= tol
+
+
+def entropy_density_can_be_negative(ground: GroundSet) -> Tuple[Relation, float]:
+    """A witness that entropy functions fall outside ``positive(S)``.
+
+    Builds the XOR relation on the first three attributes (all rows with
+    ``a ^ b ^ c = 0``, remaining attributes constant) under the uniform
+    distribution and evaluates the entropy density at ``{A}`` together
+    with the constant padding attributes::
+
+        d(A) = h(A) - h(AB) - h(AC) + h(ABC) = 1 - 2 - 2 + 2 = -1
+
+    -- the classic negative interaction information of the parity
+    distribution.  Returns the relation and the (strictly negative)
+    density value; by Proposition 2.9 this is also a negative
+    differential, so no Simpson-style nonnegativity transfer is possible
+    for Shannon functions.
+    """
+    if ground.size < 3:
+        raise ValueError("need at least three attributes for the XOR witness")
+    rows = []
+    for a in (0, 1):
+        for b in (0, 1):
+            row = [0] * ground.size
+            row[0], row[1], row[2] = a, b, a ^ b
+            rows.append(tuple(row))
+    relation = Relation(ground, rows)
+    dist = Distribution.uniform(relation)
+    h = entropy_function(dist)
+    padding = ground.universe_mask & ~0b111  # attributes beyond A, B, C
+    witness_mask = 0b001 | padding
+    return relation, h.density().value(witness_mask)

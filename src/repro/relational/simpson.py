@@ -1,0 +1,107 @@
+"""Simpson functions of probabilistic relations (Definition 7.1, Prop 7.2).
+
+For a nonempty relation ``r`` with strictly positive distribution ``p``::
+
+    simpson_{r,p}(X) = sum over x in pi_X(r) of p_X(x)^2
+
+-- Simpson's 1949 diversity index applied to the ``X``-marginal; it
+measures how *uniform* the ``X``-components of ``r`` are under ``p``.
+Proposition 7.2 gives its density a closed pairwise form::
+
+    d(X) = sum over ordered tuple pairs (t, t') with t[X] = t'[X] and
+           t(y) != t'(y) for every y outside X   of   p(t) p(t')
+
+(the pair ``(t, t)`` agrees exactly on ``S`` and contributes ``p(t)^2``
+to ``d(S)`` -- which is why ``simpson(S)`` contains no function with
+identically-zero density, an edge the Theorem 8.1 evaluator documents).
+Both the marginal form and the pairwise density are implemented as
+independent code paths; their agreement (via Moebius inversion) is a
+property test.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core import subsets as sb
+from repro.core.constraint import DifferentialConstraint
+from repro.core.ground import GroundSet
+from repro.core.setfunction import DEFAULT_TOLERANCE, SetFunction
+from repro.relational.probability import Distribution
+from repro.relational.relation import Relation
+
+__all__ = [
+    "simpson_value",
+    "simpson_function",
+    "simpson_density_pairsum",
+    "simpson_density_function_pairsum",
+    "simpson_satisfies",
+]
+
+
+def simpson_value(dist: Distribution, x_mask: int) -> float:
+    """``simpson_{r,p}(X)`` from the marginal ``p_X`` (Definition 7.1)."""
+    return sum(mass * mass for mass in dist.marginal(x_mask).values())
+
+
+def simpson_function(dist: Distribution) -> SetFunction:
+    """The whole Simpson function as a dense element of ``F(S)``."""
+    ground = dist.relation.ground
+    values = [simpson_value(dist, mask) for mask in ground.all_masks()]
+    return SetFunction(ground, values)
+
+
+def simpson_density_pairsum(dist: Distribution, x_mask: int) -> float:
+    """``d_{simpson}(X)`` by the Proposition 7.2 pairwise formula.
+
+    Sums ``p(t) p(t')`` over *ordered* pairs that agree on ``X`` and
+    disagree on every attribute outside ``X`` -- i.e. pairs whose
+    agreement set is exactly ``X``.
+    """
+    relation = dist.relation
+    ground = relation.ground
+    total = 0.0
+    rows = list(dist.items())
+    for t, pt in rows:
+        for t_prime, pt_prime in rows:
+            if relation.agreement_set(t, t_prime) == x_mask:
+                total += pt * pt_prime
+    return total
+
+
+def simpson_density_function_pairsum(dist: Distribution) -> SetFunction:
+    """The full density table via the pairwise formula (one pass).
+
+    Buckets every ordered pair by its exact agreement set; equals the
+    Moebius density of :func:`simpson_function` (Prop 7.2), nonnegative
+    everywhere -- hence every Simpson function is a frequency function.
+    """
+    relation = dist.relation
+    ground = relation.ground
+    table = [0.0] * (1 << ground.size)
+    rows = list(dist.items())
+    for t, pt in rows:
+        for t_prime, pt_prime in rows:
+            table[relation.agreement_set(t, t_prime)] += pt * pt_prime
+    return SetFunction(ground, table)
+
+
+def simpson_satisfies(
+    dist: Distribution,
+    constraint: DifferentialConstraint,
+    tol: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """Whether ``simpson_{r,p}`` satisfies the differential constraint.
+
+    Decided on the pairwise density (no Moebius transform): the density
+    must vanish on the lattice decomposition, i.e. no ordered pair of
+    tuples may have its exact agreement set inside ``L(X, Y)``.
+    """
+    relation = dist.relation
+    rows = list(dist.items())
+    for i, (t, _) in enumerate(rows):
+        for t_prime, _ in rows[i:]:
+            agreement = relation.agreement_set(t, t_prime)
+            if constraint.lattice_contains(agreement):
+                return False
+    return True

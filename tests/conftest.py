@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Ground sets of the sizes the paper's examples use, deterministic RNGs
+(each test function gets a fresh, seeded generator), and a couple of
+frequently-reused objects (the Example 3.2 function, the Example 2.2
+constraint data).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import GroundSet, SetFamily, SetFunction
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG, freshly seeded per test."""
+    return random.Random(0xD1FF)
+
+
+@pytest.fixture
+def ground_a() -> GroundSet:
+    """``S = {A}`` (Remark 3.6's ground set)."""
+    return GroundSet("A")
+
+
+@pytest.fixture
+def ground_abc() -> GroundSet:
+    """``S = {A, B, C}`` (Examples 3.2 and 3.4)."""
+    return GroundSet("ABC")
+
+
+@pytest.fixture
+def ground_abcd() -> GroundSet:
+    """``S = {A, B, C, D}`` (Examples 2.2-2.10 and 4.3)."""
+    return GroundSet("ABCD")
+
+
+@pytest.fixture
+def ground_5() -> GroundSet:
+    return GroundSet("ABCDE")
+
+
+@pytest.fixture
+def example_32_function(ground_abc: GroundSet) -> SetFunction:
+    """Example 3.2: ``f((/)) = f(C) = 2`` and ``f = 1`` elsewhere."""
+    return SetFunction.from_dict(
+        ground_abc, {"": 2, "C": 2}, default=1, exact=True
+    )
+
+
+@pytest.fixture
+def example_22_family(ground_abcd: GroundSet) -> SetFamily:
+    """Example 2.2's family ``{B, CD}``."""
+    return SetFamily.of(ground_abcd, "B", "CD")

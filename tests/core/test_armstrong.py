@@ -1,0 +1,83 @@
+"""Tests for Armstrong functions/databases (generic witnesses)."""
+
+import pytest
+
+from repro.core import ConstraintSet, DifferentialConstraint, GroundSet
+from repro.core.armstrong import armstrong_database, armstrong_function
+from repro.core.implication import implies_lattice
+from repro.fis import DisjunctiveConstraint, is_support_function
+from repro.instances import random_constraint, random_constraint_set
+
+
+class TestArmstrongFunction:
+    def test_satisfies_exactly_the_consequences(self, ground_abcd, rng):
+        """f_C satisfies c iff C |= c -- the defining property."""
+        for _ in range(25):
+            cset = random_constraint_set(rng, ground_abcd, 3, max_members=2)
+            f = armstrong_function(cset)
+            for _ in range(15):
+                c = random_constraint(
+                    rng, ground_abcd, max_members=2, allow_empty_member=True
+                )
+                assert c.satisfied_by(f) == implies_lattice(cset, c)
+
+    def test_satisfies_the_generators(self, ground_abcd, rng):
+        for _ in range(10):
+            cset = random_constraint_set(rng, ground_abcd, 3, max_members=2)
+            f = armstrong_function(cset)
+            assert cset.satisfied_by(f)
+
+    def test_is_support_function(self, ground_abc, rng):
+        cset = random_constraint_set(rng, ground_abc, 2, max_members=2)
+        assert is_support_function(armstrong_function(cset))
+        dense = armstrong_function(cset, sparse=False)
+        assert is_support_function(dense)
+
+    def test_empty_constraint_set_fully_generic(self, ground_abc, rng):
+        """With no constraints, only trivial constraints are satisfied."""
+        cset = ConstraintSet(ground_abc)
+        f = armstrong_function(cset)
+        for _ in range(30):
+            c = random_constraint(rng, ground_abc, max_members=2)
+            assert c.satisfied_by(f) == c.is_trivial
+
+    def test_everything_constraint_gives_zero(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, " -> ")
+        f = armstrong_function(cset)
+        for mask in ground_abc.all_masks():
+            assert f.value(mask) == 0
+
+    def test_sparse_and_dense_agree(self, ground_abc, rng):
+        cset = random_constraint_set(rng, ground_abc, 2, max_members=2)
+        sparse = armstrong_function(cset, sparse=True)
+        dense = armstrong_function(cset, sparse=False)
+        for mask in ground_abc.all_masks():
+            assert sparse.value(mask) == dense.value(mask)
+
+
+class TestArmstrongDatabase:
+    def test_disjunctive_constraints_exactly_consequences(self, ground_abc, rng):
+        """Prop 6.3 carries the Armstrong property to basket lists."""
+        for _ in range(15):
+            cset = random_constraint_set(rng, ground_abc, 2, max_members=2)
+            db = armstrong_database(cset)
+            for _ in range(12):
+                c = random_constraint(rng, ground_abc, max_members=2)
+                disj = DisjunctiveConstraint.from_differential(c)
+                assert disj.satisfied_by(db) == implies_lattice(cset, c)
+
+    def test_database_matches_function(self, ground_abc, rng):
+        cset = random_constraint_set(rng, ground_abc, 2, max_members=2)
+        db = armstrong_database(cset)
+        f = armstrong_function(cset)
+        for mask in ground_abc.all_masks():
+            assert db.support(mask) == f.value(mask)
+
+    def test_example_34_armstrong(self, ground_abc):
+        """The Armstrong list for {A->B, B->C} refutes every non-consequence."""
+        cset = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        db = armstrong_database(cset)
+        sb = db.support_function()
+        assert DifferentialConstraint.parse(ground_abc, "A -> C").satisfied_by(sb)
+        assert not DifferentialConstraint.parse(ground_abc, "C -> B").satisfied_by(sb)
+        assert not DifferentialConstraint.parse(ground_abc, "B -> A").satisfied_by(sb)

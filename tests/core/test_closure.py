@@ -1,0 +1,88 @@
+"""Tests for the implied-constraint oracle and atomic representations."""
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    ImpliedConstraintOracle,
+    atom,
+    atomic_representation,
+)
+from repro.instances import random_constraint_set
+
+
+class TestAtomicRepresentation:
+    def test_equivalence(self, ground_abc, rng):
+        for _ in range(20):
+            cs = random_constraint_set(rng, ground_abc, 2, max_members=2)
+            rep = atomic_representation(cs)
+            assert rep.equivalent_to(cs)
+
+    def test_canonical_for_equivalent_sets(self, ground_abc):
+        a = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        b = ConstraintSet.of(ground_abc, "A -> B", "B -> C", "A -> C")
+        assert atomic_representation(a) == atomic_representation(b)
+
+    def test_members_are_atoms(self, ground_abc, rng):
+        cs = random_constraint_set(rng, ground_abc, 2, max_members=2)
+        for c in atomic_representation(cs):
+            assert c.is_atomic()
+
+
+class TestOracle:
+    def test_membership_matches_decide(self, ground_abc, rng):
+        from repro.core.implication import decide
+        from repro.instances import random_constraint
+
+        cs = random_constraint_set(rng, ground_abc, 2, max_members=2)
+        oracle = ImpliedConstraintOracle(cs)
+        for _ in range(40):
+            c = random_constraint(rng, ground_abc, max_members=2)
+            assert (c in oracle) == decide(cs, c, "lattice")
+
+    def test_atomic_closure_is_lattice(self, ground_abc, rng):
+        cs = random_constraint_set(rng, ground_abc, 2, max_members=2)
+        oracle = ImpliedConstraintOracle(cs)
+        assert oracle.atomic_closure() == list(cs.iter_lattice())
+        for u in oracle.atomic_closure():
+            assert atom(ground_abc, u) in oracle
+
+    def test_iter_implied_bounded(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        oracle = ImpliedConstraintOracle(cs)
+        singles = list(ground_abc.singletons())
+        implied = list(
+            oracle.iter_implied(
+                lhs_candidates=singles,
+                member_pool=singles,
+                max_family_size=1,
+            )
+        )
+        # the nontrivial singleton consequences include A->B, B->C, A->C
+        texts = {repr(c) for c in implied}
+        assert "A -> {B}" in texts
+        assert "B -> {C}" in texts
+        assert "A -> {C}" in texts
+        assert "C -> {A}" not in texts
+
+    def test_iter_implied_include_trivial(self, ground_abc):
+        cs = ConstraintSet(ground_abc)
+        oracle = ImpliedConstraintOracle(cs)
+        singles = list(ground_abc.singletons())
+        with_trivial = list(
+            oracle.iter_implied(singles, singles, 1, include_trivial=True)
+        )
+        without = list(oracle.iter_implied(singles, singles, 1))
+        assert len(with_trivial) > len(without)
+        assert without == []  # empty C implies only trivial constraints
+
+    def test_closure_same_through_sat(self, ground_abc, rng):
+        cs = random_constraint_set(rng, ground_abc, 2, max_members=2)
+        lattice_oracle = ImpliedConstraintOracle(cs, method="lattice")
+        sat_oracle = ImpliedConstraintOracle(cs, method="sat")
+        singles = list(ground_abc.singletons())
+        a = list(lattice_oracle.iter_implied(singles, singles, 2))
+        b = list(sat_oracle.iter_implied(singles, singles, 2))
+        assert a == b

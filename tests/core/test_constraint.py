@@ -1,0 +1,184 @@
+"""Unit tests for differential constraints (Definition 3.1, Remark 3.6)."""
+
+import pytest
+
+from repro.core import (
+    DifferentialConstraint,
+    GroundSet,
+    SetFamily,
+    SetFunction,
+    SparseDensityFunction,
+)
+from repro.errors import InvalidConstraintError
+
+
+class TestConstructionAndParsing:
+    def test_of(self, ground_abcd):
+        c = DifferentialConstraint.of(ground_abcd, "A", "B", "CD")
+        assert c.lhs == ground_abcd.parse("A")
+        assert c.family == SetFamily.of(ground_abcd, "B", "CD")
+
+    def test_parse_basic(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, "A -> B, CD")
+        assert c == DifferentialConstraint.of(ground_abcd, "A", "B", "CD")
+
+    def test_parse_empty_family(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, "AB -> ")
+        assert len(c.family) == 0
+
+    def test_parse_empty_lhs(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, " -> B")
+        assert c.lhs == 0
+
+    def test_parse_braces(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, "A -> {B, CD}")
+        assert c == DifferentialConstraint.of(ground_abcd, "A", "B", "CD")
+
+    def test_parse_missing_arrow(self, ground_abcd):
+        with pytest.raises(InvalidConstraintError):
+            DifferentialConstraint.parse(ground_abcd, "A B")
+
+    def test_repr_paper_style(self, ground_abcd):
+        c = DifferentialConstraint.of(ground_abcd, "A", "B", "CD")
+        assert repr(c) == "A -> {B, CD}"
+
+    def test_equality_hash(self, ground_abcd):
+        a = DifferentialConstraint.parse(ground_abcd, "A -> B, CD")
+        b = DifferentialConstraint.parse(ground_abcd, "A -> CD, B")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestTriviality:
+    def test_trivial_when_member_inside_lhs(self, ground_abcd):
+        assert DifferentialConstraint.parse(ground_abcd, "AB -> B, CD").is_trivial
+        assert DifferentialConstraint.parse(ground_abcd, "AB -> A").is_trivial
+
+    def test_empty_member_always_trivial(self, ground_abcd):
+        c = DifferentialConstraint(
+            ground_abcd, 0, SetFamily(ground_abcd, [0])
+        )
+        assert c.is_trivial
+
+    def test_nontrivial(self, ground_abcd):
+        assert not DifferentialConstraint.parse(ground_abcd, "A -> B").is_trivial
+        assert not DifferentialConstraint.parse(ground_abcd, "A -> ").is_trivial
+
+    def test_trivial_iff_empty_lattice(self, ground_abcd, rng):
+        from repro.instances import random_constraint
+
+        for _ in range(60):
+            c = random_constraint(
+                rng, ground_abcd, max_members=3, allow_empty_member=True
+            )
+            assert c.is_trivial == (not c.lattice_set())
+
+
+class TestAtoms:
+    def test_atom_shape(self, ground_abcd):
+        u = ground_abcd.parse("AC")
+        c = DifferentialConstraint.atom(ground_abcd, u)
+        assert c.lhs == u
+        assert c.family == SetFamily.of(ground_abcd, "B", "D")
+        assert c.is_atomic()
+
+    def test_atom_of_universe(self, ground_abcd):
+        c = DifferentialConstraint.atom(ground_abcd, ground_abcd.universe_mask)
+        assert len(c.family) == 0
+        assert c.is_atomic()
+
+    def test_atom_lattice_is_singleton(self, ground_abcd):
+        """Remark 4.5: L(U, U-bar-complement) = {U}."""
+        for u in ground_abcd.all_masks():
+            c = DifferentialConstraint.atom(ground_abcd, u)
+            assert c.lattice_set() == {u}
+
+    def test_is_atomic_negative(self, ground_abcd):
+        assert not DifferentialConstraint.parse(ground_abcd, "A -> B").is_atomic()
+
+
+class TestSatisfaction:
+    def test_example_32(self, ground_abc, example_32_function):
+        f = example_32_function
+        assert DifferentialConstraint.parse(ground_abc, "A -> B").satisfied_by(f)
+        assert DifferentialConstraint.parse(ground_abc, "B -> C").satisfied_by(f)
+        assert not DifferentialConstraint.parse(ground_abc, "C -> A").satisfied_by(f)
+
+    def test_trivial_satisfied_by_everything(self, ground_abc, rng):
+        from repro.instances import random_set_function
+
+        c = DifferentialConstraint.parse(ground_abc, "AB -> B")
+        for _ in range(10):
+            assert c.satisfied_by(random_set_function(rng, ground_abc))
+
+    def test_sparse_and_dense_agree(self, ground_abc, rng):
+        from repro.instances import random_constraint
+
+        density = {rng.randrange(8): rng.randint(1, 3) for _ in range(3)}
+        sparse = SparseDensityFunction(ground_abc, density)
+        dense = SetFunction.from_density(ground_abc, dict(density), exact=True)
+        for _ in range(40):
+            c = random_constraint(rng, ground_abc, max_members=2)
+            assert c.satisfied_by(sparse) == c.satisfied_by(dense)
+
+    def test_tolerance(self, ground_abc):
+        f = SetFunction.from_density(ground_abc, {0b001: 1e-12})
+        c = DifferentialConstraint.parse(ground_abc, "A -> B")
+        assert c.satisfied_by(f)  # below tolerance
+        assert not c.satisfied_by(f, tol=1e-15)
+
+    def test_unknown_semantics_rejected(self, ground_abc, example_32_function):
+        c = DifferentialConstraint.parse(ground_abc, "A -> B")
+        with pytest.raises(ValueError):
+            c.satisfied_by(example_32_function, semantics="nope")
+
+
+class TestRemark36:
+    """Density semantics is strictly stronger than differential semantics."""
+
+    def test_counterexample(self, ground_a):
+        f = SetFunction.from_dict(ground_a, {"": 0, "A": 1}, exact=True)
+        d = f.density()
+        assert d("") == -1 and d("A") == 1
+        c = DifferentialConstraint(ground_a, 0, SetFamily(ground_a))
+        assert not c.satisfied_by(f, semantics="density")
+        assert c.satisfied_by(f, semantics="differential")
+
+    def test_density_implies_differential(self, ground_abc, rng):
+        """Prop 2.9 direction: density satisfaction forces D^Y(X) = 0."""
+        from repro.instances import random_constraint, random_set_function
+
+        for _ in range(60):
+            f = random_set_function(rng, ground_abc)
+            c = random_constraint(rng, ground_abc, max_members=2)
+            if c.satisfied_by(f, semantics="density"):
+                assert c.satisfied_by(f, semantics="differential")
+
+    def test_semantics_agree_on_nonneg_density(self, ground_abc, rng):
+        from repro.instances import (
+            random_constraint,
+            random_nonneg_density_function,
+        )
+
+        for _ in range(60):
+            f = random_nonneg_density_function(rng, ground_abc)
+            c = random_constraint(rng, ground_abc, max_members=2)
+            assert c.satisfied_by(f, "density") == c.satisfied_by(
+                f, "differential"
+            )
+
+
+class TestLatticeAccessors:
+    def test_lattice_set_cached(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, "A -> B, CD")
+        assert c.lattice_set() is c.lattice_set()
+
+    def test_lattice_contains(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, "A -> B, CD")
+        for u in ground_abcd.all_masks():
+            assert c.lattice_contains(u) == (u in c.lattice_set())
+
+    def test_has_singleton_family(self, ground_abcd):
+        assert DifferentialConstraint.parse(ground_abcd, "A -> BC").has_singleton_family()
+        assert not DifferentialConstraint.parse(ground_abcd, "A -> B, C").has_singleton_family()
+        assert not DifferentialConstraint.parse(ground_abcd, "A -> ").has_singleton_family()

@@ -1,0 +1,85 @@
+"""Unit tests for Theorem 3.5 counterexample functions."""
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    principal_ideal_function,
+    refute,
+    sparse_principal_ideal_function,
+)
+from repro.core.implication import implies_lattice
+from repro.instances import random_constraint, random_constraint_set
+
+
+class TestPrincipalIdealFunction:
+    def test_values(self, ground_abc):
+        u = ground_abc.parse("AB")
+        f = principal_ideal_function(ground_abc, u, c=3)
+        for mask in ground_abc.all_masks():
+            want = 3 if mask & ~u == 0 else 0
+            assert f.value(mask) == want
+
+    def test_density_is_delta(self, ground_abc):
+        u = ground_abc.parse("AB")
+        f = principal_ideal_function(ground_abc, u, c=5)
+        for mask in ground_abc.all_masks():
+            assert f.density_value(mask) == (5 if mask == u else 0)
+
+    def test_sparse_matches_dense(self, ground_abc):
+        u = ground_abc.parse("AC")
+        dense = principal_ideal_function(ground_abc, u, c=2)
+        sparse = sparse_principal_ideal_function(ground_abc, u, c=2)
+        for mask in ground_abc.all_masks():
+            assert sparse.value(mask) == dense.value(mask)
+
+    def test_zero_constant_rejected(self, ground_abc):
+        with pytest.raises(ValueError):
+            principal_ideal_function(ground_abc, 0, c=0)
+        with pytest.raises(ValueError):
+            sparse_principal_ideal_function(ground_abc, 0, c=0)
+
+    def test_is_frequency_and_support_function(self, ground_abc):
+        """With c = 1 the counterexample lives in support(S) (Prop 6.4)."""
+        from repro.fis import is_frequency_function, is_support_function
+
+        f = principal_ideal_function(ground_abc, ground_abc.parse("B"))
+        assert is_frequency_function(f)
+        assert is_support_function(f)
+
+
+class TestRefute:
+    def test_refutation_properties(self, ground_abcd, rng):
+        refuted = 0
+        for _ in range(80):
+            cs = random_constraint_set(rng, ground_abcd, 2, max_members=2)
+            t = random_constraint(rng, ground_abcd, max_members=2)
+            f = refute(cs, t)
+            if f is None:
+                assert implies_lattice(cs, t)
+            else:
+                refuted += 1
+                assert cs.satisfied_by(f)
+                assert not t.satisfied_by(f)
+        assert refuted > 10  # the sweep must actually exercise refutation
+
+    def test_dense_mode(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B")
+        t = DifferentialConstraint.parse(ground_abc, "B -> A")
+        f = refute(cs, t, sparse=False)
+        assert f is not None
+        assert cs.satisfied_by(f) and not t.satisfied_by(f)
+
+    def test_scaled_counterexample(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B")
+        t = DifferentialConstraint.parse(ground_abc, "B -> A")
+        f = refute(cs, t, c=7.5)
+        assert f is not None
+        assert not t.satisfied_by(f)
+
+    def test_none_when_implied(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        t = DifferentialConstraint.parse(ground_abc, "A -> C")
+        assert refute(cs, t) is None

@@ -1,0 +1,96 @@
+"""Unit tests for decomp/atoms (Definition 4.4, Remark 4.5)."""
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    atom,
+    atoms,
+    decomp,
+)
+from repro.core.implication import implies_lattice
+from repro.instances import random_constraint
+
+
+class TestPaperExamples:
+    def test_decomp_example(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, "A -> B, CD")
+        got = set(decomp(c))
+        want = {
+            DifferentialConstraint.parse(ground_abcd, t)
+            for t in ("A -> B, C", "A -> B, D", "A -> B, C, D")
+        }
+        assert got == want
+
+    def test_atoms_example(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, "A -> B, CD")
+        got = set(atoms(c))
+        want = {
+            DifferentialConstraint.parse(ground_abcd, t)
+            for t in ("A -> B, C, D", "AC -> B, D", "AD -> B, C")
+        }
+        assert got == want
+
+
+class TestRemark45:
+    """{X -> Y}* = decomp* = atoms* (equal lattice closures)."""
+
+    def _lattice_of(self, constraints, ground):
+        cs = ConstraintSet(ground, constraints)
+        return set(cs.iter_lattice())
+
+    def test_equal_lattices_random(self, ground_abcd, rng):
+        for _ in range(50):
+            c = random_constraint(rng, ground_abcd, max_members=3)
+            own = set(c.iter_lattice())
+            assert self._lattice_of(decomp(c), ground_abcd) == own
+            assert self._lattice_of(atoms(c), ground_abcd) == own
+
+    def test_mutual_implication(self, ground_abcd, rng):
+        for _ in range(25):
+            c = random_constraint(rng, ground_abcd, max_members=2, min_members=1)
+            dec = ConstraintSet(ground_abcd, decomp(c))
+            ato = ConstraintSet(ground_abcd, atoms(c))
+            single = ConstraintSet(ground_abcd, [c])
+            # each representation implies the others' members
+            for member in dec:
+                assert implies_lattice(single, member)
+                assert implies_lattice(ato, member)
+            for member in ato:
+                assert implies_lattice(single, member)
+                assert implies_lattice(dec, member)
+            assert implies_lattice(dec, c)
+            assert implies_lattice(ato, c)
+
+
+class TestShapes:
+    def test_atoms_count_equals_lattice_size(self, ground_abcd, rng):
+        for _ in range(30):
+            c = random_constraint(rng, ground_abcd, max_members=3)
+            assert len(atoms(c)) == len(c.lattice_set())
+
+    def test_atoms_of_trivial_empty(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, "AB -> B")
+        assert atoms(c) == []
+
+    def test_decomp_of_empty_family(self, ground_abcd):
+        """W((/)) = {(/)}: decomp of X -> {} is {X -> {}} itself."""
+        c = DifferentialConstraint.parse(ground_abcd, "AB -> ")
+        assert decomp(c) == [c]
+
+    def test_decomp_members_have_singleton_families(self, ground_abcd, rng):
+        for _ in range(30):
+            c = random_constraint(rng, ground_abcd, max_members=3, min_members=1)
+            for member in decomp(c):
+                assert member.family.all_singletons()
+                assert member.lhs == c.lhs
+
+    def test_atom_constructor_matches_module_function(self, ground_abcd):
+        u = ground_abcd.parse("BD")
+        assert atom(ground_abcd, u) == DifferentialConstraint.atom(ground_abcd, u)
+
+    def test_decomp_of_all_singleton_family_is_self(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, "A -> B, C")
+        assert decomp(c) == [c]

@@ -1,0 +1,180 @@
+"""Tests for the constructive completeness engine (Theorem 4.8 / E1)."""
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    check_proof,
+    derive,
+)
+from repro.core.derivation import derivation_size
+from repro.core.implication import implies_lattice
+from repro.errors import NotImpliedError
+from repro.instances import (
+    random_constraint,
+    random_constraint_set,
+    random_implied_pair,
+)
+
+
+class TestPaperDerivations:
+    def test_example_34(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        t = DifferentialConstraint.parse(ground_abc, "A -> C")
+        proof = derive(cs, t, allow_derived=False)
+        assert proof.conclusion == t
+        assert proof.uses_only_primitives()
+        check_proof(proof, cs.constraints, allow_derived=False)
+
+    def test_example_43(self, ground_abcd):
+        cs = ConstraintSet.of(ground_abcd, "A -> BC, CD", "C -> D")
+        t = DifferentialConstraint.parse(ground_abcd, "AB -> D")
+        proof = derive(cs, t, allow_derived=False)
+        assert proof.conclusion == t
+        check_proof(proof, cs.constraints, allow_derived=False)
+
+
+class TestCompleteness:
+    def test_random_implied_instances(self, ground_abcd, rng):
+        derived = 0
+        for _ in range(150):
+            cs = random_constraint_set(
+                rng, ground_abcd, rng.randint(1, 4), max_members=3
+            )
+            t = random_constraint(rng, ground_abcd, max_members=3)
+            if not implies_lattice(cs, t):
+                continue
+            derived += 1
+            proof = derive(cs, t, allow_derived=False)
+            assert proof.conclusion == t
+            check_proof(proof, cs.constraints, allow_derived=False)
+        assert derived >= 20
+
+    def test_planted_pairs_all_modes(self, ground_abcd, rng):
+        for mode in ("atoms", "decomp", "self"):
+            for _ in range(25):
+                cs, t = random_implied_pair(rng, ground_abcd, mode=mode)
+                proof = derive(cs, t, allow_derived=False)
+                assert proof.conclusion == t
+                check_proof(proof, cs.constraints, allow_derived=False)
+
+    def test_macro_mode_also_checks(self, ground_abcd, rng):
+        for _ in range(25):
+            cs, t = random_implied_pair(rng, ground_abcd)
+            proof = derive(cs, t, allow_derived=True)
+            check_proof(proof, cs.constraints, allow_derived=True)
+
+    def test_five_element_ground_set(self, ground_5, rng):
+        for _ in range(10):
+            cs, t = random_implied_pair(rng, ground_5, max_members=2)
+            proof = derive(cs, t, allow_derived=False)
+            assert proof.conclusion == t
+            check_proof(proof, cs.constraints, allow_derived=False)
+
+
+class TestRefusal:
+    def test_not_implied_raises_with_certificate(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B")
+        t = DifferentialConstraint.parse(ground_abc, "B -> A")
+        with pytest.raises(NotImpliedError) as err:
+            derive(cs, t)
+        u = err.value.uncovered_mask
+        assert t.lattice_contains(u)
+        assert not cs.lattice_contains(u)
+
+    def test_refusals_on_random_non_implied(self, ground_abcd, rng):
+        refused = 0
+        for _ in range(60):
+            cs = random_constraint_set(rng, ground_abcd, 2, max_members=2)
+            t = random_constraint(rng, ground_abcd, max_members=2)
+            if implies_lattice(cs, t):
+                continue
+            refused += 1
+            with pytest.raises(NotImpliedError):
+                derive(cs, t)
+        assert refused >= 10
+
+
+class TestFastPaths:
+    def test_trivial_target(self, ground_abcd):
+        cs = ConstraintSet(ground_abcd)
+        t = DifferentialConstraint.parse(ground_abcd, "AB -> B")
+        proof = derive(cs, t)
+        assert proof.rule == "triviality"
+        assert proof.size() == 1
+
+    def test_axiom_target(self, ground_abcd):
+        c = DifferentialConstraint.parse(ground_abcd, "A -> B, CD")
+        cs = ConstraintSet(ground_abcd, [c])
+        proof = derive(cs, c)
+        assert proof.rule == "axiom"
+        assert proof.size() == 1
+
+    def test_empty_family_target(self, ground_abc):
+        """X -> {} derivations exercise the full elimination cascade."""
+        everything = DifferentialConstraint.parse(ground_abc, " -> ")
+        cs = ConstraintSet(ground_abc, [everything])
+        t = DifferentialConstraint.parse(ground_abc, "A -> ")
+        proof = derive(cs, t, allow_derived=False)
+        assert proof.conclusion == t
+        check_proof(proof, cs.constraints, allow_derived=False)
+
+
+class TestSubsumptionFastPath:
+    def test_augmentation_addition_subsumption(self, ground_abcd):
+        cset = ConstraintSet.of(ground_abcd, "A -> B")
+        t = DifferentialConstraint.parse(ground_abcd, "AC -> B, D")
+        proof = derive(cset, t)
+        # one axiom + one augmentation + one addition
+        assert proof.size() == 3
+        check_proof(proof, cset.constraints, allow_derived=False)
+
+    def test_exact_premise_after_normalization(self, ground_abcd):
+        cset = ConstraintSet.of(ground_abcd, "A -> B, CD")
+        t = DifferentialConstraint.parse(ground_abcd, "A -> CD, B")
+        proof = derive(cset, t)
+        assert proof.size() == 1  # same constraint, family order ignored
+
+    def test_fast_path_proofs_much_smaller(self, ground_abcd, rng):
+        """When subsumption applies the proof is O(|S|), not exponential."""
+        from repro.instances import random_constraint
+
+        for _ in range(30):
+            c = random_constraint(rng, ground_abcd, max_members=2, min_members=1)
+            extra = random_constraint(rng, ground_abcd, max_members=2)
+            grown = DifferentialConstraint(
+                ground_abcd,
+                c.lhs | rng.randrange(16),
+                c.family.add(rng.randrange(1, 16)),
+            )
+            cset = ConstraintSet(ground_abcd, [c, extra])
+            proof = derive(cset, grown, check=True)
+            assert proof.size() <= 2 + len(grown.family)
+
+    def test_fast_path_does_not_misfire(self, ground_abc):
+        """Implication without subsumption still uses the full engine."""
+        cset = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        t = DifferentialConstraint.parse(ground_abc, "A -> C")
+        proof = derive(cset, t, allow_derived=False)
+        assert proof.conclusion == t
+        check_proof(proof, cset.constraints, allow_derived=False)
+
+
+class TestDerivationSize:
+    def test_size_positive(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        t = DifferentialConstraint.parse(ground_abc, "A -> C")
+        assert derivation_size(cs, t) >= 3
+
+    def test_size_grows_with_lattice(self, ground_abcd):
+        """A target with a larger lattice decomposition needs more atoms."""
+        cs_small = ConstraintSet.of(ground_abcd, "ABC -> D")
+        t_small = DifferentialConstraint.parse(ground_abcd, "ABC -> D")
+        everything = DifferentialConstraint.parse(ground_abcd, " -> ")
+        cs_big = ConstraintSet(ground_abcd, [everything])
+        t_big = DifferentialConstraint.parse(ground_abcd, "A -> ")
+        assert derivation_size(cs_big, t_big) > derivation_size(
+            cs_small, t_small
+        )

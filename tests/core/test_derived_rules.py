@@ -1,0 +1,166 @@
+"""Tests for the Figure-2 expansions (experiment E2's correctness core).
+
+Each derived rule, applied to random instances, must expand into a proof
+that (a) uses only Figure-1 primitives, (b) has the same conclusion, and
+(c) passes the independent checker against the original premises.
+"""
+
+import pytest
+
+from repro.core import DifferentialConstraint, GroundSet, SetFamily, check_proof
+from repro.core import derived_rules as D
+from repro.core import proofs as P
+from repro.instances import random_family, random_mask
+
+
+@pytest.fixture
+def s() -> GroundSet:
+    return GroundSet("ABCDE")
+
+
+def _expansion_ok(expanded, conclusion, hypotheses):
+    assert expanded.conclusion == conclusion
+    assert expanded.uses_only_primitives()
+    check_proof(expanded, hypotheses, allow_derived=False)
+
+
+class TestProjectionExpansion:
+    def test_random(self, s, rng):
+        for _ in range(80):
+            fam = random_family(rng, s, max_members=3, min_members=1)
+            lhs = random_mask(rng, s)
+            old = rng.choice(fam.members)
+            new = old & random_mask(rng, s, 0.7)
+            premise = DifferentialConstraint(s, lhs, fam)
+            expanded = D.expand_projection(P.axiom(premise), old, new)
+            concl = DifferentialConstraint(s, lhs, fam.replace(old, new))
+            _expansion_ok(expanded, concl, [premise])
+
+    def test_identity_projection_returns_premise(self, s):
+        premise = DifferentialConstraint.parse(s, "A -> BC")
+        p = P.axiom(premise)
+        assert D.expand_projection(p, s.parse("BC"), s.parse("BC")) is p
+
+    def test_projection_to_empty_member(self, s):
+        premise = DifferentialConstraint.parse(s, "A -> BC")
+        expanded = D.expand_projection(P.axiom(premise), s.parse("BC"), 0)
+        assert expanded.conclusion == DifferentialConstraint(
+            s, s.parse("A"), SetFamily(s, [0])
+        )
+        check_proof(expanded, [premise], allow_derived=False)
+
+
+class TestSeparationExpansion:
+    def test_random(self, s, rng):
+        for _ in range(80):
+            fam = random_family(rng, s, max_members=3, min_members=1)
+            lhs = random_mask(rng, s)
+            old = rng.choice(fam.members)
+            part1 = old & random_mask(rng, s, 0.5)
+            part2 = old & ~part1
+            premise = DifferentialConstraint(s, lhs, fam)
+            expanded = D.expand_separation(P.axiom(premise), old, part1, part2)
+            concl = DifferentialConstraint(
+                s, lhs, fam.remove(old).add(part1).add(part2)
+            )
+            _expansion_ok(expanded, concl, [premise])
+
+
+class TestAbsorptionExpansion:
+    def test_random(self, s, rng):
+        for _ in range(80):
+            fam = random_family(rng, s, max_members=3, min_members=1)
+            lhs = random_mask(rng, s)
+            old = rng.choice(fam.members)
+            new = old | (lhs & random_mask(rng, s, 0.7))
+            premise = DifferentialConstraint(s, lhs, fam)
+            expanded = D.expand_absorption(P.axiom(premise), old, new)
+            concl = DifferentialConstraint(s, lhs, fam.replace(old, new))
+            _expansion_ok(expanded, concl, [premise])
+
+
+class TestUnionExpansion:
+    def test_random(self, s, rng):
+        for _ in range(80):
+            base = random_family(rng, s, max_members=2)
+            lhs = random_mask(rng, s)
+            m1 = random_mask(rng, s) or 0b1
+            m2 = random_mask(rng, s) or 0b10
+            prem1 = DifferentialConstraint(s, lhs, base.add(m1))
+            prem2 = DifferentialConstraint(s, lhs, base.add(m2))
+            expanded = D.expand_union(
+                P.axiom(prem1), P.axiom(prem2), m1, m2, base
+            )
+            concl = DifferentialConstraint(s, lhs, base.add(m1 | m2))
+            _expansion_ok(expanded, concl, [prem1, prem2])
+
+    def test_degenerate_containments(self, s):
+        base = SetFamily(s)
+        lhs = s.parse("A")
+        m1, m2 = s.parse("BC"), s.parse("B")  # m2 inside m1
+        prem1 = DifferentialConstraint(s, lhs, base.add(m1))
+        prem2 = DifferentialConstraint(s, lhs, base.add(m2))
+        expanded = D.expand_union(P.axiom(prem1), P.axiom(prem2), m1, m2, base)
+        assert expanded.conclusion == prem1  # m1 | m2 == m1
+
+
+class TestTransitivityExpansion:
+    def test_random(self, s, rng):
+        for _ in range(80):
+            base = random_family(rng, s, max_members=2)
+            x = random_mask(rng, s)
+            y = random_mask(rng, s)
+            z = random_mask(rng, s)
+            prem1 = DifferentialConstraint(s, x, base.add(y))
+            prem2 = DifferentialConstraint(s, y, base.add(z))
+            expanded = D.expand_transitivity(
+                P.axiom(prem1), P.axiom(prem2), y, z, base
+            )
+            concl = DifferentialConstraint(s, x, base.add(z))
+            _expansion_ok(expanded, concl, [prem1, prem2])
+
+
+class TestChainExpansion:
+    def test_random(self, s, rng):
+        for _ in range(80):
+            base = random_family(rng, s, max_members=2)
+            x = random_mask(rng, s)
+            y = random_mask(rng, s)
+            z = random_mask(rng, s)
+            prem1 = DifferentialConstraint(s, x, base.add(y))
+            prem2 = DifferentialConstraint(s, x | y, base.add(z))
+            expanded = D.expand_chain(
+                P.axiom(prem1), P.axiom(prem2), y, z, base
+            )
+            concl = DifferentialConstraint(s, x, base.add(y | z))
+            _expansion_ok(expanded, concl, [prem1, prem2])
+
+
+class TestWholeProofExpansion:
+    def test_expand_proof_recursive(self, s):
+        """A proof stacking several macro rules expands in one pass."""
+        given = DifferentialConstraint.parse(s, "A -> BC, DE")
+        p = P.axiom(given)
+        p = P.projection(p, s.parse("DE"), s.parse("D"))
+        p = P.separation(p, s.parse("BC"), s.parse("B"), s.parse("C"))
+        p = P.augmentation(p, s.parse("E"))
+        expanded = D.expand_proof(p)
+        assert expanded.conclusion == p.conclusion
+        assert expanded.uses_only_primitives()
+        check_proof(expanded, [given], allow_derived=False)
+
+    def test_expand_pure_primitive_proof_is_stable(self, s):
+        given = DifferentialConstraint.parse(s, "A -> B")
+        p = P.addition(P.axiom(given), s.parse("C"))
+        assert D.expand_proof(p) is p
+
+    def test_expansion_sizes_are_modest(self, s, rng):
+        """Each single macro step expands to O(1) primitive steps."""
+        for _ in range(30):
+            fam = random_family(rng, s, max_members=2, min_members=1)
+            lhs = random_mask(rng, s)
+            old = rng.choice(fam.members)
+            new = old & random_mask(rng, s, 0.5)
+            premise = DifferentialConstraint(s, lhs, fam)
+            expanded = D.expand_projection(P.axiom(premise), old, new)
+            assert expanded.size() <= 4

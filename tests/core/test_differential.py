@@ -1,0 +1,114 @@
+"""Unit tests for the differential operator (Definition 2.1, Prop 2.9)."""
+
+import pytest
+
+from repro.core import (
+    GroundSet,
+    SetFamily,
+    SetFunction,
+    SparseDensityFunction,
+    density_family_for,
+    density_value_by_definition,
+    differential_function,
+    differential_value,
+    differential_via_density,
+)
+from repro.instances import random_family, random_set_function
+
+
+class TestDefinition21:
+    def test_example_22_expansion(self, ground_abcd, example_22_family, rng):
+        f = random_set_function(rng, ground_abcd)
+        got = differential_value(f, example_22_family, ground_abcd.parse("A"))
+        want = f("A") - f("AB") - f("ACD") + f("ABCD")
+        assert got == pytest.approx(want)
+
+    def test_empty_family_is_f_itself(self, ground_abcd, rng):
+        f = random_set_function(rng, ground_abcd)
+        fam = SetFamily(ground_abcd)
+        for mask in ground_abcd.all_masks():
+            assert differential_value(f, fam, mask) == pytest.approx(f.value(mask))
+
+    def test_single_member(self, ground_abcd, rng):
+        f = random_set_function(rng, ground_abcd)
+        fam = SetFamily.of(ground_abcd, "BC")
+        x = ground_abcd.parse("A")
+        want = f("A") - f("ABC")
+        assert differential_value(f, fam, x) == pytest.approx(want)
+
+    def test_member_inside_x_cancels(self, ground_abcd, rng):
+        # a member Y inside X makes X union Y = X; terms cancel pairwise
+        f = random_set_function(rng, ground_abcd)
+        fam = SetFamily.of(ground_abcd, "A", "CD")
+        x = ground_abcd.parse("AB")
+        assert differential_value(f, fam, x) == pytest.approx(0.0)
+
+    def test_sign_counts_members_not_elements(self, ground_abcd, rng):
+        f = random_set_function(rng, ground_abcd)
+        fam = SetFamily.of(ground_abcd, "BCD")  # one member, three elements
+        want = f("A") - f("ABCD")  # sign (-1)^1, not (-1)^3... same here;
+        # distinguish with two members of even total size
+        fam2 = SetFamily.of(ground_abcd, "BC", "D")
+        want2 = f("A") - f("ABC") - f("AD") + f("ABCD")
+        assert differential_value(f, fam, ground_abcd.parse("A")) == pytest.approx(want)
+        assert differential_value(f, fam2, ground_abcd.parse("A")) == pytest.approx(want2)
+
+
+class TestDensityAsDifferential:
+    def test_density_family(self, ground_abcd):
+        fam = density_family_for(ground_abcd, ground_abcd.parse("A"))
+        assert fam == SetFamily.of(ground_abcd, "B", "C", "D")
+
+    def test_example_24_density_expansion(self, ground_abcd, rng):
+        f = random_set_function(rng, ground_abcd)
+        got = density_value_by_definition(f, ground_abcd.parse("A"))
+        want = (
+            f("A") - f("AB") - f("AC") - f("AD")
+            + f("ABC") + f("ABD") + f("ACD") - f("ABCD")
+        )
+        assert got == pytest.approx(want)
+
+    def test_matches_mobius_density(self, ground_abcd, rng):
+        f = random_set_function(rng, ground_abcd)
+        for mask in ground_abcd.all_masks():
+            assert density_value_by_definition(f, mask) == pytest.approx(
+                f.density_value(mask)
+            )
+
+
+class TestProposition29:
+    def test_example_210(self, ground_abcd, example_22_family, rng):
+        f = random_set_function(rng, ground_abcd)
+        d = f.density()
+        got = differential_value(f, example_22_family, ground_abcd.parse("A"))
+        want = d("A") + d("AC") + d("AD")
+        assert got == pytest.approx(want)
+
+    def test_random_instances(self, ground_abcd, rng):
+        for _ in range(60):
+            f = random_set_function(rng, ground_abcd)
+            fam = random_family(rng, ground_abcd, max_members=3)
+            x = rng.randrange(16)
+            direct = differential_value(f, fam, x)
+            via = differential_via_density(f, fam, x)
+            assert direct == pytest.approx(via)
+
+    def test_sparse_path(self, ground_abcd, rng):
+        density = {rng.randrange(16): rng.randint(1, 4) for _ in range(5)}
+        f = SparseDensityFunction(ground_abcd, density)
+        fam = SetFamily.of(ground_abcd, "B", "CD")
+        for x in ground_abcd.all_masks():
+            assert differential_via_density(f, fam, x) == pytest.approx(
+                differential_value(f, fam, x)
+            )
+
+
+class TestDifferentialFunction:
+    def test_whole_function(self, ground_abc, rng):
+        f = random_set_function(rng, ground_abc)
+        fam = SetFamily.of(ground_abc, "B")
+        table = differential_function(f, fam)
+        for mask in ground_abc.all_masks():
+            assert table.value(mask) == pytest.approx(
+                differential_value(f, fam, mask)
+            )

@@ -1,0 +1,120 @@
+"""Unit tests for set families (constraint right-hand sides)."""
+
+import pytest
+
+from repro.core import GroundSet, SetFamily
+from repro.core.lattice import lattice
+
+
+@pytest.fixture
+def s() -> GroundSet:
+    return GroundSet("ABCD")
+
+
+class TestConstruction:
+    def test_of_shorthand(self, s):
+        fam = SetFamily.of(s, "B", "CD")
+        assert fam.members == (s.parse("B"), s.parse("CD"))
+
+    def test_deduplication(self, s):
+        fam = SetFamily(s, [0b10, 0b10, 0b1100])
+        assert len(fam) == 2
+
+    def test_sorted_canonical_order(self, s):
+        a = SetFamily(s, [0b1100, 0b10])
+        b = SetFamily(s, [0b10, 0b1100])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.members == (0b10, 0b1100)
+
+    def test_empty_family(self, s):
+        fam = SetFamily(s)
+        assert len(fam) == 0
+        assert fam.union_support() == 0
+
+    def test_singletons_of(self, s):
+        fam = SetFamily.singletons_of(s, s.parse("ACD"))
+        assert fam.members == (0b0001, 0b0100, 0b1000)
+        assert fam.all_singletons()
+
+    def test_mask_validation(self, s):
+        with pytest.raises(Exception):
+            SetFamily(s, [0b10000])
+
+
+class TestOperations:
+    def test_union_support(self, s):
+        fam = SetFamily.of(s, "B", "CD")
+        assert fam.union_support() == s.parse("BCD")
+
+    def test_add_is_set_union(self, s):
+        fam = SetFamily.of(s, "B")
+        assert fam.add(s.parse("B")) == fam
+        assert len(fam.add(s.parse("CD"))) == 2
+
+    def test_remove(self, s):
+        fam = SetFamily.of(s, "B", "CD")
+        assert fam.remove(s.parse("B")) == SetFamily.of(s, "CD")
+        with pytest.raises(KeyError):
+            fam.remove(s.parse("A"))
+
+    def test_replace(self, s):
+        fam = SetFamily.of(s, "B", "CD")
+        out = fam.replace(s.parse("CD"), s.parse("C"))
+        assert out == SetFamily.of(s, "B", "C")
+
+    def test_replace_merging(self, s):
+        fam = SetFamily.of(s, "B", "BC")
+        out = fam.replace(s.parse("BC"), s.parse("B"))
+        assert out == SetFamily.of(s, "B")
+
+    def test_union(self, s):
+        a = SetFamily.of(s, "B")
+        b = SetFamily.of(s, "CD", "B")
+        assert a.union(b) == SetFamily.of(s, "B", "CD")
+
+    def test_contains_subset_of(self, s):
+        fam = SetFamily.of(s, "B", "CD")
+        assert fam.contains_subset_of(s.parse("AB"))
+        assert fam.contains_subset_of(s.parse("BCD"))
+        assert not fam.contains_subset_of(s.parse("AC"))
+        assert not fam.contains_subset_of(s.parse("AD"))
+
+    def test_contains_subset_of_with_empty_member(self, s):
+        fam = SetFamily(s, [0])
+        assert fam.contains_subset_of(0)
+        assert fam.contains_subset_of(s.parse("A"))
+
+
+class TestSemantics:
+    def test_is_trivial_for(self, s):
+        fam = SetFamily.of(s, "B", "CD")
+        assert fam.is_trivial_for(s.parse("AB"))
+        assert not fam.is_trivial_for(s.parse("AC"))
+
+    def test_empty_member_trivial_everywhere(self, s):
+        fam = SetFamily(s, [0])
+        assert fam.is_trivial_for(0)
+
+    def test_empty_family_never_trivial(self, s):
+        fam = SetFamily(s)
+        assert not fam.is_trivial_for(s.universe_mask)
+
+    def test_minimal_members_antichain(self, s):
+        fam = SetFamily.of(s, "B", "BC", "CD")
+        assert fam.minimal_members() == SetFamily.of(s, "B", "CD")
+
+    def test_minimal_members_preserve_lattice(self, s, rng=None):
+        import random
+
+        rng = random.Random(17)
+        for _ in range(50):
+            members = [rng.randrange(1, 16) for _ in range(rng.randint(0, 4))]
+            fam = SetFamily(s, members)
+            lhs = rng.randrange(16)
+            assert lattice(lhs, fam, s) == lattice(lhs, fam.minimal_members(), s)
+
+    def test_all_singletons(self, s):
+        assert SetFamily.of(s, "A", "C").all_singletons()
+        assert not SetFamily.of(s, "A", "CD").all_singletons()
+        assert SetFamily(s).all_singletons()

@@ -1,0 +1,104 @@
+"""Tests for the networkx graph views."""
+
+import networkx as nx
+import pytest
+
+from repro.core import ConstraintSet, DifferentialConstraint, GroundSet, SetFamily, derive
+from repro.core.graphs import implication_graph, lattice_hasse_graph, proof_graph
+from repro.instances import random_constraint, random_family, random_mask
+
+
+class TestLatticeHasse:
+    def test_example_27_shape(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "B", "CD")
+        g = lattice_hasse_graph(ground_abcd.parse("A"), fam, ground_abcd)
+        labels = {data["label"] for _, data in g.nodes(data=True)}
+        assert labels == {"A", "AC", "AD"}
+        # A is covered by AC and AD; no edge between AC and AD
+        a = ground_abcd.parse("A")
+        assert set(g.successors(a)) == {
+            ground_abcd.parse("AC"),
+            ground_abcd.parse("AD"),
+        }
+        assert g.number_of_edges() == 2
+
+    def test_hasse_is_transitive_reduction(self, ground_abcd, rng):
+        import repro.core.subsets as sb
+
+        for _ in range(15):
+            fam = random_family(rng, ground_abcd, max_members=2)
+            lhs = random_mask(rng, ground_abcd)
+            g = lattice_hasse_graph(lhs, fam, ground_abcd)
+            assert nx.is_directed_acyclic_graph(g)
+            # reachability == subset order within the decomposition
+            closure = nx.transitive_closure_dag(g)
+            for u in g.nodes:
+                for v in g.nodes:
+                    if u != v and sb.is_proper_subset(u, v):
+                        assert closure.has_edge(u, v)
+
+    def test_empty_lattice_gives_empty_graph(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "A")  # trivial for LHS AB
+        g = lattice_hasse_graph(ground_abcd.parse("AB"), fam, ground_abcd)
+        assert g.number_of_nodes() == 0
+
+
+class TestProofGraph:
+    def test_example_34_proof_graph(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        proof = derive(cset, DifferentialConstraint.parse(ground_abc, "A -> C"))
+        g = proof_graph(proof)
+        assert g.number_of_nodes() == proof.size()
+        assert nx.is_directed_acyclic_graph(g)
+        # the final conclusion is the unique sink
+        sinks = [n for n in g.nodes if g.out_degree(n) == 0]
+        assert len(sinks) == 1
+        assert g.nodes[sinks[0]]["conclusion"] == "A -> {C}"
+
+    def test_axioms_are_sources(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        proof = derive(cset, DifferentialConstraint.parse(ground_abc, "A -> C"))
+        g = proof_graph(proof)
+        for n, data in g.nodes(data=True):
+            if data["rule"] in ("axiom", "triviality"):
+                assert g.in_degree(n) == 0
+
+    def test_node_numbers_match_format(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        proof = derive(cset, DifferentialConstraint.parse(ground_abc, "A -> C"))
+        g = proof_graph(proof)
+        text = proof.format()
+        for n, data in g.nodes(data=True):
+            assert f"({n}) {data['conclusion']}" in text
+
+
+class TestImplicationGraph:
+    def test_equivalent_constraints_form_scc(self, ground_abcd):
+        c1 = DifferentialConstraint.parse(ground_abcd, "A -> B")
+        # same lattice decomposition: adding a superset member changes nothing
+        c2 = DifferentialConstraint.parse(ground_abcd, "A -> B, BC")
+        c3 = DifferentialConstraint.parse(ground_abcd, "A -> C")
+        g = implication_graph([c1, c2, c3])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        sccs = list(nx.strongly_connected_components(g))
+        assert {0, 1} in sccs
+
+    def test_stronger_implies_weaker(self, ground_abcd):
+        strong = DifferentialConstraint.parse(ground_abcd, "A -> BC")
+        weak = DifferentialConstraint.parse(ground_abcd, "A -> BC, D")
+        g = implication_graph([strong, weak])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edges_match_implication(self, ground_abcd, rng):
+        constraints = [
+            random_constraint(rng, ground_abcd, max_members=2) for _ in range(6)
+        ]
+        g = implication_graph(constraints)
+        from repro.core.implication import implies_lattice
+
+        for i, c in enumerate(constraints):
+            for j, other in enumerate(constraints):
+                if i != j:
+                    assert g.has_edge(i, j) == implies_lattice([c], other)

@@ -1,0 +1,129 @@
+"""Unit tests for lattice decompositions (Def 2.6, Props 2.8-2.9)."""
+
+import pytest
+
+from repro.core import (
+    GroundSet,
+    SetFamily,
+    in_lattice,
+    iter_lattice,
+    iter_lattice_by_witnesses,
+    lattice,
+    lattice_bitset,
+    lattice_size,
+    proposition_2_8_split,
+)
+from repro.instances import random_family, random_mask
+
+
+class TestPaperExamples:
+    def test_example_27_first(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "B", "CD")
+        got = set(lattice(ground_abcd.parse("A"), fam, ground_abcd))
+        want = {ground_abcd.parse(x) for x in ("A", "AC", "AD")}
+        assert got == want
+
+    def test_example_27_overlap(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "BC", "BD")
+        got = set(lattice(ground_abcd.parse("A"), fam, ground_abcd))
+        want = {ground_abcd.parse(x) for x in ("A", "AB", "AC", "AD", "ACD")}
+        assert got == want
+
+    def test_example_32_lattices(self, ground_abc):
+        s = ground_abc
+        assert set(lattice(s.parse("A"), SetFamily.of(s, "B"), s)) == {
+            s.parse("A"),
+            s.parse("AC"),
+        }
+        assert set(lattice(s.parse("B"), SetFamily.of(s, "C"), s)) == {
+            s.parse("B"),
+            s.parse("AB"),
+        }
+        assert set(lattice(s.parse("C"), SetFamily.of(s, "A"), s)) == {
+            s.parse("C"),
+            s.parse("BC"),
+        }
+
+    def test_remark_36_lattice(self, ground_a):
+        # L((/), (/)) over S={A} is {(/), A}
+        fam = SetFamily(ground_a)
+        assert set(lattice(0, fam, ground_a)) == {0, 1}
+
+
+class TestClosedFormVsWitnessForm:
+    def test_forms_agree_randomly(self, ground_abcd, rng):
+        for _ in range(80):
+            fam = random_family(rng, ground_abcd, max_members=3)
+            lhs = random_mask(rng, ground_abcd)
+            closed = set(iter_lattice(lhs, fam, ground_abcd))
+            via_w = set(iter_lattice_by_witnesses(lhs, fam, ground_abcd))
+            assert closed == via_w
+
+    def test_forms_agree_with_empty_members(self, ground_abcd, rng):
+        for _ in range(40):
+            fam = random_family(
+                rng, ground_abcd, max_members=3, allow_empty_member=True
+            )
+            lhs = random_mask(rng, ground_abcd)
+            closed = set(iter_lattice(lhs, fam, ground_abcd))
+            via_w = set(iter_lattice_by_witnesses(lhs, fam, ground_abcd))
+            assert closed == via_w
+
+
+class TestMembership:
+    def test_in_lattice(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "B", "CD")
+        a = ground_abcd.parse("A")
+        assert in_lattice(a, fam, ground_abcd.parse("AC"))
+        assert not in_lattice(a, fam, ground_abcd.parse("AB"))  # contains B
+        assert not in_lattice(a, fam, ground_abcd.parse("C"))  # misses A
+
+    def test_membership_matches_enumeration(self, ground_abcd, rng):
+        for _ in range(30):
+            fam = random_family(rng, ground_abcd, max_members=3)
+            lhs = random_mask(rng, ground_abcd)
+            members = set(iter_lattice(lhs, fam, ground_abcd))
+            for u in ground_abcd.all_masks():
+                assert in_lattice(lhs, fam, u) == (u in members)
+
+    def test_bitset(self, ground_abcd, rng):
+        fam = random_family(rng, ground_abcd, max_members=2)
+        lhs = random_mask(rng, ground_abcd)
+        table = lattice_bitset(lhs, fam, ground_abcd)
+        for u in ground_abcd.all_masks():
+            assert bool(table[u]) == in_lattice(lhs, fam, u)
+
+    def test_size(self, ground_abcd, rng):
+        fam = random_family(rng, ground_abcd, max_members=2)
+        lhs = random_mask(rng, ground_abcd)
+        assert lattice_size(lhs, fam, ground_abcd) == len(
+            lattice(lhs, fam, ground_abcd)
+        )
+
+
+class TestStructure:
+    def test_trivial_constraint_empty_lattice(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "A")
+        assert lattice(ground_abcd.parse("AB"), fam, ground_abcd) == []
+
+    def test_empty_family_full_interval(self, ground_abcd):
+        fam = SetFamily(ground_abcd)
+        lhs = ground_abcd.parse("AB")
+        got = set(lattice(lhs, fam, ground_abcd))
+        want = set(ground_abcd.iter_supersets(lhs))
+        assert got == want
+
+    def test_proposition_2_8(self, ground_abcd, rng):
+        """L(X, Y) = L(X, Y + {Z}) union L(X + Z, Y)."""
+        for _ in range(80):
+            fam = random_family(rng, ground_abcd, max_members=3)
+            lhs = random_mask(rng, ground_abcd)
+            z = random_mask(rng, ground_abcd)
+            left, with_z, lifted = proposition_2_8_split(
+                lhs, fam, z, ground_abcd
+            )
+            assert set(left) == set(with_z) | set(lifted)
+            # and both parts are subsets of the whole (soundness of
+            # Addition and Augmentation)
+            assert set(with_z) <= set(left)
+            assert set(lifted) <= set(left)

@@ -1,0 +1,163 @@
+"""Unit tests for proof objects, builders and the checker."""
+
+import pytest
+
+from repro.core import DifferentialConstraint, GroundSet, SetFamily, check_proof
+from repro.core import proofs as P
+from repro.core import rules as R
+from repro.errors import InvalidProofError
+
+
+@pytest.fixture
+def s() -> GroundSet:
+    return GroundSet("ABCD")
+
+
+def _parse(s, text):
+    return DifferentialConstraint.parse(s, text)
+
+
+class TestBuilders:
+    def test_axiom_and_triviality(self, s):
+        a = P.axiom(_parse(s, "A -> B"))
+        assert a.rule == R.AXIOM and a.size() == 1
+        t = P.triviality(_parse(s, "AB -> B"))
+        assert t.rule == R.TRIVIALITY
+
+    def test_triviality_rejects_nontrivial(self, s):
+        with pytest.raises(InvalidProofError):
+            P.triviality(_parse(s, "A -> B"))
+
+    def test_augmentation_builder(self, s):
+        p = P.augmentation(P.axiom(_parse(s, "A -> B")), s.parse("CD"))
+        assert p.conclusion == _parse(s, "ACD -> B")
+        assert p.size() == 2
+
+    def test_addition_builder(self, s):
+        p = P.addition(P.axiom(_parse(s, "A -> B")), s.parse("CD"))
+        assert p.conclusion == _parse(s, "A -> B, CD")
+
+    def test_elimination_builder(self, s):
+        p1 = P.axiom(_parse(s, "A -> B, CD"))
+        p2 = P.axiom(_parse(s, "ACD -> B"))
+        p = P.elimination(p1, p2, s.parse("CD"))
+        assert p.conclusion == _parse(s, "A -> B")
+        assert p.size() == 3
+
+    def test_elimination_builder_rejects_mismatch(self, s):
+        p1 = P.axiom(_parse(s, "A -> B, CD"))
+        p2 = P.axiom(_parse(s, "AC -> B"))  # wrong augmented LHS
+        with pytest.raises(InvalidProofError):
+            P.elimination(p1, p2, s.parse("CD"))
+
+    def test_projection_builder(self, s):
+        p = P.projection(
+            P.axiom(_parse(s, "A -> BC, CD")), s.parse("BC"), s.parse("C")
+        )
+        assert p.conclusion == _parse(s, "A -> C, CD")
+
+    def test_separation_builder(self, s):
+        p = P.separation(
+            P.axiom(_parse(s, "A -> CD")), s.parse("CD"), s.parse("C"), s.parse("D")
+        )
+        assert p.conclusion == _parse(s, "A -> C, D")
+
+    def test_union_builder(self, s):
+        base = SetFamily.of(s, "B")
+        p1 = P.axiom(DifferentialConstraint(s, s.parse("A"), base.add(s.parse("C"))))
+        p2 = P.axiom(DifferentialConstraint(s, s.parse("A"), base.add(s.parse("D"))))
+        p = P.union_rule(p1, p2, s.parse("C"), s.parse("D"), base)
+        assert p.conclusion == _parse(s, "A -> B, CD")
+
+    def test_transitivity_builder(self, s):
+        base = SetFamily(s)
+        p1 = P.axiom(_parse(s, "A -> B"))
+        p2 = P.axiom(_parse(s, "B -> C"))
+        p = P.transitivity(p1, p2, s.parse("B"), s.parse("C"), base)
+        assert p.conclusion == _parse(s, "A -> C")
+
+    def test_chain_builder(self, s):
+        base = SetFamily(s)
+        p1 = P.axiom(_parse(s, "A -> B"))
+        p2 = P.axiom(_parse(s, "AB -> C"))
+        p = P.chain(p1, p2, s.parse("B"), s.parse("C"), base)
+        assert p.conclusion == _parse(s, "A -> BC")
+
+    def test_absorption_builder(self, s):
+        p = P.absorption(P.axiom(_parse(s, "AB -> C")), s.parse("C"), s.parse("AC"))
+        assert p.conclusion == _parse(s, "AB -> AC")
+
+
+class TestProofStructure:
+    def _example_proof(self, s):
+        """The Example 4.3 derivation, built with macro rules."""
+        given_b = P.axiom(_parse(s, "A -> BC, CD"))
+        given_a = P.axiom(_parse(s, "C -> D"))
+        step_c = P.projection(given_b, s.parse("CD"), s.parse("C"))
+        step_d = P.projection(step_c, s.parse("BC"), s.parse("C"))
+        step_e = P.augmentation(step_d, s.parse("B"))
+        final = P.transitivity(
+            step_e, given_a, s.parse("C"), s.parse("D"), SetFamily(s)
+        )
+        return final
+
+    def test_example_43(self, s):
+        proof = self._example_proof(s)
+        assert proof.conclusion == _parse(s, "AB -> D")
+        assert proof.size() == 6
+        check_proof(
+            proof,
+            [_parse(s, "A -> BC, CD"), _parse(s, "C -> D")],
+        )
+
+    def test_format_contains_steps(self, s):
+        text = self._example_proof(s).format()
+        assert "given" in text
+        assert "projection" in text
+        assert "transitivity" in text
+        assert "(6)" in text
+
+    def test_depth(self, s):
+        proof = self._example_proof(s)
+        assert proof.depth() == 5
+
+    def test_rule_counts(self, s):
+        counts = self._example_proof(s).rule_counts()
+        assert counts[R.AXIOM] == 2
+        assert counts[R.PROJECTION] == 2
+
+    def test_shared_nodes_counted_once(self, s):
+        shared = P.axiom(_parse(s, "A -> B"))
+        p1 = P.addition(shared, s.parse("C"))
+        p2 = P.addition(shared, s.parse("D"))
+        base = SetFamily.of(s, "B")
+        # build a union proof over the shared axiom
+        merged = P.union_rule(p1, p2, s.parse("C"), s.parse("D"), base)
+        assert merged.size() == 4  # axiom shared, not 5
+
+    def test_uses_only_primitives(self, s):
+        proof = self._example_proof(s)
+        assert not proof.uses_only_primitives()
+        assert proof.expand().uses_only_primitives()
+
+
+class TestChecker:
+    def test_checker_rejects_foreign_axiom(self, s):
+        proof = P.axiom(_parse(s, "A -> B"))
+        with pytest.raises(InvalidProofError):
+            check_proof(proof, [_parse(s, "B -> C")])
+
+    def test_checker_primitive_mode(self, s):
+        macro = P.projection(
+            P.axiom(_parse(s, "A -> BC")), s.parse("BC"), s.parse("B")
+        )
+        check_proof(macro, [_parse(s, "A -> BC")], allow_derived=True)
+        with pytest.raises(InvalidProofError):
+            check_proof(macro, [_parse(s, "A -> BC")], allow_derived=False)
+        check_proof(
+            macro.expand(), [_parse(s, "A -> BC")], allow_derived=False
+        )
+
+    def test_checker_accepts_triviality_leaves(self, s):
+        proof = P.triviality(_parse(s, "AB -> B"))
+        check_proof(proof, [])

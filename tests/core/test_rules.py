@@ -1,0 +1,203 @@
+"""Unit tests for the rule schemas and their soundness (Figures 1-2).
+
+Soundness here is checked *semantically*: for every rule, on random
+instances, any function satisfying the premises satisfies the conclusion
+(equivalently via Theorem 3.5: the conclusion's lattice decomposition is
+covered by the premises').
+"""
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    SetFamily,
+)
+from repro.core import rules as R
+from repro.core.implication import implies_lattice
+from repro.errors import InvalidProofError
+from repro.instances import random_constraint, random_family, random_mask
+
+
+def _dc(ground, lhs, family):
+    return DifferentialConstraint(ground, lhs, family)
+
+
+class TestValidators:
+    def test_axiom_checks_hypotheses(self, ground_abc):
+        c = DifferentialConstraint.parse(ground_abc, "A -> B")
+        R.validate_step(c, R.AXIOM, [], (), {c})
+        R.validate_step(c, R.AXIOM, [], (), None)  # shape-only mode
+        with pytest.raises(InvalidProofError):
+            R.validate_step(c, R.AXIOM, [], (), set())
+
+    def test_triviality(self, ground_abc):
+        R.validate_step(
+            DifferentialConstraint.parse(ground_abc, "AB -> B"),
+            R.TRIVIALITY, [], (), None,
+        )
+        with pytest.raises(InvalidProofError):
+            R.validate_step(
+                DifferentialConstraint.parse(ground_abc, "A -> B"),
+                R.TRIVIALITY, [], (), None,
+            )
+
+    def test_augmentation(self, ground_abcd):
+        p = DifferentialConstraint.parse(ground_abcd, "A -> B")
+        z = ground_abcd.parse("CD")
+        good = DifferentialConstraint.parse(ground_abcd, "ACD -> B")
+        R.validate_step(good, R.AUGMENTATION, [p], (z,), None)
+        with pytest.raises(InvalidProofError):
+            R.validate_step(p, R.AUGMENTATION, [p], (z,), None)
+
+    def test_addition(self, ground_abcd):
+        p = DifferentialConstraint.parse(ground_abcd, "A -> B")
+        z = ground_abcd.parse("CD")
+        good = DifferentialConstraint.parse(ground_abcd, "A -> B, CD")
+        R.validate_step(good, R.ADDITION, [p], (z,), None)
+
+    def test_elimination(self, ground_abcd):
+        p1 = DifferentialConstraint.parse(ground_abcd, "A -> B, CD")
+        p2 = DifferentialConstraint.parse(ground_abcd, "ACD -> B")
+        concl = DifferentialConstraint.parse(ground_abcd, "A -> B")
+        z = ground_abcd.parse("CD")
+        R.validate_step(concl, R.ELIMINATION, [p1, p2], (z,), None)
+        with pytest.raises(InvalidProofError):
+            R.validate_step(concl, R.ELIMINATION, [p2, p1], (z,), None)
+
+    def test_wrong_premise_count(self, ground_abc):
+        c = DifferentialConstraint.parse(ground_abc, "A -> B")
+        with pytest.raises(InvalidProofError):
+            R.validate_step(c, R.ELIMINATION, [c], (0,), None)
+
+    def test_unknown_rule(self, ground_abc):
+        c = DifferentialConstraint.parse(ground_abc, "A -> B")
+        with pytest.raises(InvalidProofError):
+            R.validate_step(c, "modus-ponens", [], (), None)
+
+    def test_absorption_requires_growth_within_lhs(self, ground_abcd):
+        p = DifferentialConstraint.parse(ground_abcd, "AB -> C")
+        c_mask = ground_abcd.parse("C")
+        good = DifferentialConstraint.parse(ground_abcd, "AB -> AC")
+        R.validate_step(
+            good, R.ABSORPTION, [p], (c_mask, ground_abcd.parse("AC")), None
+        )
+        with pytest.raises(InvalidProofError):
+            # growing by D (not in the LHS) is not absorption
+            R.validate_step(
+                DifferentialConstraint.parse(ground_abcd, "AB -> CD"),
+                R.ABSORPTION, [p], (c_mask, ground_abcd.parse("CD")), None,
+            )
+
+
+class TestPrimitiveRuleSoundness:
+    """Every Figure-1 rule instance is semantically sound (Prop 4.2)."""
+
+    def test_augmentation_sound(self, ground_abcd, rng):
+        for _ in range(60):
+            c = random_constraint(rng, ground_abcd, max_members=3)
+            z = random_mask(rng, ground_abcd)
+            concl = _dc(ground_abcd, c.lhs | z, c.family)
+            assert implies_lattice(ConstraintSet(ground_abcd, [c]), concl)
+
+    def test_addition_sound(self, ground_abcd, rng):
+        for _ in range(60):
+            c = random_constraint(rng, ground_abcd, max_members=3)
+            z = random_mask(rng, ground_abcd)
+            concl = _dc(ground_abcd, c.lhs, c.family.add(z))
+            assert implies_lattice(ConstraintSet(ground_abcd, [c]), concl)
+
+    def test_elimination_sound(self, ground_abcd, rng):
+        for _ in range(60):
+            fam = random_family(rng, ground_abcd, max_members=2)
+            lhs = random_mask(rng, ground_abcd)
+            z = random_mask(rng, ground_abcd)
+            p1 = _dc(ground_abcd, lhs, fam.add(z))
+            p2 = _dc(ground_abcd, lhs | z, fam)
+            concl = _dc(ground_abcd, lhs, fam)
+            assert implies_lattice(ConstraintSet(ground_abcd, [p1, p2]), concl)
+
+    def test_triviality_sound(self, ground_abcd, rng):
+        for _ in range(40):
+            c = random_constraint(rng, ground_abcd, max_members=3)
+            if c.is_trivial:
+                assert implies_lattice(ConstraintSet(ground_abcd), c)
+
+
+class TestDerivedRuleSoundness:
+    """Every Figure-2 rule instance is semantically sound."""
+
+    def test_projection_sound(self, ground_abcd, rng):
+        for _ in range(60):
+            fam = random_family(rng, ground_abcd, max_members=2, min_members=1)
+            lhs = random_mask(rng, ground_abcd)
+            old = rng.choice(fam.members)
+            new = old & random_mask(rng, ground_abcd, 0.7)
+            p = _dc(ground_abcd, lhs, fam)
+            concl = _dc(ground_abcd, lhs, fam.replace(old, new))
+            assert implies_lattice(ConstraintSet(ground_abcd, [p]), concl)
+
+    def test_separation_sound(self, ground_abcd, rng):
+        for _ in range(60):
+            fam = random_family(rng, ground_abcd, max_members=2, min_members=1)
+            lhs = random_mask(rng, ground_abcd)
+            old = rng.choice(fam.members)
+            part1 = old & random_mask(rng, ground_abcd, 0.6)
+            part2 = old & ~part1
+            if part1 == 0 or part2 == 0:
+                continue
+            p = _dc(ground_abcd, lhs, fam)
+            concl = _dc(ground_abcd, lhs, fam.remove(old).add(part1).add(part2))
+            assert implies_lattice(ConstraintSet(ground_abcd, [p]), concl)
+
+    def test_union_sound(self, ground_abcd, rng):
+        for _ in range(60):
+            base = random_family(rng, ground_abcd, max_members=2)
+            lhs = random_mask(rng, ground_abcd)
+            m1 = random_mask(rng, ground_abcd) or 1
+            m2 = random_mask(rng, ground_abcd) or 2
+            p1 = _dc(ground_abcd, lhs, base.add(m1))
+            p2 = _dc(ground_abcd, lhs, base.add(m2))
+            concl = _dc(ground_abcd, lhs, base.add(m1 | m2))
+            assert implies_lattice(ConstraintSet(ground_abcd, [p1, p2]), concl)
+
+    def test_transitivity_sound(self, ground_abcd, rng):
+        for _ in range(60):
+            base = random_family(rng, ground_abcd, max_members=2)
+            x = random_mask(rng, ground_abcd)
+            y = random_mask(rng, ground_abcd)
+            z = random_mask(rng, ground_abcd)
+            p1 = _dc(ground_abcd, x, base.add(y))
+            p2 = _dc(ground_abcd, y, base.add(z))
+            concl = _dc(ground_abcd, x, base.add(z))
+            assert implies_lattice(ConstraintSet(ground_abcd, [p1, p2]), concl)
+
+    def test_chain_sound(self, ground_abcd, rng):
+        for _ in range(60):
+            base = random_family(rng, ground_abcd, max_members=2)
+            x = random_mask(rng, ground_abcd)
+            y = random_mask(rng, ground_abcd)
+            z = random_mask(rng, ground_abcd)
+            p1 = _dc(ground_abcd, x, base.add(y))
+            p2 = _dc(ground_abcd, x | y, base.add(z))
+            concl = _dc(ground_abcd, x, base.add(y | z))
+            assert implies_lattice(ConstraintSet(ground_abcd, [p1, p2]), concl)
+
+    def test_absorption_sound(self, ground_abcd, rng):
+        for _ in range(60):
+            fam = random_family(rng, ground_abcd, max_members=2, min_members=1)
+            lhs = random_mask(rng, ground_abcd)
+            old = rng.choice(fam.members)
+            new = old | (lhs & random_mask(rng, ground_abcd, 0.7))
+            p = _dc(ground_abcd, lhs, fam)
+            concl = _dc(ground_abcd, lhs, fam.replace(old, new))
+            assert implies_lattice(ConstraintSet(ground_abcd, [p]), concl)
+
+
+class TestRuleInventory:
+    def test_rule_partition(self):
+        assert R.PRIMITIVE_RULES & R.DERIVED_RULES == frozenset()
+        assert R.AXIOM in R.ALL_RULES
+        assert len(R.PRIMITIVE_RULES) == 4  # Figure 1
+        assert len(R.DERIVED_RULES) == 6  # Figure 2 + absorption lemma

@@ -1,0 +1,127 @@
+"""Unit tests for dense and sparse set functions."""
+
+import pytest
+
+from repro.core import GroundSet, SetFunction, SparseDensityFunction
+from repro.errors import GroundSetMismatchError
+
+
+@pytest.fixture
+def s() -> GroundSet:
+    return GroundSet("ABC")
+
+
+class TestConstruction:
+    def test_zeros_and_constant(self, s):
+        z = SetFunction.zeros(s)
+        assert all(z.value(m) == 0 for m in s.all_masks())
+        c = SetFunction.constant(s, 2.5)
+        assert all(c.value(m) == 2.5 for m in s.all_masks())
+
+    def test_from_dict_with_default(self, s):
+        f = SetFunction.from_dict(s, {"": 2, "C": 2}, default=1, exact=True)
+        assert f("") == 2
+        assert f("C") == 2
+        assert f("A") == 1
+        assert f("ABC") == 1
+
+    def test_from_dict_mask_keys(self, s):
+        f = SetFunction.from_dict(s, {0b101: 7})
+        assert f.value(0b101) == 7.0
+
+    def test_from_callable(self, s):
+        f = SetFunction.from_callable(s, lambda m: m.bit_count(), exact=True)
+        assert f("AB") == 2
+
+    def test_wrong_length_rejected(self, s):
+        with pytest.raises(ValueError):
+            SetFunction(s, [1, 2, 3])
+
+    def test_call_with_labels(self, s):
+        f = SetFunction.from_callable(s, lambda m: m, exact=True)
+        assert f(["A", "C"]) == 0b101
+
+
+class TestDensity:
+    def test_example_32_density(self, s):
+        # f((/)) = f(C) = 2, f = 1 elsewhere  =>  d(C) = d(ABC) = 1, 0 else
+        f = SetFunction.from_dict(s, {"": 2, "C": 2}, default=1, exact=True)
+        d = f.density()
+        assert d("C") == 1
+        assert d("ABC") == 1
+        total_abs = sum(abs(d.value(m)) for m in s.all_masks())
+        assert total_abs == 2
+
+    def test_density_cached(self, s):
+        f = SetFunction.constant(s, 1.0)
+        assert f.density() is f.density()
+
+    def test_density_items_nonzero_only(self, s):
+        f = SetFunction.from_density(s, {"AB": 3}, exact=True)
+        assert list(f.density_items()) == [(s.parse("AB"), 3)]
+
+    def test_from_density_roundtrip(self, s):
+        density = {0b001: 2, 0b110: -1, 0b111: 4}
+        f = SetFunction.from_density(s, density, exact=True)
+        d = f.density()
+        for mask in s.all_masks():
+            assert d.value(mask) == density.get(mask, 0)
+
+    def test_is_nonnegative_density(self, s):
+        good = SetFunction.from_density(s, {"A": 1, "BC": 2}, exact=True)
+        bad = SetFunction.from_density(s, {"A": 1, "BC": -2}, exact=True)
+        assert good.is_nonnegative_density()
+        assert not bad.is_nonnegative_density()
+
+
+class TestArithmetic:
+    def test_add_sub_scale(self, s):
+        f = SetFunction.from_callable(s, lambda m: m, exact=True)
+        g = SetFunction.constant(s, 1, exact=True)
+        assert (f + g).value(0b11) == 4
+        assert (f - g).value(0b11) == 2
+        assert (2 * f).value(0b11) == 6
+        assert (-f).value(0b11) == -3
+
+    def test_mixed_ground_sets_rejected(self, s):
+        other = SetFunction.zeros(GroundSet("AB"))
+        with pytest.raises(GroundSetMismatchError):
+            SetFunction.zeros(s) + other
+
+    def test_allclose(self, s):
+        f = SetFunction.constant(s, 1.0)
+        g = SetFunction.constant(s, 1.0 + 1e-12)
+        assert f.allclose(g)
+        assert not f.allclose(SetFunction.constant(s, 1.1))
+
+
+class TestSparseDensityFunction:
+    def test_value_is_superset_sum(self, s):
+        f = SparseDensityFunction(s, {s.parse("AB"): 2, s.parse("ABC"): 1})
+        assert f("") == 3
+        assert f("A") == 3
+        assert f("AB") == 3
+        assert f("ABC") == 1
+        assert f("C") == 1
+
+    def test_zero_entries_dropped(self, s):
+        f = SparseDensityFunction(s, {0b1: 0, 0b10: 3})
+        assert f.support_size() == 1
+
+    def test_matches_dense(self, s):
+        density = {0b011: 2, 0b101: 5}
+        sparse = SparseDensityFunction(s, density)
+        dense = SetFunction.from_density(s, dict(density), exact=True)
+        for mask in s.all_masks():
+            assert sparse.value(mask) == dense.value(mask)
+            assert sparse.density_value(mask) == dense.density_value(mask)
+
+    def test_to_dense(self, s):
+        sparse = SparseDensityFunction(s, {0b111: 4})
+        dense = sparse.to_dense()
+        assert dense("") == 4
+        assert dense("AB") == 4
+
+    def test_nonnegative_density(self, s):
+        assert SparseDensityFunction(s, {0b1: 1}).is_nonnegative_density()
+        assert not SparseDensityFunction(s, {0b1: -1}).is_nonnegative_density()

@@ -1,0 +1,94 @@
+"""Unit tests for the bitmask algebra."""
+
+import pytest
+
+from repro.core import subsets as sb
+
+
+class TestPopcountAndPredicates:
+    def test_popcount(self):
+        assert sb.popcount(0) == 0
+        assert sb.popcount(0b1011) == 3
+        assert sb.popcount((1 << 40) - 1) == 40
+
+    def test_is_subset(self):
+        assert sb.is_subset(0, 0)
+        assert sb.is_subset(0, 0b111)
+        assert sb.is_subset(0b101, 0b111)
+        assert not sb.is_subset(0b101, 0b011)
+        assert sb.is_subset(0b11, 0b11)
+
+    def test_is_proper_subset(self):
+        assert sb.is_proper_subset(0b01, 0b11)
+        assert not sb.is_proper_subset(0b11, 0b11)
+        assert not sb.is_proper_subset(0b100, 0b011)
+
+    def test_intersects(self):
+        assert sb.intersects(0b110, 0b011)
+        assert not sb.intersects(0b100, 0b011)
+        assert not sb.intersects(0, 0b111)
+
+    def test_mobius_sign(self):
+        assert sb.mobius_sign(0) == 1
+        assert sb.mobius_sign(0b1) == -1
+        assert sb.mobius_sign(0b11) == 1
+        assert sb.mobius_sign(0b111) == -1
+
+
+class TestIteration:
+    def test_iter_bits(self):
+        assert list(sb.iter_bits(0)) == []
+        assert list(sb.iter_bits(0b10110)) == [1, 2, 4]
+
+    def test_iter_singletons(self):
+        assert list(sb.iter_singletons(0)) == []
+        assert list(sb.iter_singletons(0b10110)) == [0b10, 0b100, 0b10000]
+
+    def test_iter_subsets_complete(self):
+        subs = set(sb.iter_subsets(0b101))
+        assert subs == {0b000, 0b001, 0b100, 0b101}
+
+    def test_iter_subsets_of_empty(self):
+        assert list(sb.iter_subsets(0)) == [0]
+
+    def test_iter_subsets_count(self):
+        mask = 0b110110
+        assert sum(1 for _ in sb.iter_subsets(mask)) == 2 ** sb.popcount(mask)
+
+    def test_iter_proper_subsets(self):
+        subs = set(sb.iter_proper_subsets(0b11))
+        assert subs == {0b00, 0b01, 0b10}
+        assert list(sb.iter_proper_subsets(0)) == []
+
+    def test_iter_supersets(self):
+        sups = set(sb.iter_supersets(0b001, 0b111))
+        assert sups == {0b001, 0b011, 0b101, 0b111}
+
+    def test_iter_supersets_outside_universe(self):
+        assert list(sb.iter_supersets(0b1000, 0b111)) == []
+
+    def test_iter_interval(self):
+        assert set(sb.iter_interval(0b01, 0b11)) == {0b01, 0b11}
+        assert set(sb.iter_interval(0b01, 0b01)) == {0b01}
+
+    def test_iter_interval_empty_when_not_contained(self):
+        assert list(sb.iter_interval(0b10, 0b01)) == []
+
+
+class TestBitHelpers:
+    def test_lowest_bit(self):
+        assert sb.lowest_bit(0b10100) == 0b100
+
+    def test_lowest_bit_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            sb.lowest_bit(0)
+
+    def test_without_lowest_bit(self):
+        assert sb.without_lowest_bit(0b10100) == 0b10000
+        with pytest.raises(ValueError):
+            sb.without_lowest_bit(0)
+
+    def test_mask_of_bits(self):
+        assert sb.mask_of_bits([]) == 0
+        assert sb.mask_of_bits([0, 2, 5]) == 0b100101
+        assert sb.mask_of_bits([2, 2]) == 0b100

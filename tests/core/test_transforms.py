@@ -1,0 +1,134 @@
+"""Unit tests for the zeta/Moebius transforms (equations (4)-(5))."""
+
+import numpy as np
+import pytest
+
+from repro.core import transforms as tr
+
+
+class TestButterflies:
+    def test_zeta_numpy_matches_naive(self, rng):
+        for n in range(0, 6):
+            values = np.array([rng.uniform(-2, 2) for _ in range(1 << n)])
+            fast = values.copy()
+            tr.superset_zeta_inplace(fast)
+            naive = tr.naive_zeta_table(values.tolist())
+            assert np.allclose(fast, naive)
+
+    def test_mobius_numpy_matches_naive(self, rng):
+        for n in range(0, 6):
+            values = np.array([rng.uniform(-2, 2) for _ in range(1 << n)])
+            fast = values.copy()
+            tr.superset_mobius_inplace(fast)
+            naive = tr.naive_density_table(values.tolist())
+            assert np.allclose(fast, naive)
+
+    def test_exact_list_path(self, rng):
+        values = [rng.randint(-5, 5) for _ in range(16)]
+        as_list = list(values)
+        tr.superset_mobius_inplace(as_list)
+        assert as_list == tr.naive_density_table(values)
+        assert all(isinstance(v, int) for v in as_list)
+
+    def test_roundtrip_identity_float(self, rng):
+        values = np.array([rng.uniform(-1, 1) for _ in range(32)])
+        table = values.copy()
+        tr.superset_mobius_inplace(table)
+        tr.superset_zeta_inplace(table)
+        assert np.allclose(table, values)
+
+    def test_roundtrip_identity_exact(self, rng):
+        values = [rng.randint(-9, 9) for _ in range(64)]
+        table = list(values)
+        tr.superset_zeta_inplace(table)
+        tr.superset_mobius_inplace(table)
+        assert table == values
+
+
+class TestWrappers:
+    def test_density_table_copies(self):
+        values = np.ones(8)
+        out = tr.density_table(values)
+        assert out is not values
+        assert np.all(values == 1)
+
+    def test_function_from_density(self):
+        density = [0.0] * 8
+        density[0b111] = 2.0
+        table = tr.function_table_from_density(density)
+        # f(X) = 2 for every X (all X are subsets of ABC)
+        assert all(v == 2.0 for v in table)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            tr.superset_zeta_inplace([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            tr.naive_density_table([1.0] * 5)
+
+    def test_table_size_for(self):
+        assert tr.table_size_for(0) == 1
+        assert tr.table_size_for(4) == 16
+
+
+class TestSubsetTransforms:
+    """The downward (belief-side) transforms added for repro.measures."""
+
+    def test_subset_zeta_definition(self, rng):
+        import repro.core.subsets as sb
+
+        values = [rng.randint(-5, 5) for _ in range(16)]
+        table = list(values)
+        tr.subset_zeta_inplace(table)
+        for x in range(16):
+            assert table[x] == sum(values[u] for u in sb.iter_subsets(x))
+
+    def test_subset_roundtrip_exact(self, rng):
+        values = [rng.randint(-9, 9) for _ in range(32)]
+        table = list(values)
+        tr.subset_zeta_inplace(table)
+        tr.subset_mobius_inplace(table)
+        assert table == values
+
+    def test_subset_numpy_matches_list(self, rng):
+        values = [rng.uniform(-1, 1) for _ in range(16)]
+        as_list = list(values)
+        as_array = np.array(values)
+        tr.subset_zeta_inplace(as_list)
+        tr.subset_zeta_inplace(as_array)
+        assert np.allclose(as_list, as_array)
+        tr.subset_mobius_inplace(as_list)
+        tr.subset_mobius_inplace(as_array)
+        assert np.allclose(as_list, as_array)
+
+    def test_mirror_of_superset_transform(self, rng):
+        """subset zeta == superset zeta under complement conjugation."""
+        n = 4
+        universe = (1 << n) - 1
+        values = [rng.randint(-5, 5) for _ in range(1 << n)]
+        forward = list(values)
+        tr.subset_zeta_inplace(forward)
+        mirrored = [values[universe ^ x] for x in range(1 << n)]
+        tr.superset_zeta_inplace(mirrored)
+        for x in range(1 << n):
+            assert forward[x] == mirrored[universe ^ x]
+
+
+class TestRemark23:
+    """Equations (4) and (5) are mutually inverse characterizations."""
+
+    def test_equation_4_and_5_inverse(self, rng):
+        n = 4
+        f = [rng.uniform(-3, 3) for _ in range(1 << n)]
+        d = tr.naive_density_table(f)
+        f_back = tr.naive_zeta_table(d)
+        assert np.allclose(f, f_back)
+
+    def test_uniqueness_of_density(self, rng):
+        # two different densities cannot produce the same function
+        n = 3
+        d1 = [rng.randint(-3, 3) for _ in range(1 << n)]
+        d2 = list(d1)
+        d2[5] += 1
+        f1 = tr.function_table_from_density(d1)
+        f2 = tr.function_table_from_density(d2)
+        assert f1 != f2

@@ -1,0 +1,104 @@
+"""Unit tests for witness sets (Definition 2.5)."""
+
+import pytest
+
+from repro.core import (
+    GroundSet,
+    SetFamily,
+    count_witnesses,
+    is_witness,
+    iter_witnesses,
+    minimal_witnesses,
+    witnesses,
+)
+from repro.core import subsets as sb
+from repro.instances import random_family
+
+
+class TestPaperExamples:
+    def test_example_27_first(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "B", "CD")
+        got = set(witnesses(fam))
+        want = {ground_abcd.parse(x) for x in ("BC", "BD", "BCD")}
+        assert got == want
+
+    def test_example_27_second(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "BC", "BD")
+        got = set(witnesses(fam))
+        want = {ground_abcd.parse(x) for x in ("B", "BC", "BD", "CD", "BCD")}
+        assert got == want
+
+
+class TestSpecialCases:
+    def test_empty_family_has_empty_witness(self, ground_abcd):
+        fam = SetFamily(ground_abcd)
+        assert witnesses(fam) == [0]
+
+    def test_family_with_empty_member_has_no_witness(self, ground_abcd):
+        fam = SetFamily(ground_abcd, [0])
+        assert witnesses(fam) == []
+        assert minimal_witnesses(fam) == []
+
+    def test_single_singleton(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "B")
+        assert witnesses(fam) == [ground_abcd.parse("B")]
+
+    def test_all_singletons_unique_witness(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "A", "C", "D")
+        assert witnesses(fam) == [ground_abcd.parse("ACD")]
+
+    def test_witnesses_confined_to_union(self, ground_abcd, rng):
+        for _ in range(30):
+            fam = random_family(rng, ground_abcd, max_members=3)
+            union = fam.union_support()
+            for w in iter_witnesses(fam):
+                assert sb.is_subset(w, union)
+
+
+class TestIsWitness:
+    def test_definition(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "B", "CD")
+        assert is_witness(fam, ground_abcd.parse("BC"))
+        assert not is_witness(fam, ground_abcd.parse("B"))  # misses CD
+        assert not is_witness(fam, ground_abcd.parse("ABC"))  # outside union
+
+    def test_matches_enumeration(self, ground_abcd, rng):
+        for _ in range(20):
+            fam = random_family(rng, ground_abcd, max_members=3)
+            enumerated = set(iter_witnesses(fam))
+            for mask in ground_abcd.all_masks():
+                assert (mask in enumerated) == is_witness(fam, mask)
+
+
+class TestMinimalWitnesses:
+    def test_minimal_of_example_27(self, ground_abcd):
+        fam = SetFamily.of(ground_abcd, "B", "CD")
+        got = set(minimal_witnesses(fam))
+        assert got == {ground_abcd.parse("BC"), ground_abcd.parse("BD")}
+
+    def test_antichain(self, ground_abcd, rng):
+        for _ in range(40):
+            fam = random_family(rng, ground_abcd, max_members=4)
+            mins = minimal_witnesses(fam)
+            for a in mins:
+                for b in mins:
+                    if a != b:
+                        assert not sb.is_subset(a, b)
+
+    def test_minimal_generate_all(self, ground_abcd, rng):
+        """Every witness contains a minimal one; every superset of a
+        minimal one (within the union) is a witness."""
+        for _ in range(40):
+            fam = random_family(rng, ground_abcd, max_members=4)
+            mins = minimal_witnesses(fam)
+            union = fam.union_support()
+            all_ws = set(iter_witnesses(fam))
+            regenerated = set()
+            for m in mins:
+                regenerated.update(sb.iter_supersets(m, union))
+            assert regenerated == all_ws
+
+    def test_count(self, ground_abcd, rng):
+        for _ in range(20):
+            fam = random_family(rng, ground_abcd, max_members=3)
+            assert count_witnesses(fam) == len(witnesses(fam))

@@ -1,0 +1,112 @@
+"""Tests for the executable Theorem 8.1 (experiment E6's correctness core)."""
+
+import pytest
+
+from repro.core import ConstraintSet, DifferentialConstraint, GroundSet, SetFamily
+from repro.equivalence import STATEMENT_NAMES, Theorem81Report, evaluate_theorem81
+from repro.instances import (
+    random_constraint,
+    random_constraint_set,
+    random_implied_pair,
+)
+
+
+class TestNineWayAgreement:
+    def test_random_sweep_without_empty_families(self, ground_abcd, rng):
+        """With nonempty families everywhere, all nine statements agree."""
+        strict = 0
+        for _ in range(40):
+            cs = random_constraint_set(
+                rng, ground_abcd, rng.randint(1, 3), max_members=2, min_members=1
+            )
+            t = random_constraint(
+                rng, ground_abcd, max_members=2, allow_empty_member=True
+            )
+            report = evaluate_theorem81(cs, t)
+            assert report.all_agree(), report.statements
+            strict += 1
+        assert strict == 40
+
+    def test_example_34(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        t = DifferentialConstraint.parse(ground_abc, "A -> C")
+        report = evaluate_theorem81(cs, t)
+        assert report.all_agree()
+        assert report.value() is True
+
+    def test_non_implication_agrees_too(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B")
+        t = DifferentialConstraint.parse(ground_abc, "B -> A")
+        report = evaluate_theorem81(cs, t)
+        assert report.all_agree()
+        assert report.value() is False
+
+    def test_planted_implied_pairs(self, ground_abcd, rng):
+        for _ in range(15):
+            cs, t = random_implied_pair(rng, ground_abcd, max_members=2)
+            report = evaluate_theorem81(cs, t)
+            assert report.consistent_with_paper()
+            assert report.statements["lattice"] is True
+
+
+class TestRelationalVacuityEdge:
+    def test_documented_divergence(self, ground_abc):
+        """C with an empty-family constraint: no nonempty relation (and no
+        Simpson function) satisfies C, so the two relational statements
+        hold vacuously while the others follow the real implication."""
+        cs = ConstraintSet.of(ground_abc, "A -> ")
+        t = DifferentialConstraint.parse(ground_abc, "B -> ")
+        report = evaluate_theorem81(cs, t)
+        assert report.relational_vacuous
+        assert report.statements["semantic_simpson"] is True
+        assert report.statements["boolean"] is True
+        assert report.statements["lattice"] is False
+        assert report.statements["semantic_F"] is False
+        assert report.statements["semantic_support"] is False
+        assert not report.all_agree()
+        assert report.consistent_with_paper()
+
+    def test_vacuity_flag_only_when_empty_family_present(self, ground_abc, rng):
+        for _ in range(20):
+            cs = random_constraint_set(
+                rng, ground_abc, 2, max_members=2, min_members=1
+            )
+            t = random_constraint(rng, ground_abc, max_members=2)
+            report = evaluate_theorem81(cs, t)
+            assert not report.relational_vacuous
+
+    def test_random_sweep_with_empty_families(self, ground_abc, rng):
+        for _ in range(25):
+            cs = random_constraint_set(rng, ground_abc, 2, max_members=2)
+            if rng.random() < 0.5:
+                cs = cs.add(
+                    DifferentialConstraint(
+                        ground_abc, rng.randrange(8), SetFamily(ground_abc)
+                    )
+                )
+            t = random_constraint(
+                rng, ground_abc, max_members=2, allow_empty_member=True
+            )
+            report = evaluate_theorem81(cs, t)
+            assert report.consistent_with_paper(), (cs, t, report.statements)
+
+
+class TestReportApi:
+    def test_statement_inventory(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B")
+        t = DifferentialConstraint.parse(ground_abc, "A -> B")
+        report = evaluate_theorem81(cs, t)
+        assert tuple(report.statements) == STATEMENT_NAMES
+        assert len(STATEMENT_NAMES) == 9
+
+    def test_disagreeing_empty_on_agreement(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B")
+        t = DifferentialConstraint.parse(ground_abc, "A -> B")
+        report = evaluate_theorem81(cs, t)
+        assert report.disagreeing() == {}
+
+    def test_disagreeing_names_culprits(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> ")
+        t = DifferentialConstraint.parse(ground_abc, "B -> ")
+        report = evaluate_theorem81(cs, t)
+        assert set(report.disagreeing()) == {"semantic_simpson", "boolean"}

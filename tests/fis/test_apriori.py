@@ -1,0 +1,95 @@
+"""Unit tests for Apriori and the negative border (Section 6.1.1)."""
+
+import pytest
+
+from repro.core import GroundSet
+from repro.core import subsets as sb
+from repro.fis import (
+    BasketDatabase,
+    apriori,
+    bruteforce_frequent,
+    correlated_baskets,
+    negative_border_of,
+    random_baskets,
+)
+
+
+class TestCorrectness:
+    def test_matches_bruteforce_random(self, ground_5, rng):
+        for _ in range(12):
+            db = random_baskets(ground_5, rng.randint(1, 40), rng.random(), rng)
+            for kappa in (1, 2, 5, 10):
+                res = apriori(db, kappa)
+                assert res.frequent == bruteforce_frequent(db, kappa)
+
+    def test_matches_bruteforce_correlated(self, ground_5, rng):
+        db = correlated_baskets(ground_5, 50, 3, 3, 0.15, 0.05, rng)
+        for kappa in (2, 5, 12):
+            res = apriori(db, kappa)
+            assert res.frequent == bruteforce_frequent(db, kappa)
+
+    def test_border_is_minimal_infrequent(self, ground_5, rng):
+        for _ in range(12):
+            db = random_baskets(ground_5, rng.randint(1, 40), rng.random(), rng)
+            kappa = rng.randint(1, 8)
+            res = apriori(db, kappa)
+            assert set(res.negative_border) == negative_border_of(
+                res.frequent, ground_5
+            )
+
+    def test_border_supports_correct(self, ground_5, rng):
+        db = random_baskets(ground_5, 30, 0.5, rng)
+        res = apriori(db, 5)
+        for mask, support in res.negative_border.items():
+            assert support == db.support(mask)
+            assert support < 5
+
+
+class TestBorderDeduction:
+    def test_status_by_border(self, ground_5, rng):
+        """The border is a concise representation of frequency status
+        (the Mannila-Toivonen observation the paper cites)."""
+        for _ in range(8):
+            db = random_baskets(ground_5, rng.randint(5, 40), 0.5, rng)
+            kappa = rng.randint(1, 6)
+            res = apriori(db, kappa)
+            for mask in ground_5.all_masks():
+                assert res.status_by_border(mask) == (
+                    db.support(mask) >= kappa
+                )
+
+
+class TestEdgeCases:
+    def test_empty_database(self, ground_abc):
+        db = BasketDatabase(ground_abc, [])
+        res = apriori(db, 1)
+        assert res.frequent == {}
+        assert res.negative_border == {0: 0}
+
+    def test_kappa_zero_everything_frequent(self, ground_abc, rng):
+        db = random_baskets(ground_abc, 10, 0.5, rng)
+        res = apriori(db, 0)
+        assert len(res.frequent) == 8
+        assert res.negative_border == {}
+
+    def test_single_basket(self, ground_abc):
+        db = BasketDatabase.of(ground_abc, "AB")
+        res = apriori(db, 1)
+        assert set(res.frequent) == {
+            0,
+            ground_abc.parse("A"),
+            ground_abc.parse("B"),
+            ground_abc.parse("AB"),
+        }
+
+    def test_counts_accounting(self, ground_5, rng):
+        """Apriori never counts more candidates than brute force."""
+        db = random_baskets(ground_5, 25, 0.4, rng)
+        res = apriori(db, 4)
+        assert res.support_counts <= 1 << ground_5.size
+        assert res.support_counts >= len(res.frequent) + len(res.negative_border)
+
+    def test_max_level(self, ground_abc):
+        db = BasketDatabase.of(ground_abc, "ABC", "ABC")
+        res = apriori(db, 2)
+        assert res.max_level() == 3

@@ -1,0 +1,106 @@
+"""Unit tests for basket databases (Section 6.1 substrate)."""
+
+import pytest
+
+from repro.core import GroundSet
+from repro.fis import BasketDatabase, random_baskets
+
+
+@pytest.fixture
+def s() -> GroundSet:
+    return GroundSet("ABCDE")
+
+
+@pytest.fixture
+def db(s) -> BasketDatabase:
+    return BasketDatabase.of(s, "AB", "ABC", "AB", "C", "")
+
+
+class TestConstruction:
+    def test_list_semantics_keeps_duplicates(self, db):
+        assert len(db) == 5
+        assert db.baskets.count(db.ground.parse("AB")) == 2
+
+    def test_of_parses(self, s):
+        db = BasketDatabase.of(s, "A", ["B", "C"])
+        assert db.baskets == (s.parse("A"), s.parse("BC"))
+
+    def test_mask_validation(self, s):
+        with pytest.raises(Exception):
+            BasketDatabase(s, [1 << 10])
+
+    def test_equality(self, s):
+        a = BasketDatabase.of(s, "A", "B")
+        b = BasketDatabase.of(s, "A", "B")
+        c = BasketDatabase.of(s, "B", "A")  # order matters: it is a list
+        assert a == b
+        assert a != c
+
+
+class TestCoversAndSupports:
+    def test_cover_definition(self, db, s):
+        assert db.cover(s.parse("AB")) == {0, 1, 2}
+        assert db.cover(s.parse("C")) == {1, 3}
+        assert db.cover(0) == {0, 1, 2, 3, 4}
+        assert db.cover(s.parse("D")) == frozenset()
+
+    def test_support_counts(self, db, s):
+        assert db.support(s.parse("AB")) == 3
+        assert db.support(s.parse("ABC")) == 1
+        assert db.support(0) == 5
+        assert db.support_of("C") == 2
+
+    def test_support_vs_naive(self, s, rng):
+        import repro.core.subsets as sb
+
+        db = random_baskets(s, 60, 0.4, rng)
+        for _ in range(40):
+            x = rng.randrange(32)
+            naive = sum(1 for b in db if sb.is_subset(x, b))
+            assert db.support(x) == naive
+
+    def test_is_frequent(self, db, s):
+        assert db.is_frequent(s.parse("AB"), 3)
+        assert not db.is_frequent(s.parse("AB"), 4)
+
+
+class TestDensityAndSupportFunction:
+    def test_multiset_counts(self, db, s):
+        counts = db.multiset_counts()
+        assert counts[s.parse("AB")] == 2
+        assert counts[s.parse("ABC")] == 1
+        assert counts[0] == 1
+
+    def test_support_function_values(self, db, s):
+        f = db.support_function()
+        for mask in (0, s.parse("A"), s.parse("AB"), s.parse("ABC"), s.parse("D")):
+            assert f.value(mask) == db.support(mask)
+
+    def test_dense_support_function_matches(self, db, s):
+        dense = db.dense_support_function()
+        sparse = db.support_function()
+        for mask in s.all_masks():
+            assert dense.value(mask) == sparse.value(mask) == db.support(mask)
+
+    def test_density_is_multiset(self, db, s):
+        """Remark 2.3 / Section 6.1: d_{s_B} = d^B."""
+        dense = db.dense_support_function()
+        counts = db.multiset_counts()
+        for mask in s.all_masks():
+            assert dense.density_value(mask) == counts.get(mask, 0)
+
+
+class TestUtilities:
+    def test_items_present(self, db, s):
+        assert db.items_present() == s.parse("ABC")
+
+    def test_extended(self, db, s):
+        bigger = db.extended(["DE"])
+        assert len(bigger) == 6
+        assert bigger.support(s.parse("DE")) == 1
+
+    def test_empty_database(self, s):
+        empty = BasketDatabase(s, [])
+        assert len(empty) == 0
+        assert empty.support(0) == 0
+        assert empty.support_function().value(0) == 0

@@ -1,0 +1,115 @@
+"""Unit tests for the (FDFree, Bd-) concise representation (Section 6.1.1)."""
+
+import pytest
+
+from repro.core import GroundSet
+from repro.core import subsets as sb
+from repro.fis import (
+    BasketDatabase,
+    apriori,
+    correlated_baskets,
+    is_disjunctive,
+    mine_concise,
+    random_baskets,
+    verify_lossless,
+)
+
+
+class TestMining:
+    def test_elements_are_frequent_disjunctive_free(self, ground_5, rng):
+        for _ in range(8):
+            db = random_baskets(ground_5, rng.randint(5, 40), 0.5, rng)
+            kappa = rng.randint(1, 6)
+            rep = mine_concise(db, kappa, max_rhs=2)
+            for mask, support in rep.elements.items():
+                assert support == db.support(mask)
+                assert support >= kappa
+                assert not is_disjunctive(db, mask, max_rhs=2)
+
+    def test_border_minimal_non_fdfree(self, ground_5, rng):
+        for _ in range(8):
+            db = random_baskets(ground_5, rng.randint(5, 40), 0.5, rng)
+            kappa = rng.randint(1, 6)
+            rep = mine_concise(db, kappa, max_rhs=2)
+
+            def fdfree(mask):
+                return db.support(mask) >= kappa and not is_disjunctive(
+                    db, mask, max_rhs=2
+                )
+
+            border = set(rep.border)
+            want = {
+                mask
+                for mask in ground_5.all_masks()
+                if not fdfree(mask)
+                and all(
+                    fdfree(mask & ~bit) for bit in sb.iter_singletons(mask)
+                )
+            }
+            assert border == want
+
+    def test_border_entries_carry_valid_rules(self, ground_5, rng):
+        db = random_baskets(ground_5, 25, 0.5, rng)
+        rep = mine_concise(db, 2, max_rhs=2)
+        for mask, entry in rep.border.items():
+            assert entry.support == db.support(mask)
+            if entry.infrequent:
+                assert entry.support < 2
+            else:
+                assert entry.rule is not None
+                assert entry.rule.satisfied_by(db)
+                assert entry.rule.support_set() == mask
+
+
+class TestLosslessness:
+    def test_random_sweep(self, ground_5, rng):
+        for _ in range(10):
+            db = random_baskets(ground_5, rng.randint(1, 40), rng.random(), rng)
+            for kappa in (1, 3, 6):
+                for max_rhs in (1, 2, None):
+                    rep = mine_concise(db, kappa, max_rhs)
+                    assert verify_lossless(db, rep)
+
+    def test_correlated_sweep(self, ground_5, rng):
+        for _ in range(5):
+            db = correlated_baskets(ground_5, 40, 2, 3, 0.1, 0.05, rng)
+            for kappa in (2, 5):
+                rep = mine_concise(db, kappa, 2)
+                assert verify_lossless(db, rep)
+
+    def test_derive_memoizes(self, ground_5, rng):
+        db = random_baskets(ground_5, 20, 0.5, rng)
+        rep = mine_concise(db, 3, 2)
+        x = ground_5.universe_mask
+        assert rep.derive(x) == rep.derive(x)
+
+    def test_empty_database(self, ground_abc):
+        db = BasketDatabase(ground_abc, [])
+        rep = mine_concise(db, 1, 2)
+        assert rep.elements == {}
+        assert 0 in rep.border
+        assert verify_lossless(db, rep)
+
+    def test_kappa_zero(self, ground_abc, rng):
+        db = random_baskets(ground_abc, 10, 0.5, rng)
+        rep = mine_concise(db, 0, 2)
+        assert verify_lossless(db, rep)
+
+
+class TestConcisenessShape:
+    def test_correlated_data_shrinks_representation(self, rng):
+        """The Bykowski-Rigotti phenomenon the paper cites: on strongly
+        correlated data |FDFree| + |Bd-| is (much) smaller than the
+        number of frequent itemsets."""
+        s = GroundSet("ABCDEFGH")
+        db = correlated_baskets(s, 150, 2, 5, 0.05, 0.02, rng)
+        kappa = 8
+        full = apriori(db, kappa)
+        rep = mine_concise(db, kappa, 2)
+        assert verify_lossless(db, rep)
+        assert rep.size() < len(full.frequent)
+
+    def test_representation_size_accounting(self, ground_5, rng):
+        db = random_baskets(ground_5, 20, 0.5, rng)
+        rep = mine_concise(db, 2, 2)
+        assert rep.size() == len(rep.elements) + len(rep.border)

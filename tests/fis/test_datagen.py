@@ -1,0 +1,99 @@
+"""Unit tests for the synthetic basket generators."""
+
+import random
+
+import pytest
+
+from repro.core import GroundSet
+from repro.core import subsets as sb
+from repro.fis import (
+    DisjunctiveConstraint,
+    correlated_baskets,
+    plant_disjunctive_rule,
+    random_baskets,
+)
+
+
+class TestRandomBaskets:
+    def test_shape_and_determinism(self, ground_5):
+        a = random_baskets(ground_5, 30, 0.4, random.Random(9))
+        b = random_baskets(ground_5, 30, 0.4, random.Random(9))
+        assert a == b
+        assert len(a) == 30
+
+    def test_density_dial(self, ground_5):
+        rng = random.Random(1)
+        sparse = random_baskets(ground_5, 300, 0.1, rng)
+        dense = random_baskets(ground_5, 300, 0.9, rng)
+        sparse_items = sum(sb.popcount(b) for b in sparse)
+        dense_items = sum(sb.popcount(b) for b in dense)
+        assert dense_items > 3 * sparse_items
+
+    def test_probability_bounds(self, ground_5):
+        rng = random.Random(2)
+        empty = random_baskets(ground_5, 20, 0.0, rng)
+        assert all(b == 0 for b in empty)
+        full = random_baskets(ground_5, 20, 1.0, rng)
+        assert all(b == ground_5.universe_mask for b in full)
+
+
+class TestCorrelatedBaskets:
+    def test_low_noise_concentrates_on_templates(self, ground_5):
+        rng = random.Random(3)
+        db = correlated_baskets(ground_5, 200, 2, 3, 0.0, 0.0, rng)
+        distinct = set(db.baskets)
+        assert len(distinct) <= 2
+
+    def test_deterministic(self, ground_5):
+        a = correlated_baskets(ground_5, 50, 3, 3, 0.1, 0.05, random.Random(4))
+        b = correlated_baskets(ground_5, 50, 3, 3, 0.1, 0.05, random.Random(4))
+        assert a == b
+
+    def test_template_size_capped_by_ground(self):
+        s = GroundSet("AB")
+        rng = random.Random(5)
+        db = correlated_baskets(s, 10, 1, 10, 0.0, 0.0, rng)
+        assert all(sb.popcount(b) <= 2 for b in db)
+
+
+class TestPlanting:
+    def test_planted_rule_holds(self, ground_5):
+        rng = random.Random(6)
+        db = random_baskets(ground_5, 60, 0.5, rng)
+        rule = DisjunctiveConstraint.of(ground_5, "A", "B", "CD")
+        planted = plant_disjunctive_rule(db, rule, rng)
+        assert rule.satisfied_by(planted)
+        assert len(planted) == len(db)
+
+    def test_planting_preserves_satisfying_baskets(self, ground_5):
+        rng = random.Random(7)
+        db = random_baskets(ground_5, 40, 0.4, rng)
+        rule = DisjunctiveConstraint.of(ground_5, "A", "B")
+        planted = plant_disjunctive_rule(db, rule, rng)
+        for before, after in zip(db, planted):
+            # only baskets violating the rule changed, and only by growth
+            if sb.is_subset(rule.lhs, before) and sb.is_subset(
+                ground_5.parse("AB"), before
+            ):
+                assert after == before
+            assert sb.is_subset(before & ~rule.family.union_support(), after)
+
+    def test_empty_family_rule_planting(self, ground_5):
+        rng = random.Random(8)
+        db = random_baskets(ground_5, 30, 0.6, rng)
+        from repro.core import SetFamily
+
+        rule = DisjunctiveConstraint(
+            ground_5, ground_5.parse("AB"), SetFamily(ground_5)
+        )
+        planted = plant_disjunctive_rule(db, rule, rng)
+        assert rule.satisfied_by(planted)
+
+    def test_fully_empty_rule(self, ground_5):
+        rng = random.Random(9)
+        from repro.core import SetFamily
+
+        db = random_baskets(ground_5, 10, 0.5, rng)
+        rule = DisjunctiveConstraint(ground_5, 0, SetFamily(ground_5))
+        planted = plant_disjunctive_rule(db, rule, rng)
+        assert len(planted) == 0

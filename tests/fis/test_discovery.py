@@ -1,0 +1,126 @@
+"""Tests for differential-theory discovery."""
+
+import pytest
+
+from repro.core import ConstraintSet, DifferentialConstraint, GroundSet
+from repro.core import subsets as sb
+from repro.core.implication import implies_lattice
+from repro.fis import BasketDatabase, random_baskets
+from repro.fis.discovery import (
+    discover_cover,
+    minimal_disjunctive_rules,
+    theory_of,
+    zero_set,
+)
+from repro.instances import random_constraint, random_nonneg_density_function
+
+
+class TestZeroSetAndTheory:
+    def test_zero_set_definition(self, ground_abc, rng):
+        f = random_nonneg_density_function(rng, ground_abc)
+        z = zero_set(f)
+        for mask in ground_abc.all_masks():
+            assert (abs(f.density_value(mask)) <= 1e-9) == (mask in z)
+
+    def test_theory_axiomatizes_satisfaction(self, ground_abcd, rng):
+        """f |= c iff theory_of(f) |= c -- the defining property."""
+        for _ in range(12):
+            f = random_nonneg_density_function(rng, ground_abcd)
+            theory = theory_of(f)
+            for _ in range(12):
+                c = random_constraint(
+                    rng, ground_abcd, max_members=2, allow_empty_member=True
+                )
+                assert c.satisfied_by(f) == implies_lattice(theory, c)
+
+    def test_theory_of_sparse_function(self, ground_abcd, rng):
+        db = random_baskets(ground_abcd, 12, 0.5, rng)
+        sparse = db.support_function()
+        dense = db.dense_support_function()
+        assert theory_of(sparse) == theory_of(dense)
+
+    def test_zero_function_has_full_theory(self, ground_abc, rng):
+        from repro.core import SetFunction
+
+        f = SetFunction.zeros(ground_abc, exact=True)
+        theory = theory_of(f)
+        for _ in range(20):
+            c = random_constraint(
+                rng, ground_abc, max_members=2, allow_empty_member=True
+            )
+            assert implies_lattice(theory, c)
+
+
+class TestDiscoverCover:
+    def test_cover_equivalent_to_theory(self, ground_abc, rng):
+        for _ in range(8):
+            f = random_nonneg_density_function(rng, ground_abc)
+            cover = discover_cover(f)
+            theory = theory_of(f)
+            assert cover.equivalent_to(theory)
+            assert len(cover) <= len(theory)
+
+    def test_cover_from_database(self, ground_abc, rng):
+        db = random_baskets(ground_abc, 8, 0.5, rng)
+        cover = discover_cover(db)
+        f = db.support_function()
+        for c in cover:
+            assert c.satisfied_by(f)
+
+    def test_cover_irredundant(self, ground_abc, rng):
+        f = random_nonneg_density_function(rng, ground_abc)
+        cover = discover_cover(f)
+        for c in cover:
+            assert not cover.is_redundant(c)
+
+
+class TestMinimalRules:
+    def test_rules_are_satisfied_and_nontrivial(self, ground_abcd, rng):
+        for _ in range(10):
+            db = random_baskets(ground_abcd, rng.randint(1, 15), 0.5, rng)
+            for rule in minimal_disjunctive_rules(db, max_rhs=2):
+                assert rule.satisfied_by(db)
+                assert not rule.is_trivial
+                assert rule.lhs & rule.family.union_support() == 0
+
+    def test_rules_are_minimal(self, ground_abcd, rng):
+        """No componentwise-smaller pair is a satisfied rule."""
+        from repro.fis.disjunctive_free import holds_singleton_rule
+
+        for _ in range(8):
+            db = random_baskets(ground_abcd, rng.randint(1, 12), 0.5, rng)
+            rules = minimal_disjunctive_rules(db, max_rhs=2)
+            for rule in rules:
+                rhs = rule.family.union_support()
+                for sub_lhs in sb.iter_subsets(rule.lhs):
+                    for sub_rhs in sb.iter_subsets(rhs):
+                        if sub_rhs == 0:
+                            continue
+                        if (sub_lhs, sub_rhs) == (rule.lhs, rhs):
+                            continue
+                        assert not holds_singleton_rule(db, sub_lhs, sub_rhs)
+
+    def test_rules_generate_all_satisfied(self, ground_abc, rng):
+        """Every satisfied singleton rule is dominated by a minimal one."""
+        from repro.fis.disjunctive_free import holds_singleton_rule
+
+        for _ in range(10):
+            db = random_baskets(ground_abc, rng.randint(1, 10), 0.5, rng)
+            rules = minimal_disjunctive_rules(db)
+            pairs = [(r.lhs, r.family.union_support()) for r in rules]
+            universe = ground_abc.universe_mask
+            for rhs in range(1, universe + 1):
+                for lhs in sb.iter_subsets(universe & ~rhs):
+                    if holds_singleton_rule(db, lhs, rhs):
+                        assert any(
+                            sb.is_subset(pl, lhs) and sb.is_subset(pr, rhs)
+                            for pl, pr in pairs
+                        ), (ground_abc.format_mask(lhs), ground_abc.format_mask(rhs))
+
+    def test_perfect_correlation_found(self, ground_abcd):
+        """A and B always co-occur: the rules A => B and B => A emerge."""
+        db = BasketDatabase.of(ground_abcd, "AB", "ABC", "ABD", "C", "D")
+        rules = minimal_disjunctive_rules(db, max_rhs=1)
+        reprs = {repr(r) for r in rules}
+        assert "A =>disj {B}" in reprs
+        assert "B =>disj {A}" in reprs

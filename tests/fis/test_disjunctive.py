@@ -1,0 +1,115 @@
+"""Unit tests for disjunctive constraints (Def 6.1, Props 6.3-6.4)."""
+
+import pytest
+
+from repro.core import DifferentialConstraint, GroundSet, SetFamily
+from repro.fis import (
+    BasketDatabase,
+    DisjunctiveConstraint,
+    implies_disjunctive,
+    random_baskets,
+    semantic_implies_over_single_basket_lists,
+)
+from repro.instances import random_constraint, random_family, random_mask
+
+
+class TestSatisfaction:
+    def test_definition_61(self, ground_abcd):
+        # every basket with A also has AB or ACD
+        db = BasketDatabase.of(ground_abcd, "AB", "ACD", "BC", "ABD")
+        c = DisjunctiveConstraint.of(ground_abcd, "A", "B", "CD")
+        assert c.satisfied_by(db)
+        db_bad = db.extended(["AD"])  # has A, lacks both B and CD
+        assert not c.satisfied_by(db_bad)
+
+    def test_pure_association_rule(self, ground_abcd):
+        """B({a}) = B({a, b}): the [25] augmentation example."""
+        db = BasketDatabase.of(ground_abcd, "AB", "ABC", "BD")
+        rule = DisjunctiveConstraint.of(ground_abcd, "A", "B")
+        assert rule.satisfied_by(db)
+        # augmentation: AC =>disj B also holds
+        lifted = DisjunctiveConstraint.of(ground_abcd, "AC", "B")
+        assert lifted.satisfied_by(db)
+
+    def test_trivial_always_satisfied(self, ground_abcd, rng):
+        c = DisjunctiveConstraint.of(ground_abcd, "AB", "B")
+        assert c.is_trivial
+        for _ in range(10):
+            db = random_baskets(ground_abcd, rng.randint(0, 10), 0.5, rng)
+            assert c.satisfied_by(db)
+
+    def test_empty_family_means_absent(self, ground_abcd):
+        c = DisjunctiveConstraint(
+            ground_abcd, ground_abcd.parse("AB"), SetFamily(ground_abcd)
+        )
+        assert c.satisfied_by(BasketDatabase.of(ground_abcd, "A", "B", "CD"))
+        assert not c.satisfied_by(BasketDatabase.of(ground_abcd, "ABC"))
+
+    def test_empty_database_satisfies_everything(self, ground_abcd, rng):
+        db = BasketDatabase(ground_abcd, [])
+        for _ in range(20):
+            c = DisjunctiveConstraint.from_differential(
+                random_constraint(rng, ground_abcd, allow_empty_member=True)
+            )
+            assert c.satisfied_by(db)
+
+
+class TestProposition63:
+    def test_satisfaction_transfer(self, ground_abcd, rng):
+        for _ in range(30):
+            db = random_baskets(ground_abcd, rng.randint(1, 25), 0.45, rng)
+            sparse = db.support_function()
+            dense = db.dense_support_function()
+            for _ in range(10):
+                c = random_constraint(
+                    rng, ground_abcd, max_members=2, allow_empty_member=True
+                )
+                disj = DisjunctiveConstraint.from_differential(c)
+                assert (
+                    disj.satisfied_by(db)
+                    == c.satisfied_by(sparse)
+                    == c.satisfied_by(dense)
+                )
+
+
+class TestProposition64:
+    def test_implication_routes_agree(self, ground_abcd, rng):
+        for _ in range(60):
+            rules = [
+                DisjunctiveConstraint.from_differential(
+                    random_constraint(rng, ground_abcd, max_members=2)
+                )
+                for _ in range(rng.randint(1, 3))
+            ]
+            t = DisjunctiveConstraint.from_differential(
+                random_constraint(rng, ground_abcd, max_members=2)
+            )
+            a = implies_disjunctive(rules, t, "lattice")
+            b = implies_disjunctive(rules, t, "sat")
+            c = semantic_implies_over_single_basket_lists(rules, t)
+            assert a == b == c
+
+    def test_example_34_in_disjunctive_world(self, ground_abc):
+        rules = [
+            DisjunctiveConstraint.of(ground_abc, "A", "B"),
+            DisjunctiveConstraint.of(ground_abc, "B", "C"),
+        ]
+        t = DisjunctiveConstraint.of(ground_abc, "A", "C")
+        assert implies_disjunctive(rules, t)
+        assert semantic_implies_over_single_basket_lists(rules, t)
+
+
+class TestSupportSet:
+    def test_support_set(self, ground_abcd):
+        c = DisjunctiveConstraint.of(ground_abcd, "A", "B", "CD")
+        assert c.support_set() == ground_abcd.parse("ABCD")
+
+    def test_round_trip_conversion(self, ground_abcd, rng):
+        for _ in range(20):
+            c = random_constraint(rng, ground_abcd, max_members=2)
+            disj = DisjunctiveConstraint.from_differential(c)
+            assert disj.to_differential() == c
+
+    def test_repr(self, ground_abcd):
+        c = DisjunctiveConstraint.of(ground_abcd, "A", "B", "CD")
+        assert repr(c) == "A =>disj {B, CD}"

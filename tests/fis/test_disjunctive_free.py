@@ -1,0 +1,96 @@
+"""Unit tests for disjunctive / disjunctive-free itemsets (Def 6.2)."""
+
+import pytest
+
+from repro.core import GroundSet
+from repro.core import subsets as sb
+from repro.fis import (
+    BasketDatabase,
+    find_disjunctive_rule,
+    holds_singleton_rule,
+    is_disjunctive,
+    is_disjunctive_bruteforce,
+    is_disjunctive_free,
+    iter_disjunctive_free,
+    random_baskets,
+)
+
+
+class TestSingletonRules:
+    def test_holds_singleton_rule(self, ground_abcd):
+        db = BasketDatabase.of(ground_abcd, "AB", "AC", "BC")
+        # every basket with A has B or C
+        assert holds_singleton_rule(
+            db, ground_abcd.parse("A"), ground_abcd.parse("BC")
+        )
+        assert not holds_singleton_rule(
+            db, ground_abcd.parse("A"), ground_abcd.parse("B")
+        )
+
+    def test_rule_found_certifies(self, ground_abcd, rng):
+        for _ in range(25):
+            db = random_baskets(ground_abcd, rng.randint(1, 15), 0.5, rng)
+            for x in ground_abcd.all_masks():
+                rule = find_disjunctive_rule(db, x)
+                if rule is not None:
+                    assert rule.satisfied_by(db)
+                    assert not rule.is_trivial
+                    assert sb.is_subset(rule.support_set(), x)
+
+
+class TestDefinition62Reductions:
+    def test_general_matches_bruteforce(self, ground_abc, rng):
+        """The singleton + maximal-LHS reductions are exact for the
+        paper's arbitrary-family definition."""
+        for _ in range(25):
+            db = random_baskets(ground_abc, rng.randint(1, 8), rng.random(), rng)
+            for x in ground_abc.all_masks():
+                assert is_disjunctive(db, x) == is_disjunctive_bruteforce(db, x)
+
+    def test_width_monotone(self, ground_abcd, rng):
+        """Wider rule budgets can only find more disjunctive sets."""
+        for _ in range(15):
+            db = random_baskets(ground_abcd, rng.randint(1, 20), 0.5, rng)
+            for x in ground_abcd.all_masks():
+                w1 = is_disjunctive(db, x, max_rhs=1)
+                w2 = is_disjunctive(db, x, max_rhs=2)
+                wall = is_disjunctive(db, x, max_rhs=None)
+                assert (not w1) or w2  # w1 -> w2
+                assert (not w2) or wall
+
+    def test_upward_closed(self, ground_abcd, rng):
+        """Supersets of disjunctive sets are disjunctive (the paper's
+        augmentation argument)."""
+        for _ in range(15):
+            db = random_baskets(ground_abcd, rng.randint(1, 20), 0.5, rng)
+            for x in ground_abcd.all_masks():
+                if is_disjunctive(db, x, max_rhs=2):
+                    for sup in sb.iter_supersets(x, ground_abcd.universe_mask):
+                        assert is_disjunctive(db, sup, max_rhs=2)
+
+
+class TestDisjunctiveFree:
+    def test_complementarity(self, ground_abcd, rng):
+        db = random_baskets(ground_abcd, 12, 0.5, rng)
+        for x in ground_abcd.all_masks():
+            assert is_disjunctive_free(db, x) != is_disjunctive(db, x)
+
+    def test_iter_disjunctive_free(self, ground_abc, rng):
+        db = random_baskets(ground_abc, 8, 0.5, rng)
+        free = set(iter_disjunctive_free(db))
+        for x in ground_abc.all_masks():
+            assert (x in free) == is_disjunctive_free(db, x)
+
+    def test_empty_set_usually_free(self, ground_abcd):
+        """(/) is disjunctive only when some single item covers every
+        basket or an item never occurs... (rules with empty LHS)."""
+        db = BasketDatabase.of(ground_abcd, "AB", "CD")
+        assert is_disjunctive_free(db, 0)
+
+    def test_bykowski_rigotti_example_shape(self, ground_abcd):
+        """B(X') = B(X'+y1) union B(X'+y2) makes X'+y1+y2 disjunctive."""
+        db = BasketDatabase.of(ground_abcd, "AB", "AC", "ABC", "D")
+        x = ground_abcd.parse("ABC")
+        assert is_disjunctive(db, x, max_rhs=2)
+        rule = find_disjunctive_rule(db, x, max_rhs=2)
+        assert rule.lhs == ground_abcd.parse("A")

@@ -1,0 +1,176 @@
+"""Tests for frequency-constraint satisfiability (the C-P bridge)."""
+
+import random
+
+import pytest
+
+from repro.core import ConstraintSet, DifferentialConstraint, GroundSet
+from repro.fis import BasketDatabase, is_support_function, random_baskets
+from repro.fis.freqsat import (
+    FrequencyConstraint,
+    GeneralizedDensityConstraint,
+    measure_sat,
+    support_sat,
+)
+
+
+@pytest.fixture
+def s() -> GroundSet:
+    return GroundSet("ABC")
+
+
+class TestFrequencyConstraint:
+    def test_satisfaction(self, s, rng):
+        db = random_baskets(s, 10, 0.5, rng)
+        f = db.dense_support_function()
+        for x in s.all_masks():
+            v = db.support(x)
+            assert FrequencyConstraint(x, v, v).satisfied_by(f)
+            assert FrequencyConstraint(x, 0, None).satisfied_by(f)
+            assert not FrequencyConstraint(x, v + 1, None).satisfied_by(f)
+            if v:
+                assert not FrequencyConstraint(x, 0, v - 1).satisfied_by(f)
+
+    def test_of_shorthand(self, s):
+        fc = FrequencyConstraint.of(s, "AB", 2, 5)
+        assert fc.x_mask == s.parse("AB")
+
+
+class TestMeasureSat:
+    def test_simple_feasible(self, s):
+        witness = measure_sat(
+            s,
+            [
+                FrequencyConstraint.of(s, "", 10, 10),
+                FrequencyConstraint.of(s, "A", 4, 6),
+                FrequencyConstraint.of(s, "AB", 2, 3),
+            ],
+        )
+        assert witness is not None
+        assert witness.is_nonnegative_density(1e-9)
+        assert 10 - 1e-6 <= witness("") <= 10 + 1e-6
+        assert 4 - 1e-6 <= witness("A") <= 6 + 1e-6
+
+    def test_antimonotonicity_infeasible(self, s):
+        """s(AB) > s(A) is impossible for any frequency function."""
+        witness = measure_sat(
+            s,
+            [
+                FrequencyConstraint.of(s, "A", 0, 3),
+                FrequencyConstraint.of(s, "AB", 5, None),
+            ],
+        )
+        assert witness is None
+
+    def test_inclusion_exclusion_infeasible(self, s):
+        """s(A)+s(B) - s(AB) <= s((/)) must hold; violate it."""
+        witness = measure_sat(
+            s,
+            [
+                FrequencyConstraint.of(s, "", 10, 10),
+                FrequencyConstraint.of(s, "A", 8, None),
+                FrequencyConstraint.of(s, "B", 8, None),
+                FrequencyConstraint.of(s, "AB", 0, 2),
+            ],
+        )
+        assert witness is None
+
+    def test_with_differential_constraints(self, s):
+        """A -> {B} forces every A-basket to contain B: s(A) = s(AB)."""
+        c = DifferentialConstraint.parse(s, "A -> B")
+        witness = measure_sat(
+            s,
+            [
+                FrequencyConstraint.of(s, "A", 5, 5),
+                FrequencyConstraint.of(s, "AB", 5, 5),
+            ],
+            [c],
+        )
+        assert witness is not None
+        assert c.satisfied_by(witness, tol=1e-7)
+
+        conflicting = measure_sat(
+            s,
+            [
+                FrequencyConstraint.of(s, "A", 5, 5),
+                FrequencyConstraint.of(s, "AB", 0, 3),
+            ],
+            [c],
+        )
+        assert conflicting is None
+
+    def test_generalized_density_bounds(self, s):
+        """The conclusion's generalization: pin a density to a range."""
+        g = GeneralizedDensityConstraint.of(s, "A", ["B"], lower=2, upper=4)
+        witness = measure_sat(s, [], [g])
+        assert witness is not None
+        assert g.satisfied_by(witness, tol=1e-7)
+        for u in g.region(s):
+            assert witness.density_value(u) >= 2 - 1e-7
+
+    def test_generalized_subsumes_differential(self, s, rng):
+        from repro.instances import random_constraint
+
+        for _ in range(20):
+            c = random_constraint(rng, s, max_members=2)
+            g = GeneralizedDensityConstraint.from_differential(c)
+            f = random_baskets(s, 8, 0.5, rng).dense_support_function()
+            assert g.satisfied_by(f) == c.satisfied_by(f)
+
+    def test_contradictory_density_bounds(self, s):
+        g1 = GeneralizedDensityConstraint.of(s, "A", ["B"], lower=3, upper=None)
+        g2 = GeneralizedDensityConstraint.of(s, "A", ["B"], lower=0, upper=1)
+        assert measure_sat(s, [], [g1, g2]) is None
+
+
+class TestSupportSat:
+    def test_integral_witness_is_database(self, s):
+        db = support_sat(
+            s,
+            [
+                FrequencyConstraint.of(s, "", 7, 7),
+                FrequencyConstraint.of(s, "A", 3, 3),
+                FrequencyConstraint.of(s, "AB", 1, 2),
+            ],
+        )
+        assert isinstance(db, BasketDatabase)
+        assert len(db) == 7
+        assert db.support(s.parse("A")) == 3
+        assert 1 <= db.support(s.parse("AB")) <= 2
+
+    def test_integral_gap(self, s):
+        """Rationally feasible but integrally infeasible bounds."""
+        constraints = [
+            FrequencyConstraint.of(s, "", 1, 1),
+            FrequencyConstraint.of(s, "A", 0.4, 0.6),
+        ]
+        assert measure_sat(s, constraints) is not None
+        assert support_sat(s, constraints) is None
+
+    def test_round_trip_with_real_database(self, s, rng):
+        """Pinning every support to a real database's values must be
+        satisfiable -- and any witness has the same support function."""
+        db = random_baskets(s, 9, 0.5, rng)
+        constraints = [
+            FrequencyConstraint(x, db.support(x), db.support(x))
+            for x in s.all_masks()
+        ]
+        witness = support_sat(s, constraints)
+        assert witness is not None
+        for x in s.all_masks():
+            assert witness.support(x) == db.support(x)
+
+    def test_differential_constraints_in_integral_mode(self, s):
+        c = DifferentialConstraint.parse(s, "A -> B, C")
+        db = support_sat(
+            s,
+            [
+                FrequencyConstraint.of(s, "A", 4, 4),
+                FrequencyConstraint.of(s, "", 6, 6),
+            ],
+            [c],
+        )
+        assert db is not None
+        from repro.fis import DisjunctiveConstraint
+
+        assert DisjunctiveConstraint.from_differential(c).satisfied_by(db)

@@ -1,0 +1,111 @@
+"""Unit tests for frequency functions / positive(S) (Section 6)."""
+
+import pytest
+
+from repro.core import GroundSet, SetFamily, SetFunction
+from repro.errors import NotAFrequencyFunctionError
+from repro.fis import (
+    BasketDatabase,
+    check_differentials_nonnegative,
+    induce_basket_database,
+    is_frequency_function,
+    is_support_function,
+    random_baskets,
+    semantics_agree_on,
+)
+from repro.instances import (
+    random_constraint,
+    random_family,
+    random_nonneg_density_function,
+    random_set_function,
+)
+
+
+class TestClassMembership:
+    def test_support_functions_are_frequency_functions(self, ground_abcd, rng):
+        for _ in range(15):
+            db = random_baskets(ground_abcd, rng.randint(0, 30), 0.5, rng)
+            f = db.dense_support_function()
+            assert is_frequency_function(f)
+            assert is_support_function(f)
+
+    def test_scaled_nonintegral_is_frequency_not_support(self, ground_abc):
+        f = SetFunction.from_density(ground_abc, {"A": 0.5, "BC": 1.5})
+        assert is_frequency_function(f)
+        assert not is_support_function(f)
+
+    def test_negative_density_excluded(self, ground_abc):
+        f = SetFunction.from_density(ground_abc, {"A": 1, "B": -1}, exact=True)
+        assert not is_frequency_function(f)
+        assert not is_support_function(f)
+
+    def test_zero_function_is_support(self, ground_abc):
+        f = SetFunction.zeros(ground_abc, exact=True)
+        assert is_support_function(f)  # the empty basket list
+
+
+class TestDefinitionEquivalence:
+    """Nonnegative density iff all Y-differentials nonnegative (Prop 2.9)."""
+
+    def test_nonneg_density_implies_nonneg_differentials(self, ground_abc, rng):
+        for _ in range(25):
+            f = random_nonneg_density_function(rng, ground_abc)
+            families = [
+                random_family(rng, ground_abc, max_members=3) for _ in range(8)
+            ]
+            assert check_differentials_nonnegative(f, families)
+
+    def test_negative_density_shows_in_density_differential(self, ground_abc, rng):
+        """d(X) is itself a differential, so a negative density value is a
+        negative differential of the density family."""
+        from repro.core import density_family_for, differential_value
+
+        for _ in range(40):
+            f = random_set_function(rng, ground_abc)
+            d = f.density()
+            negative_at = next(
+                (m for m in ground_abc.all_masks() if d.value(m) < -1e-9), None
+            )
+            if negative_at is None:
+                continue
+            fam = density_family_for(ground_abc, negative_at)
+            assert differential_value(f, fam, negative_at) < 0
+
+
+class TestBasketInduction:
+    def test_roundtrip(self, ground_abcd, rng):
+        for _ in range(10):
+            db = random_baskets(ground_abcd, rng.randint(1, 25), 0.4, rng)
+            f = db.dense_support_function()
+            back = induce_basket_database(f)
+            assert sorted(back.baskets) == sorted(db.baskets)
+
+    def test_sparse_roundtrip(self, ground_abcd, rng):
+        db = random_baskets(ground_abcd, 20, 0.5, rng)
+        back = induce_basket_database(db.support_function())
+        assert sorted(back.baskets) == sorted(db.baskets)
+
+    def test_rejects_non_support(self, ground_abc):
+        f = SetFunction.from_density(ground_abc, {"A": 0.5})
+        with pytest.raises(NotAFrequencyFunctionError):
+            induce_basket_database(f)
+        g = SetFunction.from_density(ground_abc, {"A": -1}, exact=True)
+        with pytest.raises(NotAFrequencyFunctionError):
+            induce_basket_database(g)
+
+
+class TestSemanticsAgreement:
+    def test_agree_on_positive(self, ground_abc, rng):
+        """Remark 3.6's final point: on positive(S) the density-based and
+        differential-based semantics coincide."""
+        for _ in range(60):
+            f = random_nonneg_density_function(rng, ground_abc)
+            c = random_constraint(rng, ground_abc, max_members=2)
+            assert semantics_agree_on(f, c)
+
+    def test_can_disagree_outside(self, ground_a):
+        from repro.core import DifferentialConstraint
+
+        f = SetFunction.from_dict(ground_a, {"": 0, "A": 1}, exact=True)
+        c = DifferentialConstraint(ground_a, 0, SetFamily(ground_a))
+        assert not semantics_agree_on(f, c)

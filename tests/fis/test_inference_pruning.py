@@ -1,0 +1,110 @@
+"""Unit tests for inference over disjunctive sets (Section 6, end)."""
+
+import pytest
+
+from repro.core import GroundSet
+from repro.fis import (
+    DisjunctiveConstraint,
+    derivable_beyond_support_sets,
+    is_derivably_disjunctive,
+    prune_redundant_rules,
+    support_set_upclosure,
+)
+
+
+@pytest.fixture
+def paper_rules(ground_abcd):
+    """The paper's closing example: A -> {B, D} and B -> {C, D}."""
+    return [
+        DisjunctiveConstraint.of(ground_abcd, "A", "B", "D"),
+        DisjunctiveConstraint.of(ground_abcd, "B", "C", "D"),
+    ]
+
+
+class TestPaperExample:
+    def test_acd_derivable_by_transitivity(self, ground_abcd, paper_rules):
+        acd = ground_abcd.parse("ACD")
+        assert is_derivably_disjunctive(paper_rules, acd, ground_abcd)
+
+    def test_acd_not_direct(self, ground_abcd, paper_rules):
+        acd = ground_abcd.parse("ACD")
+        assert acd not in support_set_upclosure(paper_rules, ground_abcd)
+
+    def test_acd_in_beyond_set(self, ground_abcd, paper_rules):
+        extra = derivable_beyond_support_sets(paper_rules, ground_abcd)
+        assert ground_abcd.parse("ACD") in extra
+
+    def test_direct_support_sets(self, ground_abcd, paper_rules):
+        direct = support_set_upclosure(paper_rules, ground_abcd)
+        assert ground_abcd.parse("ABD") in direct
+        assert ground_abcd.parse("BCD") in direct
+        assert ground_abcd.parse("ABCD") in direct
+        assert ground_abcd.parse("AB") not in direct
+
+
+class TestDerivability:
+    def test_support_sets_always_derivable(self, ground_abcd, paper_rules):
+        for rule in paper_rules:
+            assert is_derivably_disjunctive(
+                paper_rules, rule.support_set(), ground_abcd
+            )
+
+    def test_upward_closed(self, ground_abcd, paper_rules):
+        import repro.core.subsets as sb
+
+        for mask in ground_abcd.all_masks():
+            if is_derivably_disjunctive(paper_rules, mask, ground_abcd):
+                bigger = mask | ground_abcd.parse("D")
+                assert is_derivably_disjunctive(paper_rules, bigger, ground_abcd)
+
+    def test_nothing_derivable_from_no_rules(self, ground_abcd):
+        for mask in ground_abcd.all_masks():
+            assert not is_derivably_disjunctive([], mask, ground_abcd)
+
+    def test_small_sets_not_derivable(self, ground_abcd, paper_rules):
+        assert not is_derivably_disjunctive(paper_rules, 0, ground_abcd)
+        assert not is_derivably_disjunctive(
+            paper_rules, ground_abcd.parse("A"), ground_abcd
+        )
+
+
+class TestPruning:
+    def test_implied_rule_pruned(self, ground_abcd, paper_rules):
+        derived = DisjunctiveConstraint.of(ground_abcd, "A", "C", "D")
+        rules = paper_rules + [derived]
+        kept = prune_redundant_rules(rules, ground_abcd)
+        assert derived not in kept
+        assert len(kept) == 2
+
+    def test_pruning_preserves_derivable_sets(self, ground_abcd, paper_rules):
+        derived = DisjunctiveConstraint.of(ground_abcd, "A", "C", "D")
+        rules = paper_rules + [derived]
+        kept = prune_redundant_rules(rules, ground_abcd)
+        before = derivable_beyond_support_sets(rules, ground_abcd)
+        after_all = {
+            m
+            for m in ground_abcd.all_masks()
+            if is_derivably_disjunctive(kept, m, ground_abcd)
+        }
+        before_all = {
+            m
+            for m in ground_abcd.all_masks()
+            if is_derivably_disjunctive(rules, m, ground_abcd)
+        }
+        assert after_all == before_all
+
+    def test_independent_rules_kept(self, ground_abcd):
+        rules = [
+            DisjunctiveConstraint.of(ground_abcd, "A", "B"),
+            DisjunctiveConstraint.of(ground_abcd, "C", "D"),
+        ]
+        kept = prune_redundant_rules(rules, ground_abcd)
+        assert len(kept) == 2
+
+    def test_trivial_rules_pruned(self, ground_abcd):
+        rules = [
+            DisjunctiveConstraint.of(ground_abcd, "AB", "B"),  # trivial
+            DisjunctiveConstraint.of(ground_abcd, "A", "B"),
+        ]
+        kept = prune_redundant_rules(rules, ground_abcd)
+        assert len(kept) == 1

@@ -1,0 +1,123 @@
+"""Unit tests for the propositional formula AST."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    Const,
+    Implies,
+    Not,
+    Or,
+    Var,
+    conj,
+    disj,
+)
+
+
+class TestEvaluation:
+    def test_var(self):
+        assert Var("A").evaluate({"A": True})
+        assert not Var("A").evaluate({"A": False})
+
+    def test_connectives(self):
+        a, b = Var("A"), Var("B")
+        env = {"A": True, "B": False}
+        assert not (a & b).evaluate(env)
+        assert (a | b).evaluate(env)
+        assert (~b).evaluate(env)
+        assert not (a >> b).evaluate(env)
+        assert (b >> a).evaluate(env)
+
+    def test_constants(self):
+        assert TRUE.evaluate({})
+        assert not FALSE.evaluate({})
+
+    def test_empty_nary_conventions(self):
+        assert And(()).evaluate({})  # empty conjunction is true
+        assert not Or(()).evaluate({})  # empty disjunction is false
+
+    def test_conj_disj_helpers(self):
+        assert conj([]) == TRUE
+        assert disj([]) == FALSE
+        a = Var("A")
+        assert conj([a]) == a
+        assert disj([a]) == a
+        assert isinstance(conj([a, Var("B")]), And)
+
+
+class TestVariables:
+    def test_collects_all(self):
+        f = (Var("A") & Var("B")) >> ~Var("C")
+        assert f.variables() == {"A", "B", "C"}
+
+    def test_constants_have_none(self):
+        assert TRUE.variables() == frozenset()
+
+
+class TestNnf:
+    def _equivalent(self, f, g, names):
+        for bits in range(1 << len(names)):
+            env = {n: bool(bits >> i & 1) for i, n in enumerate(names)}
+            if f.evaluate(env) != g.evaluate(env):
+                return False
+        return True
+
+    def test_de_morgan(self):
+        a, b = Var("A"), Var("B")
+        f = ~(a & b)
+        nnf = f.to_nnf()
+        assert isinstance(nnf, Or)
+        assert self._equivalent(f, nnf, ["A", "B"])
+
+    def test_implication_rewrites(self):
+        a, b = Var("A"), Var("B")
+        f = a >> b
+        nnf = f.to_nnf()
+        assert self._equivalent(f, nnf, ["A", "B"])
+
+    def test_double_negation(self):
+        a = Var("A")
+        assert (~~a).to_nnf() == a
+
+    def test_negated_constants(self):
+        assert (~TRUE).to_nnf() == FALSE
+        assert (~FALSE).to_nnf() == TRUE
+
+    def test_random_formulas(self, rng):
+        names = ["A", "B", "C"]
+
+        def random_formula(depth):
+            if depth == 0:
+                return Var(rng.choice(names))
+            kind = rng.randrange(4)
+            if kind == 0:
+                return Not(random_formula(depth - 1))
+            if kind == 1:
+                return And((random_formula(depth - 1), random_formula(depth - 1)))
+            if kind == 2:
+                return Or((random_formula(depth - 1), random_formula(depth - 1)))
+            return Implies(random_formula(depth - 1), random_formula(depth - 1))
+
+        for _ in range(60):
+            f = random_formula(3)
+            assert self._equivalent(f, f.to_nnf(), names)
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert Var("A") == Var("A")
+        assert Var("A") != Var("B")
+        assert And((Var("A"), Var("B"))) == And((Var("A"), Var("B")))
+        assert hash(Not(Var("A"))) == hash(Not(Var("A")))
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Var("A").name = "B"
+        with pytest.raises(AttributeError):
+            TRUE.value = False
+
+    def test_repr(self):
+        assert repr(Var("A") >> Var("B")) == "(A => B)"
+        assert repr(TRUE) == "TRUE"

@@ -1,0 +1,84 @@
+"""Unit tests for implication constraints (Definition 5.2, Props 5.3-5.4)."""
+
+import pytest
+
+from repro.core import ConstraintSet, DifferentialConstraint, GroundSet
+from repro.core.implication import implies_lattice
+from repro.logic import implies_prop, negminset_of_constraint, to_formula
+from repro.logic.minterms import assignment_of_mask
+from repro.instances import random_constraint, random_constraint_set
+
+
+class TestFormulaShape:
+    def test_section5_example(self, ground_abcd):
+        """alpha = A => B or (C and D): negminset = {A, AC, AD}."""
+        c = DifferentialConstraint.parse(ground_abcd, "A -> B, CD")
+        got = negminset_of_constraint(c)
+        want = {ground_abcd.parse(x) for x in ("A", "AC", "AD")}
+        assert got == want
+
+    def test_formula_semantics(self, ground_abcd, rng):
+        """The formula holds at U iff U is NOT in L(X, Y)."""
+        for _ in range(40):
+            c = random_constraint(
+                rng, ground_abcd, max_members=3, allow_empty_member=True
+            )
+            formula = to_formula(c)
+            for mask in ground_abcd.all_masks():
+                env = assignment_of_mask(ground_abcd, mask)
+                assert formula.evaluate(env) == (not c.lattice_contains(mask))
+
+    def test_empty_family_is_negated_antecedent(self, ground_abc):
+        c = DifferentialConstraint.parse(ground_abc, "A -> ")
+        formula = to_formula(c)
+        assert not formula.evaluate({"A": True, "B": False, "C": False})
+        assert formula.evaluate({"A": False, "B": True, "C": True})
+
+    def test_empty_member_makes_formula_valid(self, ground_abc):
+        from repro.core import SetFamily
+
+        c = DifferentialConstraint(
+            ground_abc, ground_abc.parse("A"), SetFamily(ground_abc, [0])
+        )
+        formula = to_formula(c)
+        for mask in ground_abc.all_masks():
+            assert formula.evaluate(assignment_of_mask(ground_abc, mask))
+
+
+class TestProposition53:
+    def test_negminset_equals_lattice(self, ground_abcd, rng):
+        for _ in range(80):
+            c = random_constraint(
+                rng, ground_abcd, max_members=3, allow_empty_member=True
+            )
+            assert negminset_of_constraint(c) == set(c.iter_lattice())
+
+
+class TestProposition54:
+    def test_three_routes_agree(self, ground_abcd, rng):
+        for _ in range(80):
+            cs = random_constraint_set(
+                rng, ground_abcd, rng.randint(1, 3), max_members=2,
+                allow_empty_member=True,
+            )
+            t = random_constraint(
+                rng, ground_abcd, max_members=2, allow_empty_member=True
+            )
+            lat = implies_lattice(cs, t)
+            via_minset = implies_prop(cs, t, "minset")
+            via_sat = implies_prop(cs, t, "sat")
+            assert lat == via_minset == via_sat
+
+    def test_example_34_through_logic(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        t = DifferentialConstraint.parse(ground_abc, "A -> C")
+        assert implies_prop(cs, t, "minset")
+        assert implies_prop(cs, t, "sat")
+        t2 = DifferentialConstraint.parse(ground_abc, "C -> B")
+        assert not implies_prop(cs, t2, "minset")
+
+    def test_unknown_method(self, ground_abc):
+        cs = ConstraintSet.of(ground_abc, "A -> B")
+        t = DifferentialConstraint.parse(ground_abc, "A -> B")
+        with pytest.raises(ValueError):
+            implies_prop(cs, t, "nope")

@@ -1,0 +1,96 @@
+"""Unit tests for minterms and minsets (Definition 5.1)."""
+
+import pytest
+
+from repro.core import GroundSet
+from repro.logic import (
+    Not,
+    Var,
+    assignment_of_mask,
+    equivalent,
+    implies_by_minsets,
+    minset,
+    minterm,
+    negminset,
+)
+
+
+class TestMinterm:
+    def test_minterm_true_exactly_at_mask(self, ground_abc):
+        for mask in ground_abc.all_masks():
+            m = minterm(ground_abc, mask)
+            for other in ground_abc.all_masks():
+                env = assignment_of_mask(ground_abc, other)
+                assert m.evaluate(env) == (other == mask)
+
+    def test_assignment_of_mask(self, ground_abc):
+        env = assignment_of_mask(ground_abc, ground_abc.parse("AC"))
+        assert env == {"A": True, "B": False, "C": True}
+
+
+class TestMinset:
+    def test_minset_of_var(self, ground_abc):
+        got = minset(Var("A"), ground_abc)
+        want = {m for m in ground_abc.all_masks() if m & 1}
+        assert got == want
+
+    def test_minset_disjunction_decomposes(self, ground_abc):
+        """phi is equivalent to the disjunction of its minset's minterms."""
+        f = Var("A") >> Var("B")
+        ms = minset(f, ground_abc)
+        for mask in ground_abc.all_masks():
+            env = assignment_of_mask(ground_abc, mask)
+            assert f.evaluate(env) == (mask in ms)
+
+    def test_negminset_is_complement(self, ground_abc):
+        f = (Var("A") & Var("B")) | Var("C")
+        pos = minset(f, ground_abc)
+        neg = negminset(f, ground_abc)
+        assert pos | neg == set(ground_abc.all_masks())
+        assert pos & neg == set()
+
+    def test_foreign_variables_rejected(self, ground_abc):
+        with pytest.raises(ValueError):
+            minset(Var("Z"), ground_abc)
+
+
+class TestEquivalence:
+    def test_de_morgan_equivalence(self, ground_abc):
+        a, b = Var("A"), Var("B")
+        assert equivalent(~(a & b), ~a | ~b, ground_abc)
+        assert not equivalent(a & b, a | b, ground_abc)
+
+
+class TestMinsetImplication:
+    """The 'well-known' fact before Prop 5.4: Phi |= phi iff
+    negminset(phi) is covered by the premises' negminsets."""
+
+    def test_modus_ponens_style(self, ground_abc):
+        a, b, c = Var("A"), Var("B"), Var("C")
+        assert implies_by_minsets([a >> b, b >> c], a >> c, ground_abc)
+        assert not implies_by_minsets([a >> b], b >> a, ground_abc)
+
+    def test_matches_truth_table_implication(self, ground_abc, rng):
+        names = ["A", "B", "C"]
+
+        def rand_formula(depth):
+            if depth == 0:
+                return Var(rng.choice(names))
+            k = rng.randrange(3)
+            if k == 0:
+                return Not(rand_formula(depth - 1))
+            left, right = rand_formula(depth - 1), rand_formula(depth - 1)
+            return (left & right) if k == 1 else (left | right)
+
+        for _ in range(60):
+            premises = [rand_formula(2) for _ in range(rng.randint(1, 3))]
+            conclusion = rand_formula(2)
+            # truth-table implication
+            want = True
+            for mask in ground_abc.all_masks():
+                env = assignment_of_mask(ground_abc, mask)
+                if all(p.evaluate(env) for p in premises) and not conclusion.evaluate(env):
+                    want = False
+                    break
+            got = implies_by_minsets(premises, conclusion, ground_abc)
+            assert got == want

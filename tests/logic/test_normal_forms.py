@@ -1,0 +1,128 @@
+"""Unit tests for CNF/DNF conversion."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    Not,
+    Or,
+    Var,
+    VariableMap,
+    solve,
+    to_cnf_clauses,
+    to_cnf_clauses_distributive,
+    to_dnf_terms,
+)
+
+
+def _random_formula(rng, names, depth):
+    if depth == 0:
+        return Var(rng.choice(names))
+    kind = rng.randrange(3)
+    if kind == 0:
+        return Not(_random_formula(rng, names, depth - 1))
+    parts = tuple(
+        _random_formula(rng, names, depth - 1) for _ in range(rng.randint(2, 3))
+    )
+    return And(parts) if kind == 1 else Or(parts)
+
+
+def _evaluate(formula, names, bits):
+    env = {n: bool(bits >> i & 1) for i, n in enumerate(names)}
+    return formula.evaluate(env)
+
+
+class TestVariableMap:
+    def test_stable_indices(self):
+        vm = VariableMap()
+        assert vm.index_of("A") == 1
+        assert vm.index_of("B") == 2
+        assert vm.index_of("A") == 1
+        assert vm.name_of(2) == "B"
+
+    def test_fresh_variables_unnamed(self):
+        vm = VariableMap()
+        vm.index_of("A")
+        aux = vm.fresh()
+        assert aux == 2
+        assert vm.name_of(aux) is None
+        assert vm.count == 2
+
+
+class TestTseitin:
+    def test_equisatisfiable_random(self, rng):
+        names = ["A", "B", "C"]
+        for _ in range(80):
+            f = _random_formula(rng, names, 3)
+            vm = VariableMap()
+            for n in names:
+                vm.index_of(n)
+            clauses = to_cnf_clauses(f, vm)
+            sat_direct = any(
+                _evaluate(f, names, bits) for bits in range(1 << len(names))
+            )
+            assert (solve(clauses) is not None) == sat_direct
+
+    def test_models_project_correctly(self, rng):
+        names = ["A", "B"]
+        f = Or((And((Var("A"), Not(Var("B")))), And((Not(Var("A")), Var("B")))))
+        vm = VariableMap()
+        for n in names:
+            vm.index_of(n)
+        clauses = to_cnf_clauses(f, vm)
+        model = solve(clauses)
+        assert model is not None
+        env = {n: model.get(vm.index_of(n), False) for n in names}
+        assert f.evaluate(env)
+
+    def test_constants(self):
+        vm = VariableMap()
+        assert solve(to_cnf_clauses(TRUE, vm)) is not None
+        vm2 = VariableMap()
+        assert solve(to_cnf_clauses(FALSE, vm2)) is None
+
+
+class TestDnfTerms:
+    def test_simple(self):
+        f = Or((And((Var("A"), Not(Var("B")))), Var("C")))
+        terms = to_dnf_terms(f)
+        assert (frozenset({"A"}), frozenset({"B"})) in terms
+        assert (frozenset({"C"}), frozenset()) in terms
+
+    def test_contradictory_terms_dropped(self):
+        f = And((Var("A"), Not(Var("A"))))
+        assert to_dnf_terms(f) == []
+
+    def test_equivalence_random(self, rng):
+        names = ["A", "B", "C"]
+        for _ in range(60):
+            f = _random_formula(rng, names, 3)
+            terms = to_dnf_terms(f)
+            for bits in range(1 << len(names)):
+                env = {n: bool(bits >> i & 1) for i, n in enumerate(names)}
+                dnf_value = any(
+                    all(env[v] for v in pos) and not any(env[v] for v in neg)
+                    for pos, neg in terms
+                )
+                assert dnf_value == f.evaluate(env)
+
+
+class TestDistributiveCnf:
+    def test_exact_equivalence_random(self, rng):
+        names = ["A", "B", "C"]
+        for _ in range(60):
+            f = _random_formula(rng, names, 2)
+            vm = VariableMap()
+            for n in names:
+                vm.index_of(n)
+            clauses = to_cnf_clauses_distributive(f, vm)
+            for bits in range(1 << len(names)):
+                env = {n: bool(bits >> i & 1) for i, n in enumerate(names)}
+                model = {vm.index_of(n): env[n] for n in names}
+                cnf_value = all(
+                    any(model[abs(l)] == (l > 0) for l in clause)
+                    for clause in clauses
+                )
+                assert cnf_value == f.evaluate(env)

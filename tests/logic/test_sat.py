@@ -1,0 +1,114 @@
+"""Unit tests for the DPLL solver."""
+
+import pytest
+
+from repro.logic import check_model, enumerate_models, is_satisfiable, solve
+
+
+class TestBasics:
+    def test_empty_clause_set_sat(self):
+        assert solve([]) == {}
+
+    def test_single_unit(self):
+        model = solve([[1]])
+        assert model[1] is True
+
+    def test_contradiction(self):
+        assert solve([[1], [-1]]) is None
+
+    def test_empty_clause_unsat(self):
+        assert solve([[1], []]) is None
+
+    def test_tautological_clause_dropped(self):
+        model = solve([[1, -1], [2]])
+        assert model is not None and model[2] is True
+
+    def test_duplicate_literals(self):
+        assert solve([[1, 1, 1]]) is not None
+
+    def test_chain_propagation(self):
+        clauses = [[1], [-1, 2], [-2, 3], [-3, 4]]
+        model = solve(clauses)
+        assert all(model[v] for v in (1, 2, 3, 4))
+
+    def test_unsat_pigeonhole_2_into_1(self):
+        # two pigeons, one hole: p1 and p2 both in hole, but not together
+        clauses = [[1], [2], [-1, -2]]
+        assert solve(clauses) is None
+
+
+class TestAgainstBruteForce:
+    def test_random_3cnf(self, rng):
+        for _ in range(250):
+            n = rng.randint(1, 9)
+            clauses = []
+            for _ in range(rng.randint(1, 18)):
+                width = rng.randint(1, 3)
+                clause = [
+                    rng.choice([1, -1]) * rng.randint(1, n) for _ in range(width)
+                ]
+                clauses.append(clause)
+            got = solve(clauses)
+            want_models = enumerate_models(clauses, list(range(1, n + 1)))
+            if got is None:
+                assert not want_models, (clauses, want_models[:1])
+            else:
+                assert want_models
+                # the returned (possibly partial) assignment must extend
+                # to a model: check against clauses directly with
+                # unassigned variables tried both ways
+                free = [v for v in range(1, n + 1) if v not in got]
+                extended_ok = False
+                for bits in range(1 << len(free)):
+                    model = dict(got)
+                    for i, v in enumerate(free):
+                        model[v] = bool(bits >> i & 1)
+                    if check_model(clauses, model):
+                        extended_ok = True
+                        break
+                assert extended_ok, (clauses, got)
+
+    def test_is_satisfiable_consistency(self, rng):
+        for _ in range(80):
+            n = rng.randint(1, 6)
+            clauses = [
+                [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(2)]
+                for _ in range(rng.randint(1, 10))
+            ]
+            assert is_satisfiable(clauses) == (solve(clauses) is not None)
+
+
+class TestCheckModel:
+    def test_positive(self):
+        assert check_model([[1, -2]], {1: True, 2: True})
+
+    def test_negative(self):
+        assert not check_model([[1], [2]], {1: True, 2: False})
+
+    def test_unassigned_variable_fails_clause(self):
+        assert not check_model([[3]], {1: True})
+
+
+class TestHardInstances:
+    def test_php_3_into_2(self):
+        """Pigeonhole 3 pigeons / 2 holes (unsat): var p*2+h+1."""
+        clauses = []
+        for p in range(3):
+            clauses.append([p * 2 + 1, p * 2 + 2])  # each pigeon somewhere
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    clauses.append([-(p1 * 2 + h + 1), -(p2 * 2 + h + 1)])
+        assert solve(clauses) is None
+
+    def test_satisfiable_structured(self):
+        # a small 2-coloring of a path graph: v_i != v_{i+1}
+        n = 8
+        clauses = []
+        for i in range(1, n):
+            clauses.append([i, i + 1])
+            clauses.append([-i, -(i + 1)])
+        model = solve(clauses)
+        assert model is not None
+        for i in range(1, n):
+            assert model[i] != model[i + 1]

@@ -1,0 +1,90 @@
+"""Unit tests for DNF tautology and the Prop 5.5 reduction."""
+
+import pytest
+
+from repro.core import GroundSet
+from repro.instances import random_dnf
+from repro.logic import (
+    dnf_evaluate,
+    dnf_to_constraint_set,
+    everything_constraint,
+    is_tautology_bruteforce,
+    is_tautology_via_differential,
+    term_satisfied,
+)
+
+
+class TestDnfBasics:
+    def test_term_satisfied(self, ground_abc):
+        term = (ground_abc.parse("A"), ground_abc.parse("B"))  # A and not B
+        assert term_satisfied(term, ground_abc.parse("AC"))
+        assert not term_satisfied(term, ground_abc.parse("AB"))
+        assert not term_satisfied(term, ground_abc.parse("C"))
+
+    def test_evaluate(self, ground_abc):
+        terms = [(ground_abc.parse("A"), 0), (0, ground_abc.parse("A"))]
+        # "A or not A" -- a tautology
+        for mask in ground_abc.all_masks():
+            assert dnf_evaluate(terms, mask)
+
+    def test_bruteforce_tautology(self, ground_abc):
+        taut = [(ground_abc.parse("A"), 0), (0, ground_abc.parse("A"))]
+        assert is_tautology_bruteforce(taut, ground_abc)
+        not_taut = [(ground_abc.parse("A"), 0)]
+        assert not is_tautology_bruteforce(not_taut, ground_abc)
+
+    def test_empty_dnf_not_tautology(self, ground_abc):
+        assert not is_tautology_bruteforce([], ground_abc)
+
+    def test_empty_term_is_tautology(self, ground_abc):
+        assert is_tautology_bruteforce([(0, 0)], ground_abc)
+
+
+class TestReduction:
+    def test_constraint_shape(self, ground_abc):
+        terms = [(ground_abc.parse("A"), ground_abc.parse("BC"))]
+        cset = dnf_to_constraint_set(terms, ground_abc)
+        (c,) = cset.constraints
+        assert c.lhs == ground_abc.parse("A")
+        assert set(c.family.members) == {
+            ground_abc.parse("B"),
+            ground_abc.parse("C"),
+        }
+
+    def test_everything_constraint(self, ground_abc):
+        e = everything_constraint(ground_abc)
+        assert e.lattice_set() == set(ground_abc.all_masks())
+
+    def test_reduction_correct_random(self, ground_abcd, rng):
+        taut_count = 0
+        for _ in range(150):
+            terms = random_dnf(rng, ground_abcd, rng.randint(1, 6))
+            want = is_tautology_bruteforce(terms, ground_abcd)
+            got_lat = is_tautology_via_differential(terms, ground_abcd, "lattice")
+            got_sat = is_tautology_via_differential(terms, ground_abcd, "sat")
+            assert want == got_lat == got_sat
+            taut_count += want
+        # the random sweep must include both outcomes to be meaningful
+        assert 0 < taut_count < 150
+
+    def test_known_tautology(self, ground_abc):
+        a = ground_abc.parse("A")
+        b = ground_abc.parse("B")
+        # (A and B) or (not A) or (not B)
+        terms = [(a | b, 0), (0, a), (0, b)]
+        assert is_tautology_via_differential(terms, ground_abc)
+
+    def test_known_non_tautology(self, ground_abc):
+        a = ground_abc.parse("A")
+        terms = [(a, 0)]
+        assert not is_tautology_via_differential(terms, ground_abc)
+
+    def test_contradictory_term_contributes_nothing(self, ground_abc):
+        """A term with P and Q overlapping is unsatisfiable; it maps to a
+        trivial differential constraint."""
+        a = ground_abc.parse("A")
+        terms = [(a, a)]
+        cset = dnf_to_constraint_set(terms, ground_abc)
+        (c,) = cset.constraints
+        assert c.is_trivial
+        assert not is_tautology_via_differential(terms, ground_abc)

@@ -1,0 +1,189 @@
+"""Tests for the Dempster-Shafer substrate and its constraint bridge."""
+
+import random
+
+import pytest
+
+from repro.core import DifferentialConstraint, GroundSet, SetFunction
+from repro.fis import is_frequency_function
+from repro.instances import random_constraint
+from repro.measures import MassFunction, bayesian_mass, random_mass, vacuous_mass
+
+
+@pytest.fixture
+def s() -> GroundSet:
+    return GroundSet("ABCD")
+
+
+@pytest.fixture
+def m(s) -> MassFunction:
+    return MassFunction(s, {"AB": 0.5, "BCD": 0.3, "B": 0.2})
+
+
+class TestValidation:
+    def test_mass_sums_to_one(self, s):
+        with pytest.raises(ValueError):
+            MassFunction(s, {"A": 0.5})
+
+    def test_no_mass_on_empty(self, s):
+        with pytest.raises(ValueError):
+            MassFunction(s, {"": 0.5, "A": 0.5})
+
+    def test_negative_mass_rejected(self, s):
+        with pytest.raises(ValueError):
+            MassFunction(s, {"A": 1.5, "B": -0.5})
+
+    def test_focal_elements(self, m, s):
+        assert m.focal_elements() == tuple(
+            sorted([s.parse("AB"), s.parse("BCD"), s.parse("B")])
+        )
+
+
+class TestClassicIdentities:
+    def test_belief_plausibility_duality(self, s, rng):
+        """Pl(X) = 1 - Bel(S - X)."""
+        for _ in range(20):
+            m = random_mass(s, rng)
+            for x in s.all_masks():
+                assert m.plausibility(x) == pytest.approx(
+                    1.0 - m.belief(s.complement(x))
+                )
+
+    def test_belief_below_plausibility(self, s, rng):
+        for _ in range(10):
+            m = random_mass(s, rng)
+            for x in s.all_masks():
+                assert m.belief(x) <= m.plausibility(x) + 1e-12
+
+    def test_bounds(self, m, s):
+        assert m.belief(0) == 0.0
+        assert m.belief(s.universe_mask) == pytest.approx(1.0)
+        assert m.commonality(0) == pytest.approx(1.0)
+
+    def test_belief_function_matches_pointwise(self, s, rng):
+        for _ in range(10):
+            m = random_mass(s, rng)
+            bel = m.belief_function()
+            for x in s.all_masks():
+                assert bel.value(x) == pytest.approx(m.belief(x))
+
+    def test_mass_belief_roundtrip(self, s, rng):
+        for _ in range(10):
+            m = random_mass(s, rng)
+            back = MassFunction.from_belief(m.belief_function())
+            for x in s.all_masks():
+                assert back.mass(x) == pytest.approx(m.mass(x), abs=1e-9)
+
+    def test_mass_commonality_roundtrip(self, s, rng):
+        for _ in range(10):
+            m = random_mass(s, rng)
+            back = MassFunction.from_commonality(m.commonality_function())
+            for x in s.all_masks():
+                assert back.mass(x) == pytest.approx(m.mass(x), abs=1e-9)
+
+
+class TestBridgeToFrequencyFunctions:
+    def test_commonality_is_frequency_function(self, s, rng):
+        """The density of Q is the mass -- nonnegative, summing to 1."""
+        for _ in range(15):
+            m = random_mass(s, rng)
+            q = m.commonality_function()
+            assert is_frequency_function(q, tol=1e-9)
+            assert q.value(0) == pytest.approx(1.0)
+            d = q.density()
+            for x in s.all_masks():
+                assert d.value(x) == pytest.approx(m.mass(x), abs=1e-9)
+
+    def test_satisfies_matches_commonality_function(self, s, rng):
+        for _ in range(20):
+            m = random_mass(s, rng)
+            q = m.commonality_function()
+            for _ in range(8):
+                c = random_constraint(rng, s, max_members=2)
+                assert m.satisfies(c) == c.satisfied_by(q, tol=1e-9)
+
+    def test_vacuous_mass_satisfies_nonempty_families(self, s, rng):
+        """Total ignorance: only the frame is focal; S is in no lattice
+        with a nonempty family."""
+        m = vacuous_mass(s)
+        for _ in range(20):
+            c = random_constraint(rng, s, max_members=2, min_members=1)
+            assert m.satisfies(c)
+        empty_family = DifferentialConstraint.parse(s, "A -> ")
+        assert not m.satisfies(empty_family)
+
+    def test_bayesian_mass_constraints(self, s):
+        """Bayesian masses are focal on singletons: a constraint is
+        satisfied iff its lattice avoids the supported singletons."""
+        m = bayesian_mass(s, {"A": 0.5, "B": 0.5})
+        assert m.satisfies(DifferentialConstraint.parse(s, "C -> D"))
+        assert not m.satisfies(DifferentialConstraint.parse(s, "A -> B"))
+
+    def test_bayesian_requires_singletons(self, s):
+        with pytest.raises(ValueError):
+            bayesian_mass(s, {"AB": 1.0})
+
+
+class TestDempsterCombination:
+    def test_vacuous_is_identity(self, s, rng):
+        for _ in range(10):
+            m = random_mass(s, rng)
+            combined = m.combine(vacuous_mass(s))
+            for x in s.all_masks():
+                assert combined.mass(x) == pytest.approx(m.mass(x), abs=1e-9)
+
+    def test_commutative(self, s, rng):
+        for _ in range(10):
+            a, b = random_mass(s, rng), random_mass(s, rng)
+            try:
+                ab, ba = a.combine(b), b.combine(a)
+            except ValueError:
+                continue
+            for x in s.all_masks():
+                assert ab.mass(x) == pytest.approx(ba.mass(x), abs=1e-9)
+
+    def test_commonalities_multiply(self, s, rng):
+        """Q12 = K * Q1 * Q2 -- Shafer's multiplicativity theorem."""
+        for _ in range(15):
+            a, b = random_mass(s, rng), random_mass(s, rng)
+            conflict = a.conflict_with(b)
+            if conflict >= 1.0 - 1e-9:
+                continue
+            combined = a.combine(b)
+            scale = 1.0 / (1.0 - conflict)
+            for x in s.all_masks():
+                if x == 0:
+                    continue
+                assert combined.commonality(x) == pytest.approx(
+                    scale * a.commonality(x) * b.commonality(x), abs=1e-9
+                )
+
+    def test_commonality_zeros_preserved(self, s, rng):
+        """Q12 = K Q1 Q2: the zero set of Q only grows -- support-style
+        constraints f(X) = 0 survive combination."""
+        for _ in range(15):
+            a, b = random_mass(s, rng), random_mass(s, rng)
+            try:
+                combined = a.combine(b)
+            except ValueError:
+                continue
+            for x in s.all_masks():
+                if a.commonality(x) < 1e-12 or b.commonality(x) < 1e-12:
+                    assert combined.commonality(x) < 1e-9
+
+    def test_differential_constraints_not_closed_under_combination(self, s):
+        """Evidence fusion can violate a differential constraint both
+        operands satisfy: focal intersections may land inside L(X, Y)."""
+        c = DifferentialConstraint.parse(s, "A -> B, C")
+        a = MassFunction(s, {"AB": 1.0})
+        b = MassFunction(s, {"AC": 1.0})
+        assert a.satisfies(c) and b.satisfies(c)
+        combined = a.combine(b)
+        assert combined.focal_elements() == (s.parse("A"),)
+        assert not combined.satisfies(c)
+
+    def test_total_conflict_raises(self, s):
+        a = MassFunction(s, {"A": 1.0})
+        b = MassFunction(s, {"B": 1.0})
+        with pytest.raises(ValueError):
+            a.combine(b)

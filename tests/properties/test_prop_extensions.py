@@ -1,0 +1,170 @@
+"""Property-based tests for the extension modules."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    SetFamily,
+    armstrong_function,
+)
+from repro.core import transforms as tr
+from repro.core.implication import implies_lattice
+from repro.measures import MassFunction
+
+GROUND = GroundSet("ABCD")
+UNIVERSE = GROUND.universe_mask
+SIZE = 1 << len(GROUND)
+
+masks = st.integers(0, UNIVERSE)
+nonempty_masks = st.integers(1, UNIVERSE)
+int_tables = st.lists(st.integers(-30, 30), min_size=SIZE, max_size=SIZE)
+
+
+@st.composite
+def constraint_sets(draw):
+    out = []
+    for _ in range(draw(st.integers(1, 3))):
+        lhs = draw(masks)
+        members = draw(st.lists(nonempty_masks, max_size=2))
+        out.append(DifferentialConstraint(GROUND, lhs, SetFamily(GROUND, members)))
+    return ConstraintSet(GROUND, out)
+
+
+@st.composite
+def mass_functions(draw):
+    weights = draw(
+        st.dictionaries(nonempty_masks, st.integers(1, 9), min_size=1, max_size=5)
+    )
+    total = sum(weights.values())
+    return MassFunction(GROUND, {m: w / total for m, w in weights.items()})
+
+
+# ----------------------------------------------------------------------
+# subset transforms
+# ----------------------------------------------------------------------
+@given(int_tables)
+def test_subset_transforms_roundtrip(values):
+    table = list(values)
+    tr.subset_zeta_inplace(table)
+    tr.subset_mobius_inplace(table)
+    assert table == values
+
+
+@given(int_tables)
+def test_subset_zeta_is_downward_sum(values):
+    import repro.core.subsets as sb
+
+    table = list(values)
+    tr.subset_zeta_inplace(table)
+    for x in range(SIZE):
+        assert table[x] == sum(values[u] for u in sb.iter_subsets(x))
+
+
+@given(int_tables)
+def test_subset_and_superset_transforms_are_mirror(values):
+    """Subset zeta == superset zeta conjugated by complement."""
+    forward = list(values)
+    tr.subset_zeta_inplace(forward)
+    mirrored = [values[UNIVERSE ^ x] for x in range(SIZE)]
+    tr.superset_zeta_inplace(mirrored)
+    for x in range(SIZE):
+        assert forward[x] == mirrored[UNIVERSE ^ x]
+
+
+# ----------------------------------------------------------------------
+# Armstrong functions
+# ----------------------------------------------------------------------
+@given(constraint_sets(), masks, st.lists(nonempty_masks, max_size=2))
+@settings(max_examples=100, deadline=None)
+def test_armstrong_defining_property(cset, lhs, members):
+    f = armstrong_function(cset)
+    c = DifferentialConstraint(GROUND, lhs, SetFamily(GROUND, members))
+    assert c.satisfied_by(f) == implies_lattice(cset, c)
+
+
+# ----------------------------------------------------------------------
+# Dempster-Shafer
+# ----------------------------------------------------------------------
+@given(mass_functions())
+@settings(max_examples=60, deadline=None)
+def test_mass_identities(m):
+    assert m.belief(0) == 0.0
+    assert abs(m.belief(UNIVERSE) - 1.0) < 1e-9
+    assert abs(m.commonality(0) - 1.0) < 1e-9
+    for x in GROUND.all_masks():
+        assert m.belief(x) <= m.plausibility(x) + 1e-12
+        assert abs(
+            m.plausibility(x) - (1.0 - m.belief(GROUND.complement(x)))
+        ) < 1e-9
+
+
+@given(mass_functions())
+@settings(max_examples=60, deadline=None)
+def test_commonality_density_is_mass(m):
+    q = m.commonality_function()
+    d = q.density()
+    for x in GROUND.all_masks():
+        assert abs(d.value(x) - m.mass(x)) < 1e-9
+
+
+@given(mass_functions(), mass_functions())
+@settings(max_examples=60, deadline=None)
+def test_dempster_multiplicativity(a, b):
+    conflict = a.conflict_with(b)
+    assume(conflict < 1.0 - 1e-6)
+    combined = a.combine(b)
+    scale = 1.0 / (1.0 - conflict)
+    for x in GROUND.all_masks():
+        if x == 0:
+            continue
+        expected = scale * a.commonality(x) * b.commonality(x)
+        assert abs(combined.commonality(x) - expected) < 1e-9
+
+
+@given(mass_functions(), masks, st.lists(nonempty_masks, min_size=1, max_size=2))
+@settings(max_examples=60, deadline=None)
+def test_mass_satisfaction_is_focal_avoidance(m, lhs, members):
+    c = DifferentialConstraint(GROUND, lhs, SetFamily(GROUND, members))
+    focal_inside = any(c.lattice_contains(u) for u in m.focal_elements())
+    assert m.satisfies(c) == (not focal_inside)
+
+
+# ----------------------------------------------------------------------
+# frequency satisfiability
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(masks, st.integers(0, 6), st.integers(0, 6)),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_freqsat_witness_respects_bounds(raw_bounds):
+    from repro.fis.freqsat import FrequencyConstraint, measure_sat
+
+    bounds = [
+        FrequencyConstraint(x, min(a, b), max(a, b)) for x, a, b in raw_bounds
+    ]
+    witness = measure_sat(GROUND, bounds)
+    if witness is not None:
+        for b in bounds:
+            assert b.satisfied_by(witness, tol=1e-6)
+        assert witness.is_nonnegative_density(1e-7)
+
+
+@given(st.integers(1, 8), masks)
+@settings(max_examples=40, deadline=None)
+def test_freqsat_antimonotonicity_enforced(total, x):
+    """Demanding s(X) > s((/)) is always infeasible."""
+    from repro.fis.freqsat import FrequencyConstraint, measure_sat
+
+    assume(x != 0)
+    bounds = [
+        FrequencyConstraint(0, total, total),
+        FrequencyConstraint(x, total + 1, None),
+    ]
+    assert measure_sat(GROUND, bounds) is None

@@ -1,0 +1,95 @@
+"""Property-based tests for the FIS substrate (Section 6)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import DifferentialConstraint, GroundSet, SetFamily
+from repro.core import subsets as sb
+from repro.fis import (
+    BasketDatabase,
+    DisjunctiveConstraint,
+    apriori,
+    bruteforce_frequent,
+    induce_basket_database,
+    is_disjunctive,
+    is_frequency_function,
+    is_support_function,
+    mine_concise,
+    negative_border_of,
+    verify_lossless,
+)
+
+GROUND = GroundSet("ABCDE")
+UNIVERSE = GROUND.universe_mask
+
+basket_lists = st.lists(st.integers(0, UNIVERSE), max_size=25)
+masks = st.integers(0, UNIVERSE)
+nonempty_masks = st.integers(1, UNIVERSE)
+
+
+@given(basket_lists)
+def test_support_function_roundtrip(baskets):
+    """baskets -> support function -> baskets is the identity (sorted)."""
+    db = BasketDatabase(GROUND, baskets)
+    f = db.dense_support_function()
+    assert is_support_function(f)
+    assert is_frequency_function(f)
+    back = induce_basket_database(f)
+    assert sorted(back.baskets) == sorted(db.baskets)
+
+
+@given(basket_lists, masks)
+def test_support_antimonotone(baskets, x):
+    """s_B is antimonotone: bigger itemsets have smaller support."""
+    db = BasketDatabase(GROUND, baskets)
+    support = db.support(x)
+    for sup in sb.iter_supersets(x, UNIVERSE):
+        assert db.support(sup) <= support
+
+
+@given(basket_lists, st.integers(1, 10))
+@settings(max_examples=60, deadline=None)
+def test_apriori_exact(baskets, kappa):
+    db = BasketDatabase(GROUND, baskets)
+    res = apriori(db, kappa)
+    want = bruteforce_frequent(db, kappa)
+    assert res.frequent == want
+    assert set(res.negative_border) == negative_border_of(want, GROUND)
+
+
+@given(basket_lists, masks, st.lists(nonempty_masks, max_size=3))
+@settings(max_examples=100, deadline=None)
+def test_proposition_63(baskets, lhs, members):
+    """B satisfies X =>disj Y iff s_B satisfies X -> Y."""
+    db = BasketDatabase(GROUND, baskets)
+    family = SetFamily(GROUND, members)
+    disj = DisjunctiveConstraint(GROUND, lhs, family)
+    diff = DifferentialConstraint(GROUND, lhs, family)
+    assert disj.satisfied_by(db) == diff.satisfied_by(db.support_function())
+
+
+@given(basket_lists, st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_concise_representation_lossless(baskets, kappa):
+    db = BasketDatabase(GROUND, baskets)
+    rep = mine_concise(db, kappa, max_rhs=2)
+    assert verify_lossless(db, rep)
+
+
+@given(basket_lists, masks)
+@settings(max_examples=60, deadline=None)
+def test_disjunctive_upward_closed(baskets, x):
+    db = BasketDatabase(GROUND, baskets)
+    if is_disjunctive(db, x, max_rhs=2):
+        for sup in sb.iter_supersets(x, UNIVERSE):
+            assert is_disjunctive(db, sup, max_rhs=2)
+
+
+@given(basket_lists, basket_lists)
+def test_support_additive_over_concatenation(a, b):
+    """s_{A ++ B} = s_A + s_B -- supports are measures over lists."""
+    db_a = BasketDatabase(GROUND, a)
+    db_b = BasketDatabase(GROUND, b)
+    both = BasketDatabase(GROUND, list(a) + list(b))
+    for x in (0, 1, 3, 7, UNIVERSE):
+        assert both.support(x) == db_a.support(x) + db_b.support(x)

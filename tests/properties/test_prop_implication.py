@@ -1,0 +1,104 @@
+"""Property-based tests for the implication problem and inference system."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    SetFamily,
+    atoms,
+    check_proof,
+    decomp,
+    derive,
+    implies_lattice,
+    implies_sat,
+    refute,
+    semantic_implies_over_ideals,
+)
+from repro.errors import NotImpliedError
+from repro.logic import implies_prop
+
+GROUND = GroundSet("ABCD")
+UNIVERSE = GROUND.universe_mask
+
+masks = st.integers(min_value=0, max_value=UNIVERSE)
+nonempty_masks = st.integers(min_value=1, max_value=UNIVERSE)
+
+
+@st.composite
+def constraints(draw, max_members=3):
+    lhs = draw(masks)
+    members = draw(st.lists(nonempty_masks, max_size=max_members))
+    return DifferentialConstraint(GROUND, lhs, SetFamily(GROUND, members))
+
+
+@st.composite
+def constraint_sets(draw, max_constraints=3):
+    cs = draw(st.lists(constraints(), min_size=1, max_size=max_constraints))
+    return ConstraintSet(GROUND, cs)
+
+
+@given(constraint_sets(), constraints())
+@settings(max_examples=150, deadline=None)
+def test_theorem_35_and_prop_54_agree(cset, target):
+    """lattice == SAT == minset == semantic over ideals."""
+    lat = implies_lattice(cset, target)
+    assert implies_sat(cset, target) == lat
+    assert implies_prop(cset, target, "minset") == lat
+    assert semantic_implies_over_ideals(cset, target) == lat
+
+
+@given(constraint_sets(), constraints())
+@settings(max_examples=80, deadline=None)
+def test_completeness_or_refutation(cset, target):
+    """Exactly one of: a checkable derivation, or a counterexample."""
+    if implies_lattice(cset, target):
+        proof = derive(cset, target, allow_derived=False, check=False)
+        assert proof.conclusion == target
+        check_proof(proof, cset.constraints, allow_derived=False)
+    else:
+        f = refute(cset, target)
+        assert f is not None
+        assert cset.satisfied_by(f)
+        assert not target.satisfied_by(f)
+        try:
+            derive(cset, target)
+            raise AssertionError("derive must refuse non-implied targets")
+        except NotImpliedError:
+            pass
+
+
+@given(constraints())
+@settings(max_examples=80, deadline=None)
+def test_remark_45_decompositions(constraint):
+    """{c}* = decomp(c)* = atoms(c)* as lattice equalities."""
+    own = set(constraint.iter_lattice())
+    dec = ConstraintSet(GROUND, decomp(constraint))
+    ato = ConstraintSet(GROUND, atoms(constraint))
+    assert set(dec.iter_lattice()) == own
+    assert set(ato.iter_lattice()) == own
+
+
+@given(constraint_sets(), constraints(), constraints())
+@settings(max_examples=60, deadline=None)
+def test_implication_is_transitive_in_premises(cset, mid, target):
+    """If C |= mid and C + {mid} |= t then C |= t (cut rule)."""
+    if implies_lattice(cset, mid) and implies_lattice(cset.add(mid), target):
+        assert implies_lattice(cset, target)
+
+
+@given(constraints(), masks)
+@settings(max_examples=80, deadline=None)
+def test_augmentation_and_addition_monotone(constraint, z):
+    """Derived constraints are implied (soundness, Prop 4.2)."""
+    base = ConstraintSet(GROUND, [constraint])
+    augmented = DifferentialConstraint(
+        GROUND, constraint.lhs | z, constraint.family
+    )
+    added = DifferentialConstraint(
+        GROUND, constraint.lhs, constraint.family.add(z)
+    )
+    assert implies_lattice(base, augmented)
+    assert implies_lattice(base, added)

@@ -1,0 +1,86 @@
+"""Property-based tests for serialization and degenerate MVDs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import io
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    SetFamily,
+    check_proof,
+    derive,
+)
+from repro.core.implication import implies_lattice
+from repro.errors import NotImpliedError
+from repro.relational.dmvd import DegenerateMVD, implies_dmvd
+
+GROUND = GroundSet("ABCD")
+UNIVERSE = GROUND.universe_mask
+
+masks = st.integers(0, UNIVERSE)
+nonempty_masks = st.integers(1, UNIVERSE)
+
+
+@st.composite
+def constraint_sets(draw):
+    out = []
+    for _ in range(draw(st.integers(1, 3))):
+        lhs = draw(masks)
+        members = draw(st.lists(nonempty_masks, max_size=3))
+        out.append(DifferentialConstraint(GROUND, lhs, SetFamily(GROUND, members)))
+    return ConstraintSet(GROUND, out)
+
+
+@given(constraint_sets())
+@settings(max_examples=80, deadline=None)
+def test_constraint_set_json_roundtrip(cset):
+    assert io.loads(io.dumps(cset)) == cset
+
+
+@given(constraint_sets(), masks, st.lists(nonempty_masks, max_size=2))
+@settings(max_examples=50, deadline=None)
+def test_proof_json_roundtrip_when_implied(cset, lhs, members):
+    target = DifferentialConstraint(GROUND, lhs, SetFamily(GROUND, members))
+    try:
+        proof = derive(cset, target, check=False)
+    except NotImpliedError:
+        return
+    back = io.loads(io.dumps(proof))
+    assert back.conclusion == target
+    check_proof(back, cset.constraints)
+
+
+@st.composite
+def dmvds(draw):
+    lhs = draw(masks)
+    left = draw(masks) & ~lhs
+    return DegenerateMVD(GROUND, lhs, left)
+
+
+@given(dmvds())
+@settings(max_examples=80, deadline=None)
+def test_dmvd_branches_partition(d):
+    assert d.left & d.right == 0
+    assert d.lhs | d.left | d.right == UNIVERSE
+    assert d == DegenerateMVD(GROUND, d.lhs, d.right)
+
+
+@given(dmvds(), dmvds())
+@settings(max_examples=60, deadline=None)
+def test_dmvd_implication_is_differential_implication(premise, target):
+    got = implies_dmvd([premise], target)
+    want = implies_lattice(
+        ConstraintSet(GROUND, [premise.to_differential()]),
+        target.to_differential(),
+    )
+    assert got == want
+
+
+@given(dmvds())
+@settings(max_examples=60, deadline=None)
+def test_dmvd_self_implication(d):
+    assert implies_dmvd([d], d)
+    # and the complementary presentation
+    assert implies_dmvd([d], DegenerateMVD(GROUND, d.lhs, d.right))

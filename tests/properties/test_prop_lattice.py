@@ -1,0 +1,91 @@
+"""Property-based tests for witness sets and lattice decompositions."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    GroundSet,
+    SetFamily,
+    SetFunction,
+    differential_value,
+    differential_via_density,
+    in_lattice,
+    iter_lattice,
+    iter_lattice_by_witnesses,
+    lattice,
+    minimal_witnesses,
+    witnesses,
+)
+from repro.core import subsets as sb
+
+GROUND = GroundSet("ABCD")
+UNIVERSE = GROUND.universe_mask
+
+masks = st.integers(min_value=0, max_value=UNIVERSE)
+nonempty_masks = st.integers(min_value=1, max_value=UNIVERSE)
+families = st.lists(nonempty_masks, max_size=4).map(
+    lambda ms: SetFamily(GROUND, ms)
+)
+families_with_empty = st.lists(masks, max_size=4).map(
+    lambda ms: SetFamily(GROUND, ms)
+)
+
+
+@given(families_with_empty, masks)
+def test_closed_form_equals_witness_form(family, lhs):
+    """Definition 2.6 == the Prop 2.9 closed form."""
+    assert set(iter_lattice(lhs, family, GROUND)) == set(
+        iter_lattice_by_witnesses(lhs, family, GROUND)
+    )
+
+
+@given(families)
+def test_minimal_witnesses_generate_all(family):
+    mins = minimal_witnesses(family)
+    union = family.union_support()
+    regenerated = set()
+    for m in mins:
+        regenerated.update(sb.iter_supersets(m, union))
+    assert regenerated == set(witnesses(family))
+
+
+@given(families_with_empty, masks, masks)
+def test_proposition_2_8(family, lhs, z):
+    """L(X, Y) = L(X, Y + {Z}) union L(X + Z, Y)."""
+    whole = set(lattice(lhs, family, GROUND))
+    with_z = set(lattice(lhs, family.add(z), GROUND))
+    lifted = set(lattice(lhs | z, family, GROUND))
+    assert whole == with_z | lifted
+
+
+@given(
+    families_with_empty,
+    masks,
+    st.lists(st.integers(-20, 20), min_size=16, max_size=16),
+)
+def test_proposition_2_9(family, lhs, values):
+    """D^Y_f(X) equals the density sum over L(X, Y)."""
+    f = SetFunction(GROUND, values, exact=True)
+    direct = differential_value(f, family, lhs)
+    via = differential_via_density(f, family, lhs)
+    assert direct == via
+
+
+@given(families_with_empty, masks)
+def test_lattice_membership_consistent(family, lhs):
+    members = set(iter_lattice(lhs, family, GROUND))
+    for u in GROUND.all_masks():
+        assert in_lattice(lhs, family, u) == (u in members)
+
+
+@given(families_with_empty, masks)
+def test_lattice_confined_above_lhs(family, lhs):
+    for u in iter_lattice(lhs, family, GROUND):
+        assert sb.is_subset(lhs, u)
+
+
+@given(families, masks)
+def test_minimal_members_preserve_lattice(family, lhs):
+    assert lattice(lhs, family, GROUND) == lattice(
+        lhs, family.minimal_members(), GROUND
+    )

@@ -1,0 +1,137 @@
+"""Property-based tests for the propositional substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import GroundSet
+from repro.logic import (
+    And,
+    Implies,
+    Not,
+    Or,
+    Var,
+    VariableMap,
+    assignment_of_mask,
+    enumerate_models,
+    implies_by_minsets,
+    minset,
+    solve,
+    to_cnf_clauses,
+    to_dnf_terms,
+)
+
+GROUND = GroundSet("ABC")
+NAMES = list(GROUND.elements)
+
+variables = st.sampled_from(NAMES).map(Var)
+formulas = st.recursive(
+    variables,
+    lambda children: st.one_of(
+        children.map(Not),
+        st.tuples(children, children).map(And),
+        st.tuples(children, children).map(Or),
+        st.tuples(children, children).map(lambda ab: Implies(*ab)),
+    ),
+    max_leaves=8,
+)
+
+
+def _truth_table(formula):
+    return {
+        mask: formula.evaluate(assignment_of_mask(GROUND, mask))
+        for mask in GROUND.all_masks()
+    }
+
+
+@given(formulas)
+@settings(max_examples=150, deadline=None)
+def test_nnf_preserves_semantics(formula):
+    assert _truth_table(formula) == _truth_table(formula.to_nnf())
+
+
+@given(formulas)
+@settings(max_examples=150, deadline=None)
+def test_dnf_terms_preserve_semantics(formula):
+    terms = to_dnf_terms(formula)
+    for mask in GROUND.all_masks():
+        env = assignment_of_mask(GROUND, mask)
+        dnf_value = any(
+            all(env[v] for v in pos) and not any(env[v] for v in neg)
+            for pos, neg in terms
+        )
+        assert dnf_value == formula.evaluate(env)
+
+
+@given(formulas)
+@settings(max_examples=150, deadline=None)
+def test_tseitin_equisatisfiable(formula):
+    vm = VariableMap()
+    for name in NAMES:
+        vm.index_of(name)
+    clauses = to_cnf_clauses(formula, vm)
+    sat_direct = any(_truth_table(formula).values())
+    assert (solve(clauses) is not None) == sat_direct
+
+
+@given(formulas)
+@settings(max_examples=100, deadline=None)
+def test_minset_is_truth_set(formula):
+    table = _truth_table(formula)
+    assert minset(formula, GROUND) == {m for m, v in table.items() if v}
+
+
+@given(st.lists(formulas, min_size=1, max_size=3), formulas)
+@settings(max_examples=100, deadline=None)
+def test_minset_implication_matches_truth_tables(premises, conclusion):
+    want = True
+    for mask in GROUND.all_masks():
+        env = assignment_of_mask(GROUND, mask)
+        if all(p.evaluate(env) for p in premises) and not conclusion.evaluate(env):
+            want = False
+            break
+    assert implies_by_minsets(premises, conclusion, GROUND) == want
+
+
+clause_lists = st.lists(
+    st.lists(
+        st.integers(1, 5).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        min_size=1,
+        max_size=3,
+    ),
+    max_size=10,
+)
+
+
+@given(clause_lists)
+@settings(max_examples=150, deadline=None)
+def test_dpll_agrees_with_enumeration(clauses):
+    variables_used = sorted({abs(l) for c in clauses for l in c})
+    got = solve(clauses)
+    models = enumerate_models(clauses, variables_used)
+    if got is None:
+        assert not models
+    else:
+        assert models
+
+
+@given(clause_lists)
+@settings(max_examples=100, deadline=None)
+def test_dpll_model_extends_to_total_model(clauses):
+    from repro.logic import check_model
+
+    got = solve(clauses)
+    if got is None:
+        return
+    variables_used = sorted({abs(l) for c in clauses for l in c})
+    free = [v for v in variables_used if v not in got]
+    extended = False
+    for bits in range(1 << len(free)):
+        model = dict(got)
+        for i, v in enumerate(free):
+            model[v] = bool(bits >> i & 1)
+        if check_model(clauses, model):
+            extended = True
+            break
+    assert extended

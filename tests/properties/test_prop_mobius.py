@@ -1,0 +1,85 @@
+"""Property-based tests (hypothesis) for Remark 2.3's Moebius machinery."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import GroundSet, SetFunction
+from repro.core import transforms as tr
+
+GROUND = GroundSet("ABCD")
+SIZE = 1 << len(GROUND)
+
+int_tables = st.lists(
+    st.integers(min_value=-50, max_value=50), min_size=SIZE, max_size=SIZE
+)
+float_tables = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    min_size=SIZE,
+    max_size=SIZE,
+)
+
+
+@given(int_tables)
+def test_mobius_zeta_roundtrip_exact(values):
+    """Equation (4) then (5) recovers the function exactly (int path)."""
+    table = list(values)
+    tr.superset_mobius_inplace(table)
+    tr.superset_zeta_inplace(table)
+    assert table == values
+
+
+@given(int_tables)
+def test_zeta_mobius_roundtrip_exact(values):
+    table = list(values)
+    tr.superset_zeta_inplace(table)
+    tr.superset_mobius_inplace(table)
+    assert table == values
+
+
+@given(int_tables)
+def test_fast_matches_naive(values):
+    assert tr.density_table(list(values)) == tr.naive_density_table(values)
+
+
+@given(int_tables)
+def test_density_uniqueness(values):
+    """The density is the unique d satisfying equation (5)."""
+    f = SetFunction(GROUND, values, exact=True)
+    d = f.density()
+    rebuilt = SetFunction.from_density(
+        GROUND,
+        {mask: d.value(mask) for mask in GROUND.all_masks()},
+        exact=True,
+    )
+    for mask in GROUND.all_masks():
+        assert rebuilt.value(mask) == f.value(mask)
+
+
+@given(int_tables, int_tables)
+def test_density_is_linear(a_values, b_values):
+    """d_{f+g} = d_f + d_g (the transform is linear)."""
+    f = SetFunction(GROUND, a_values, exact=True)
+    g = SetFunction(GROUND, b_values, exact=True)
+    lhs = (f + g).density()
+    rhs = f.density() + g.density()
+    for mask in GROUND.all_masks():
+        assert lhs.value(mask) == rhs.value(mask)
+
+
+@given(float_tables)
+@settings(max_examples=50)
+def test_float_path_close_to_exact(values):
+    fast = tr.density_table(
+        __import__("numpy").asarray(values, dtype=float)
+    )
+    naive = tr.naive_density_table(values)
+    for a, b in zip(fast, naive):
+        assert abs(a - b) < 1e-6
+
+
+@given(st.dictionaries(st.integers(0, SIZE - 1), st.integers(-9, 9), max_size=8))
+def test_from_density_places_density(density):
+    f = SetFunction.from_density(GROUND, dict(density), exact=True)
+    d = f.density()
+    for mask in GROUND.all_masks():
+        assert d.value(mask) == density.get(mask, 0)

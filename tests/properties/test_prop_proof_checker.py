@@ -1,0 +1,184 @@
+"""Metamorphic tests: the proof checker rejects corrupted derivations.
+
+Positive cases (valid proofs check out) are everywhere in the suite;
+these tests establish the converse discipline -- take a genuine proof,
+corrupt one facet (conclusion, premise wiring, rule name, parameters),
+and require the independent checker to reject it.  Without these, a
+vacuously-accepting checker would pass the whole suite.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    SetFamily,
+    check_proof,
+    derive,
+)
+from repro.core import rules as R
+from repro.core.proofs import Proof
+from repro.errors import InvalidProofError, NotImpliedError
+from repro.instances import random_implied_pair
+
+GROUND = GroundSet("ABCD")
+UNIVERSE = GROUND.universe_mask
+
+masks = st.integers(0, UNIVERSE)
+nonempty_masks = st.integers(1, UNIVERSE)
+seeds = st.integers(0, 10_000)
+
+#: these tests legitimately discard many draws (not every random proof
+#: has a corruptible step of the wanted shape)
+_HEAVY_FILTERS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much],
+)
+
+
+def _proof_for_seed(seed):
+    import random
+
+    rng = random.Random(seed)
+    cset, target = random_implied_pair(rng, GROUND, max_members=2)
+    proof = derive(cset, target, check=False)
+    return cset, proof
+
+
+def _rebuild_without_validation(node, premises, conclusion=None, rule=None, params=None):
+    """Clone a step, bypassing builder validation via __new__."""
+    clone = Proof.__new__(Proof)
+    clone._conclusion = conclusion if conclusion is not None else node.conclusion
+    clone._rule = rule if rule is not None else node.rule
+    clone._premises = premises
+    clone._params = params if params is not None else node.params
+    return clone
+
+
+def _clone_with_corruption(proof, corrupt_step, corruptor):
+    """Rebuild the DAG, applying ``corruptor`` to the chosen step."""
+    memo = {}
+    order = list(proof.iter_nodes())
+    for index, node in enumerate(order):
+        premises = tuple(memo[id(p)] for p in node.premises)
+        if index == corrupt_step:
+            memo[id(node)] = corruptor(node, premises)
+        else:
+            memo[id(node)] = _rebuild_without_validation(node, premises)
+    return memo[id(order[-1])]
+
+
+@given(seeds, masks)
+@_HEAVY_FILTERS
+def test_corrupted_final_conclusion_rejected(seed, new_lhs):
+    cset, proof = _proof_for_seed(seed)
+    final = proof.conclusion
+    assume(new_lhs != final.lhs)
+    forged = DifferentialConstraint(GROUND, new_lhs, final.family)
+    corrupted = _clone_with_corruption(
+        proof,
+        proof.size() - 1,
+        lambda node, prem: _rebuild_without_validation(
+            node, prem, conclusion=forged
+        ),
+    )
+    # axiom/triviality leaves may accidentally stay valid only if the
+    # forged conclusion is itself an axiom or trivial -- exclude those
+    assume(not (corrupted.rule == "axiom" and forged in cset))
+    assume(not (corrupted.rule == "triviality" and forged.is_trivial))
+    with pytest.raises(InvalidProofError):
+        check_proof(corrupted, cset.constraints)
+
+
+@given(seeds)
+@_HEAVY_FILTERS
+def test_foreign_axiom_rejected(seed):
+    cset, proof = _proof_for_seed(seed)
+    foreign = DifferentialConstraint(
+        GROUND, UNIVERSE, SetFamily(GROUND, [])
+    )
+    assume(foreign not in cset)
+    axioms = [
+        i
+        for i, node in enumerate(proof.iter_nodes())
+        if node.rule == R.AXIOM
+    ]
+    assume(axioms)
+    corrupted = _clone_with_corruption(
+        proof,
+        axioms[0],
+        lambda node, prem: _rebuild_without_validation(
+            node, prem, conclusion=foreign
+        ),
+    )
+    with pytest.raises(InvalidProofError):
+        check_proof(corrupted, cset.constraints)
+
+
+@given(seeds)
+@_HEAVY_FILTERS
+def test_renamed_rule_rejected(seed):
+    cset, proof = _proof_for_seed(seed)
+    order = list(proof.iter_nodes())
+    internal = [
+        i
+        for i, node in enumerate(order)
+        if node.rule == R.ADDITION
+        # exclude no-op coincidences where the renamed step would still
+        # satisfy the augmentation schema (z subseteq lhs and z in family)
+        and node.conclusion
+        != DifferentialConstraint(
+            GROUND,
+            node.premises[0].conclusion.lhs | node.params[0],
+            node.premises[0].conclusion.family,
+        )
+    ]
+    assume(internal)
+    corrupted = _clone_with_corruption(
+        proof,
+        internal[0],
+        lambda node, prem: _rebuild_without_validation(
+            node, prem, rule=R.AUGMENTATION
+        ),
+    )
+    with pytest.raises(InvalidProofError):
+        check_proof(corrupted, cset.constraints)
+
+
+@given(seeds, nonempty_masks)
+@_HEAVY_FILTERS
+def test_tampered_parameters_rejected(seed, new_param):
+    cset, proof = _proof_for_seed(seed)
+    order = list(proof.iter_nodes())
+    candidates = [
+        i
+        for i, node in enumerate(order)
+        if node.rule in (R.ADDITION, R.AUGMENTATION)
+        and node.params
+        and node.params[0] != new_param
+        # swapping the parameter must actually change the conclusion
+        and not (
+            node.rule == R.ADDITION
+            and node.premises[0].conclusion.family.add(new_param)
+            == node.conclusion.family
+        )
+        and not (
+            node.rule == R.AUGMENTATION
+            and node.premises[0].conclusion.lhs | new_param
+            == node.conclusion.lhs
+        )
+    ]
+    assume(candidates)
+    corrupted = _clone_with_corruption(
+        proof,
+        candidates[0],
+        lambda node, prem: _rebuild_without_validation(
+            node, prem, params=(new_param,)
+        ),
+    )
+    with pytest.raises(InvalidProofError):
+        check_proof(corrupted, cset.constraints)

@@ -1,0 +1,95 @@
+"""Property-based tests for the relational substrate (Section 7)."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.core import DifferentialConstraint, GroundSet, SetFamily
+from repro.relational import (
+    BooleanDependency,
+    Distribution,
+    FunctionalDependency,
+    Relation,
+    implies_fd_classic,
+    simpson_density_function_pairsum,
+    simpson_function,
+    simpson_satisfies,
+)
+
+GROUND = GroundSet("ABC")
+UNIVERSE = GROUND.universe_mask
+
+rows = st.tuples(
+    st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)
+)
+relations = st.lists(rows, min_size=1, max_size=6).map(
+    lambda rs: Relation(GROUND, rs)
+)
+masks = st.integers(0, UNIVERSE)
+nonempty_masks = st.integers(1, UNIVERSE)
+
+
+@given(relations)
+@settings(max_examples=60, deadline=None)
+def test_proposition_72(relation):
+    """Pairwise density == Moebius density of the Simpson function."""
+    dist = Distribution.uniform(relation)
+    f = simpson_function(dist)
+    pairsum = simpson_density_function_pairsum(dist)
+    assert f.density().allclose(pairsum, 1e-9)
+
+
+@given(relations)
+@settings(max_examples=60, deadline=None)
+def test_simpson_is_frequency_function(relation):
+    dist = Distribution.uniform(relation)
+    f = simpson_function(dist)
+    assert f.is_nonnegative_density(1e-9)
+    assert abs(f.value(0) - 1.0) < 1e-9
+
+
+@given(relations, masks, st.lists(nonempty_masks, max_size=2))
+@settings(max_examples=100, deadline=None)
+def test_proposition_73(relation, lhs, members):
+    """simpson satisfies X -> Y iff r satisfies X =>bool Y."""
+    dist = Distribution.uniform(relation)
+    family = SetFamily(GROUND, members)
+    c = DifferentialConstraint(GROUND, lhs, family)
+    bd = BooleanDependency(GROUND, lhs, family)
+    assert simpson_satisfies(dist, c) == bd.satisfied_by(relation)
+
+
+@given(relations, masks, masks)
+@settings(max_examples=100, deadline=None)
+def test_fd_is_boolean_special_case(relation, lhs, rhs):
+    fd = FunctionalDependency(GROUND, lhs, rhs)
+    bd = BooleanDependency(GROUND, lhs, SetFamily(GROUND, [rhs]))
+    assert fd.satisfied_by(relation) == bd.satisfied_by(relation)
+
+
+@given(
+    st.lists(st.tuples(masks, masks), min_size=1, max_size=4),
+    st.tuples(masks, masks),
+)
+@settings(max_examples=100, deadline=None)
+def test_fd_fragment_equivalence(fd_pairs, target_pair):
+    """FD closure implication == singleton-family lattice implication."""
+    from repro.core import ConstraintSet, implies_lattice
+
+    fds = [FunctionalDependency(GROUND, a, b) for a, b in fd_pairs]
+    target = FunctionalDependency(GROUND, *target_pair)
+    cset = ConstraintSet(GROUND, [fd.to_differential() for fd in fds])
+    assert implies_fd_classic(fds, target) == implies_lattice(
+        cset, target.to_differential()
+    )
+
+
+@given(relations, masks)
+@settings(max_examples=60, deadline=None)
+def test_simpson_monotone(relation, x):
+    """Adding attributes refines groups: simpson weakly decreases."""
+    import repro.core.subsets as sb
+
+    dist = Distribution.uniform(relation)
+    f = simpson_function(dist)
+    for sup in sb.iter_supersets(x, UNIVERSE):
+        assert f.value(sup) <= f.value(x) + 1e-9

@@ -1,0 +1,115 @@
+"""Unit tests for positive boolean dependencies (Prop 7.3, Cor 7.4)."""
+
+import pytest
+
+from repro.core import DifferentialConstraint, GroundSet, SetFamily
+from repro.instances import random_constraint
+from repro.relational import (
+    BooleanDependency,
+    Relation,
+    implies_boolean,
+    random_probabilistic_relation,
+    semantic_implies_over_two_tuple_relations,
+    simpson_satisfies,
+)
+
+
+class TestSatisfaction:
+    def test_formula_6_semantics(self, ground_abc):
+        r = Relation(ground_abc, [(0, 0, 0), (0, 0, 1), (1, 2, 2)])
+        # A =>bool {B}: rows 1,2 agree on A and on B -- holds
+        assert BooleanDependency.of(ground_abc, "A", "B").satisfied_by(r)
+        # B =>bool {C}: rows 1,2 agree on B but differ on C -- fails
+        assert not BooleanDependency.of(ground_abc, "B", "C").satisfied_by(r)
+
+    def test_fd_special_case(self, ground_abc, rng):
+        """A boolean dependency with Y = {Y} is the FD X -> Y."""
+        from repro.relational import FunctionalDependency, random_relation
+
+        for _ in range(30):
+            r = random_relation(ground_abc, rng.randint(1, 8), 2, rng)
+            lhs = rng.randrange(8)
+            rhs = rng.randrange(8)
+            fd = FunctionalDependency(ground_abc, lhs, rhs)
+            bd = BooleanDependency(
+                ground_abc, lhs, SetFamily(ground_abc, [rhs])
+            )
+            assert fd.satisfied_by(r) == bd.satisfied_by(r)
+
+    def test_empty_family_violated_by_reflexive_pairs(self, ground_abc):
+        r = Relation(ground_abc, [(0, 0, 0)])
+        bd = BooleanDependency(ground_abc, 0, SetFamily(ground_abc))
+        assert not bd.satisfied_by(r)
+
+    def test_empty_member_always_satisfied(self, ground_abc, rng):
+        from repro.relational import random_relation
+
+        bd = BooleanDependency(
+            ground_abc, ground_abc.parse("A"), SetFamily(ground_abc, [0])
+        )
+        for _ in range(5):
+            r = random_relation(ground_abc, rng.randint(1, 6), 2, rng)
+            assert bd.satisfied_by(r)
+
+
+class TestProposition73:
+    def test_simpson_iff_boolean(self, ground_abcd, rng):
+        for _ in range(30):
+            dist = random_probabilistic_relation(
+                ground_abcd, rng.randint(1, 6), 2, rng
+            )
+            for _ in range(6):
+                c = random_constraint(
+                    rng, ground_abcd, max_members=2, allow_empty_member=True
+                )
+                bd = BooleanDependency.from_differential(c)
+                assert simpson_satisfies(dist, c) == bd.satisfied_by(
+                    dist.relation
+                )
+
+    def test_independent_of_distribution(self, ground_abc, rng):
+        """Prop 7.3's satisfaction is a property of r alone; any strictly
+        positive p gives the same answer."""
+        from repro.relational import Distribution, random_relation
+
+        for _ in range(15):
+            r = random_relation(ground_abc, rng.randint(1, 6), 2, rng)
+            if r.is_empty():
+                continue
+            c = random_constraint(rng, ground_abc, max_members=2)
+            answers = {
+                simpson_satisfies(Distribution.uniform(r), c),
+                simpson_satisfies(Distribution.random(r, rng), c),
+            }
+            assert len(answers) == 1
+
+
+class TestCorollary74:
+    def test_routes_agree(self, ground_abcd, rng):
+        for _ in range(50):
+            deps = [
+                BooleanDependency.from_differential(
+                    random_constraint(rng, ground_abcd, max_members=2, min_members=1)
+                )
+                for _ in range(rng.randint(1, 3))
+            ]
+            t = BooleanDependency.from_differential(
+                random_constraint(rng, ground_abcd, max_members=2)
+            )
+            a = implies_boolean(deps, t, "lattice")
+            b = implies_boolean(deps, t, "sat")
+            c = semantic_implies_over_two_tuple_relations(deps, t)
+            assert a == b == c
+
+    def test_fd_chain_in_boolean_world(self, ground_abc):
+        deps = [
+            BooleanDependency.of(ground_abc, "A", "B"),
+            BooleanDependency.of(ground_abc, "B", "C"),
+        ]
+        t = BooleanDependency.of(ground_abc, "A", "C")
+        assert implies_boolean(deps, t)
+        assert semantic_implies_over_two_tuple_relations(deps, t)
+
+    def test_repr(self, ground_abc):
+        bd = BooleanDependency.of(ground_abc, "A", "B", "C")
+        assert repr(bd) == "A =>bool {B, C}"

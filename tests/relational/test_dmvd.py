@@ -1,0 +1,115 @@
+"""Tests for degenerate multivalued dependencies."""
+
+import pytest
+
+from repro.core import GroundSet, derive, check_proof, ConstraintSet
+from repro.relational import Relation, random_relation
+from repro.relational.dmvd import DegenerateMVD, implies_dmvd
+
+
+class TestConstruction:
+    def test_partition(self, ground_abcd):
+        d = DegenerateMVD.of(ground_abcd, "A", "BC")
+        assert d.right == ground_abcd.parse("D")
+        assert repr(d) == "A ->-> BC | D"
+
+    def test_branch_symmetry(self, ground_abcd):
+        a = DegenerateMVD.of(ground_abcd, "A", "BC")
+        b = DegenerateMVD.of(ground_abcd, "A", "D")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_overlap_rejected(self, ground_abcd):
+        with pytest.raises(ValueError):
+            DegenerateMVD.of(ground_abcd, "AB", "BC")
+
+
+class TestSatisfaction:
+    def test_semantics(self, ground_abcd):
+        # tuples agreeing on A agree on BC or on D: the A=0 group shares
+        # BC, the A=1 group shares D, cross pairs differ on A (vacuous)
+        r = Relation(
+            ground_abcd,
+            [
+                (0, 1, 1, 9),
+                (0, 1, 1, 7),
+                (1, 2, 5, 7),
+                (1, 3, 6, 7),
+            ],
+        )
+        assert DegenerateMVD.of(ground_abcd, "A", "BC").satisfied_by(r)
+        r_bad = Relation(
+            ground_abcd,
+            [(0, 1, 1, 9), (0, 2, 1, 7)],  # agree on A and C only
+        )
+        assert not DegenerateMVD.of(ground_abcd, "A", "BC").satisfied_by(r_bad)
+
+    def test_full_branch_always_holds(self, ground_abcd, rng):
+        """X ->-> (S-X) | (/) is trivial."""
+        d = DegenerateMVD.of(ground_abcd, "A", "BCD")
+        for _ in range(10):
+            r = random_relation(ground_abcd, rng.randint(1, 8), 2, rng)
+            assert d.satisfied_by(r)
+
+    def test_matches_two_tuple_characterization(self, ground_abcd, rng):
+        from repro.relational import two_tuple_relation
+
+        for _ in range(30):
+            lhs = rng.randrange(16)
+            left = rng.randrange(16) & ~lhs
+            d = DegenerateMVD(ground_abcd, lhs, left)
+            c = d.to_differential()
+            for u in ground_abcd.all_masks():
+                r = two_tuple_relation(ground_abcd, u)
+                want = not c.lattice_contains(u) and not c.lattice_contains(
+                    ground_abcd.universe_mask
+                )
+                assert d.satisfied_by(r) == want
+
+
+class TestImplication:
+    def test_fd_implies_dmvd(self, ground_abcd):
+        """Classical fact: X -> Y implies X ->-> Y | Z."""
+        from repro.relational import FunctionalDependency
+
+        fd = FunctionalDependency.parse(ground_abcd, "A -> BC")
+        dmvd = DegenerateMVD.of(ground_abcd, "A", "BC")
+        cset = ConstraintSet(ground_abcd, [fd.to_differential()])
+        assert cset.implies(dmvd.to_differential())
+
+    def test_complement_rule_is_built_in(self, ground_abcd):
+        """X ->-> Y | Z and X ->-> Z | Y coincide by construction."""
+        a = DegenerateMVD.of(ground_abcd, "A", "BC")
+        assert implies_dmvd([a], DegenerateMVD.of(ground_abcd, "A", "D"))
+
+    def test_augmentation(self, ground_abcd):
+        a = DegenerateMVD.of(ground_abcd, "A", "BC")
+        cset = ConstraintSet(ground_abcd, [a.to_differential()])
+        # AD ->-> BC | (/)... augment the LHS: AD ->-> BC | (rest)
+        lifted = DegenerateMVD.of(ground_abcd, "AD", "BC")
+        assert cset.implies(lifted.to_differential())
+
+    def test_implied_dmvd_has_figure1_derivation(self, ground_abcd):
+        a = DegenerateMVD.of(ground_abcd, "A", "BC")
+        target = DegenerateMVD.of(ground_abcd, "AD", "BC")
+        cset = ConstraintSet(ground_abcd, [a.to_differential()])
+        proof = derive(cset, target.to_differential(), allow_derived=False)
+        check_proof(proof, cset.constraints, allow_derived=False)
+
+    def test_implication_matches_semantic_scan(self, ground_abcd, rng):
+        from repro.relational import semantic_implies_over_two_tuple_relations
+
+        for _ in range(25):
+            premises = []
+            for _ in range(rng.randint(1, 2)):
+                lhs = rng.randrange(16)
+                left = rng.randrange(16) & ~lhs
+                premises.append(DegenerateMVD(ground_abcd, lhs, left))
+            lhs = rng.randrange(16)
+            left = rng.randrange(16) & ~lhs
+            target = DegenerateMVD(ground_abcd, lhs, left)
+            got = implies_dmvd(premises, target)
+            want = semantic_implies_over_two_tuple_relations(
+                [p.to_boolean() for p in premises], target.to_boolean()
+            )
+            assert got == want

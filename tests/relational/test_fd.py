@@ -1,0 +1,141 @@
+"""Unit tests for functional dependencies and the P-time fragment."""
+
+import pytest
+
+from repro.core import ConstraintSet, GroundSet
+from repro.core.implication import implies_lattice
+from repro.relational import (
+    FunctionalDependency,
+    armstrong_derives,
+    candidate_keys,
+    closure,
+    implies_fd_classic,
+    is_superkey,
+    random_relation,
+    relation_satisfying_fds,
+)
+
+
+class TestBasics:
+    def test_parse_and_repr(self, ground_abcd):
+        fd = FunctionalDependency.parse(ground_abcd, "AB -> C")
+        assert fd.lhs == ground_abcd.parse("AB")
+        assert fd.rhs == ground_abcd.parse("C")
+        assert repr(fd) == "AB -> C"
+
+    def test_triviality(self, ground_abcd):
+        assert FunctionalDependency.parse(ground_abcd, "AB -> A").is_trivial
+        assert not FunctionalDependency.parse(ground_abcd, "AB -> C").is_trivial
+
+    def test_satisfaction(self, ground_abc):
+        from repro.relational import Relation
+
+        r = Relation(ground_abc, [(0, 1, 1), (0, 1, 2), (1, 2, 2)])
+        assert FunctionalDependency.parse(ground_abc, "A -> B").satisfied_by(r)
+        assert not FunctionalDependency.parse(ground_abc, "A -> C").satisfied_by(r)
+
+
+class TestClosure:
+    def test_textbook_example(self, ground_abcd):
+        fds = [
+            FunctionalDependency.parse(ground_abcd, "A -> B"),
+            FunctionalDependency.parse(ground_abcd, "B -> C"),
+        ]
+        assert closure(ground_abcd, ground_abcd.parse("A"), fds) == ground_abcd.parse("ABC")
+        assert closure(ground_abcd, ground_abcd.parse("D"), fds) == ground_abcd.parse("D")
+
+    def test_implication(self, ground_abcd):
+        fds = [
+            FunctionalDependency.parse(ground_abcd, "A -> B"),
+            FunctionalDependency.parse(ground_abcd, "B -> C"),
+        ]
+        assert implies_fd_classic(fds, FunctionalDependency.parse(ground_abcd, "A -> C"))
+        assert not implies_fd_classic(fds, FunctionalDependency.parse(ground_abcd, "C -> A"))
+
+    def test_armstrong_agrees_with_closure(self, ground_abcd, rng):
+        for _ in range(80):
+            fds = [
+                FunctionalDependency(ground_abcd, rng.randrange(16), rng.randrange(16))
+                for _ in range(rng.randint(1, 4))
+            ]
+            t = FunctionalDependency(ground_abcd, rng.randrange(16), rng.randrange(16))
+            assert armstrong_derives(fds, t) == implies_fd_classic(fds, t)
+
+
+class TestPaperConclusion:
+    """Singleton-RHS differential implication == FD implication."""
+
+    def test_equivalence_random(self, ground_abcd, rng):
+        for _ in range(100):
+            fds = [
+                FunctionalDependency(ground_abcd, rng.randrange(16), rng.randrange(16))
+                for _ in range(rng.randint(1, 4))
+            ]
+            t = FunctionalDependency(ground_abcd, rng.randrange(16), rng.randrange(16))
+            cset = ConstraintSet(
+                ground_abcd, [fd.to_differential() for fd in fds]
+            )
+            assert implies_fd_classic(fds, t) == implies_lattice(
+                cset, t.to_differential()
+            )
+
+    def test_boolean_route_agrees(self, ground_abcd, rng):
+        from repro.relational import implies_boolean
+
+        for _ in range(40):
+            fds = [
+                FunctionalDependency(ground_abcd, rng.randrange(16), rng.randrange(16))
+                for _ in range(rng.randint(1, 3))
+            ]
+            t = FunctionalDependency(ground_abcd, rng.randrange(16), rng.randrange(16))
+            assert implies_fd_classic(fds, t) == implies_boolean(
+                [fd.to_boolean() for fd in fds], t.to_boolean()
+            )
+
+
+class TestKeys:
+    def test_candidate_keys(self, ground_abcd):
+        fds = [
+            FunctionalDependency.parse(ground_abcd, "A -> B"),
+            FunctionalDependency.parse(ground_abcd, "B -> C"),
+        ]
+        keys = candidate_keys(ground_abcd, fds)
+        assert keys == [ground_abcd.parse("AD")]
+
+    def test_superkey(self, ground_abcd):
+        fds = [FunctionalDependency.parse(ground_abcd, "A -> BCD")]
+        assert is_superkey(ground_abcd, ground_abcd.parse("A"), fds)
+        assert not is_superkey(ground_abcd, ground_abcd.parse("B"), fds)
+
+    def test_keys_are_minimal_antichain(self, ground_abcd, rng):
+        import repro.core.subsets as sb
+
+        for _ in range(10):
+            fds = [
+                FunctionalDependency(ground_abcd, rng.randrange(16), rng.randrange(16))
+                for _ in range(3)
+            ]
+            keys = candidate_keys(ground_abcd, fds)
+            for a in keys:
+                assert is_superkey(ground_abcd, a, fds)
+                for b in keys:
+                    if a != b:
+                        assert not sb.is_subset(a, b)
+
+
+class TestRepair:
+    def test_repaired_relations_satisfy(self, ground_abcd, rng):
+        for _ in range(15):
+            fds = [
+                FunctionalDependency(ground_abcd, rng.randrange(16), rng.randrange(16))
+                for _ in range(rng.randint(1, 3))
+            ]
+            r = relation_satisfying_fds(ground_abcd, fds, 10, 3, rng)
+            for fd in fds:
+                assert fd.satisfied_by(r)
+
+    def test_random_relation_shape(self, ground_abc, rng):
+        r = random_relation(ground_abc, 10, 2, rng)
+        assert len(r) <= 10
+        for row in r:
+            assert all(v in (0, 1) for v in row)

@@ -1,0 +1,72 @@
+"""Unit tests for distributions and marginals."""
+
+import random
+
+import pytest
+
+from repro.core import GroundSet
+from repro.relational import Distribution, Relation
+
+
+@pytest.fixture
+def s() -> GroundSet:
+    return GroundSet("ABC")
+
+
+@pytest.fixture
+def r(s) -> Relation:
+    return Relation(s, [(0, 0, 0), (0, 1, 0), (1, 1, 1)])
+
+
+class TestValidation:
+    def test_uniform(self, r):
+        p = Distribution.uniform(r)
+        assert all(abs(p.prob(t) - 1 / 3) < 1e-12 for t in r)
+
+    def test_empty_relation_rejected(self, s):
+        with pytest.raises(ValueError):
+            Distribution.uniform(Relation(s, []))
+
+    def test_zero_mass_rejected(self, r):
+        probs = {row: (1.0 if i else 0.0) for i, row in enumerate(r.rows)}
+        with pytest.raises(ValueError):
+            Distribution(r, probs)
+
+    def test_mass_off_relation_rejected(self, r, s):
+        probs = {row: 1 / 4 for row in r.rows}
+        probs[(9, 9, 9)] = 1 / 4
+        with pytest.raises(ValueError):
+            Distribution(r, probs)
+
+    def test_normalization_checked(self, r):
+        probs = {row: 0.5 for row in r.rows}  # sums to 1.5
+        with pytest.raises(ValueError):
+            Distribution(r, probs)
+
+    def test_random_is_valid_and_deterministic(self, r):
+        a = Distribution.random(r, random.Random(3))
+        b = Distribution.random(r, random.Random(3))
+        assert all(abs(a.prob(t) - b.prob(t)) < 1e-12 for t in r)
+        assert abs(sum(p for _, p in a.items()) - 1.0) < 1e-9
+
+
+class TestMarginals:
+    def test_marginal_sums(self, r, s):
+        p = Distribution.uniform(r)
+        marg = p.marginal(s.parse("A"))
+        assert marg[(0,)] == pytest.approx(2 / 3)
+        assert marg[(1,)] == pytest.approx(1 / 3)
+
+    def test_empty_marginal_is_total_mass(self, r):
+        p = Distribution.uniform(r)
+        assert p.marginal(0)[()] == pytest.approx(1.0)
+
+    def test_full_marginal_is_p(self, r, s):
+        p = Distribution.uniform(r)
+        marg = p.marginal(s.universe_mask)
+        for row in r:
+            assert marg[row] == pytest.approx(p.prob(row))
+
+    def test_prob_off_relation_is_zero(self, r):
+        p = Distribution.uniform(r)
+        assert p.prob((7, 7, 7)) == 0.0

@@ -1,0 +1,91 @@
+"""Unit tests for relations and the two-tuple construction."""
+
+import pytest
+
+from repro.core import GroundSet
+from repro.relational import Relation, two_tuple_relation
+
+
+@pytest.fixture
+def s() -> GroundSet:
+    return GroundSet("ABC")
+
+
+class TestConstruction:
+    def test_set_semantics(self, s):
+        r = Relation(s, [(0, 1, 2), (0, 1, 2), (1, 1, 1)])
+        assert len(r) == 2
+
+    def test_width_checked(self, s):
+        with pytest.raises(ValueError):
+            Relation(s, [(0, 1)])
+
+    def test_of(self, s):
+        r = Relation.of(s, (0, 0, 0), (1, 1, 1))
+        assert len(r) == 2
+
+    def test_equality_ignores_order(self, s):
+        a = Relation(s, [(0, 0, 0), (1, 1, 1)])
+        b = Relation(s, [(1, 1, 1), (0, 0, 0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty(self, s):
+        assert Relation(s, []).is_empty()
+
+
+class TestProjectionAndAgreement:
+    def test_project_row(self, s):
+        r = Relation(s, [(5, 6, 7)])
+        assert r.project_row((5, 6, 7), s.parse("AC")) == (5, 7)
+        assert r.project_row((5, 6, 7), 0) == ()
+
+    def test_project(self, s):
+        r = Relation(s, [(0, 1, 0), (0, 2, 0), (1, 1, 0)])
+        assert r.project(s.parse("A")) == {(0,), (1,)}
+        assert r.project(s.parse("AC")) == {(0, 0), (1, 0)}
+        assert r.project(0) == {()}
+
+    def test_agree(self, s):
+        r = Relation(s, [(0, 1, 0), (0, 2, 0)])
+        t, t2 = r.rows
+        assert r.agree(t, t2, s.parse("AC"))
+        assert not r.agree(t, t2, s.parse("AB"))
+        assert r.agree(t, t2, 0)
+
+    def test_agreement_set(self, s):
+        r = Relation(s, [(0, 1, 0), (0, 2, 0)])
+        t, t2 = r.rows
+        assert r.agreement_set(t, t2) == s.parse("AC")
+        assert r.agreement_set(t, t) == s.universe_mask
+
+
+class TestTwoTupleRelation:
+    def test_agreement_exactly_u(self, s):
+        for u in s.all_masks():
+            r = two_tuple_relation(s, u)
+            if u == s.universe_mask:
+                assert len(r) == 1
+            else:
+                assert len(r) == 2
+                t, t2 = r.rows
+                assert r.agreement_set(t, t2) == u
+
+    def test_boolean_dependency_characterization(self, s, rng):
+        """r_U satisfies X =>bool Y iff both U and S avoid L(X, Y);
+        on nonempty families the S-condition is automatic."""
+        from repro.instances import random_constraint
+        from repro.relational import BooleanDependency
+
+        universe = s.universe_mask
+        for _ in range(60):
+            c = random_constraint(rng, s, max_members=2, allow_empty_member=True)
+            bd = BooleanDependency.from_differential(c)
+            for u in s.all_masks():
+                r = two_tuple_relation(s, u)
+                want = not c.lattice_contains(u) and not c.lattice_contains(
+                    universe
+                )
+                assert bd.satisfied_by(r) == want
+                if len(c.family) >= 1:
+                    assert bd.satisfied_by(r) == (not c.lattice_contains(u))

@@ -1,0 +1,102 @@
+"""Unit tests for the Shannon-entropy probes (the open problem)."""
+
+import math
+
+import pytest
+
+from repro.core import GroundSet
+from repro.relational import (
+    Distribution,
+    Relation,
+    entropy_density_can_be_negative,
+    entropy_function,
+    entropy_value,
+    fd_holds_by_entropy,
+    random_probabilistic_relation,
+    random_relation,
+)
+
+
+class TestEntropyValues:
+    def test_empty_set_entropy_zero(self, ground_abc, rng):
+        dist = random_probabilistic_relation(ground_abc, 5, 3, rng)
+        assert entropy_value(dist, 0) == pytest.approx(0.0)
+
+    def test_uniform_distinct_column(self, ground_abc):
+        rows = [(i, 0, 0) for i in range(4)]
+        dist = Distribution.uniform(Relation(ground_abc, rows))
+        assert entropy_value(dist, ground_abc.parse("A")) == pytest.approx(2.0)
+        assert entropy_value(dist, ground_abc.parse("B")) == pytest.approx(0.0)
+
+    def test_monotone_increasing_in_x(self, ground_abc, rng):
+        import repro.core.subsets as sb
+
+        for _ in range(10):
+            dist = random_probabilistic_relation(ground_abc, 6, 2, rng)
+            h = entropy_function(dist)
+            for x in ground_abc.all_masks():
+                for sup in sb.iter_supersets(x, ground_abc.universe_mask):
+                    assert h.value(sup) >= h.value(x) - 1e-9
+
+    def test_submodularity(self, ground_abc, rng):
+        """h(X) + h(Y) >= h(X | Y) + h(X & Y) -- Shannon's inequality."""
+        for _ in range(10):
+            dist = random_probabilistic_relation(ground_abc, 6, 2, rng)
+            h = entropy_function(dist)
+            for x in ground_abc.all_masks():
+                for y in ground_abc.all_masks():
+                    lhs = h.value(x) + h.value(y)
+                    rhs = h.value(x | y) + h.value(x & y)
+                    assert lhs >= rhs - 1e-9
+
+
+class TestFdCharacterization:
+    def test_entropy_test_matches_pairwise(self, ground_abc, rng):
+        from repro.relational import FunctionalDependency
+
+        for _ in range(40):
+            r = random_relation(ground_abc, rng.randint(1, 8), 2, rng)
+            if r.is_empty():
+                continue
+            dist = Distribution.uniform(r)
+            lhs = rng.randrange(8)
+            rhs = rng.randrange(8)
+            fd = FunctionalDependency(ground_abc, lhs, rhs)
+            assert fd.satisfied_by(r) == fd_holds_by_entropy(dist, lhs, rhs)
+
+    def test_holds_for_any_positive_distribution(self, ground_abc, rng):
+        """The FD characterization is distribution-independent."""
+        from repro.relational import FunctionalDependency
+
+        r = Relation(ground_abc, [(0, 1, 0), (0, 1, 1), (1, 2, 0)])
+        fd = FunctionalDependency.parse(ground_abc, "A -> B")
+        assert fd.satisfied_by(r)
+        for _ in range(5):
+            dist = Distribution.random(r, rng)
+            assert fd_holds_by_entropy(dist, fd.lhs, fd.rhs)
+
+
+class TestOpenProblemBoundary:
+    def test_xor_witness(self, ground_abc):
+        relation, value = entropy_density_can_be_negative(ground_abc)
+        assert value == pytest.approx(-1.0)
+        assert len(relation) == 4
+
+    def test_witness_with_padding(self):
+        s = GroundSet("ABCDE")
+        relation, value = entropy_density_can_be_negative(s)
+        assert value == pytest.approx(-1.0)
+
+    def test_too_few_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            entropy_density_can_be_negative(GroundSet("AB"))
+
+    def test_entropy_functions_not_all_frequency(self, ground_abc):
+        """The concrete content of the open problem: Shannon functions
+        escape positive(S), so Theorem 3.5's counterexample machinery
+        does not specialize to them the way it does for Simpson."""
+        from repro.fis import is_frequency_function
+
+        relation, _ = entropy_density_can_be_negative(ground_abc)
+        h = entropy_function(Distribution.uniform(relation))
+        assert not is_frequency_function(h, tol=1e-9)

@@ -1,0 +1,96 @@
+"""Unit tests for Simpson functions (Definition 7.1, Proposition 7.2)."""
+
+import pytest
+
+from repro.core import GroundSet
+from repro.fis import is_frequency_function
+from repro.instances import random_constraint
+from repro.relational import (
+    Distribution,
+    Relation,
+    random_probabilistic_relation,
+    simpson_density_function_pairsum,
+    simpson_density_pairsum,
+    simpson_function,
+    simpson_satisfies,
+    simpson_value,
+)
+
+
+class TestDefinition71:
+    def test_empty_set_value_is_one(self, ground_abc, rng):
+        dist = random_probabilistic_relation(ground_abc, 5, 3, rng)
+        assert simpson_value(dist, 0) == pytest.approx(1.0)
+
+    def test_single_row_all_ones(self, ground_abc):
+        r = Relation(ground_abc, [(1, 2, 3)])
+        dist = Distribution.uniform(r)
+        for mask in ground_abc.all_masks():
+            assert simpson_value(dist, mask) == pytest.approx(1.0)
+
+    def test_uniform_distinct_column(self, ground_abc):
+        """n rows all distinct on A: simpson(A) = n * (1/n)^2 = 1/n."""
+        rows = [(i, 0, 0) for i in range(4)]
+        dist = Distribution.uniform(Relation(ground_abc, rows))
+        assert simpson_value(dist, ground_abc.parse("A")) == pytest.approx(1 / 4)
+
+    def test_monotone_decreasing_in_x(self, ground_abc, rng):
+        """Refining the grouping cannot increase the Simpson index."""
+        import repro.core.subsets as sb
+
+        for _ in range(10):
+            dist = random_probabilistic_relation(ground_abc, 6, 2, rng)
+            f = simpson_function(dist)
+            for x in ground_abc.all_masks():
+                for sup in sb.iter_supersets(x, ground_abc.universe_mask):
+                    assert f.value(sup) <= f.value(x) + 1e-9
+
+
+class TestProposition72:
+    def test_pairsum_matches_mobius(self, ground_abcd, rng):
+        for _ in range(20):
+            dist = random_probabilistic_relation(ground_abcd, rng.randint(1, 7), 3, rng)
+            f = simpson_function(dist)
+            pairsum = simpson_density_function_pairsum(dist)
+            assert f.density().allclose(pairsum, 1e-9)
+
+    def test_pointwise_pairsum(self, ground_abc, rng):
+        dist = random_probabilistic_relation(ground_abc, 5, 2, rng)
+        f = simpson_function(dist)
+        for mask in ground_abc.all_masks():
+            assert simpson_density_pairsum(dist, mask) == pytest.approx(
+                f.density_value(mask), abs=1e-9
+            )
+
+    def test_density_nonnegative(self, ground_abcd, rng):
+        """Every Simpson function is a frequency function (Section 7)."""
+        for _ in range(15):
+            dist = random_probabilistic_relation(ground_abcd, rng.randint(1, 8), 3, rng)
+            assert is_frequency_function(simpson_function(dist), tol=1e-9)
+
+    def test_density_at_s_strictly_positive(self, ground_abc, rng):
+        """d(S) = sum p(t)^2 > 0 -- the relational-vacuity driver."""
+        for _ in range(10):
+            dist = random_probabilistic_relation(ground_abc, rng.randint(1, 6), 2, rng)
+            f = simpson_function(dist)
+            assert f.density_value(ground_abc.universe_mask) > 0
+
+
+class TestSatisfaction:
+    def test_pair_based_matches_density_based(self, ground_abcd, rng):
+        for _ in range(25):
+            dist = random_probabilistic_relation(ground_abcd, rng.randint(1, 6), 2, rng)
+            f = simpson_function(dist)
+            for _ in range(8):
+                c = random_constraint(
+                    rng, ground_abcd, max_members=2, allow_empty_member=True
+                )
+                assert simpson_satisfies(dist, c) == c.satisfied_by(f, tol=1e-9)
+
+    def test_never_satisfies_empty_family(self, ground_abc, rng):
+        from repro.core import DifferentialConstraint, SetFamily
+
+        c = DifferentialConstraint(ground_abc, 0, SetFamily(ground_abc))
+        for _ in range(5):
+            dist = random_probabilistic_relation(ground_abc, rng.randint(1, 5), 2, rng)
+            assert not simpson_satisfies(dist, c)

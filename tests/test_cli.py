@@ -1,0 +1,164 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main, parse_basket_file, parse_constraint_file
+
+
+@pytest.fixture
+def constraint_file(tmp_path):
+    path = tmp_path / "constraints.txt"
+    path.write_text(
+        "# example 3.4\n"
+        "ABC\n"
+        "\n"
+        "A -> B\n"
+        "B -> C\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def basket_file(tmp_path):
+    path = tmp_path / "baskets.txt"
+    path.write_text(
+        "ABC\n"
+        "AB\nAB\nABC\nC\nBC\n"
+    )
+    return str(path)
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParsing:
+    def test_constraint_file(self):
+        ground, cset = parse_constraint_file(
+            ["# comment", "ABCD", "A -> B, CD", "", "C -> D"]
+        )
+        assert ground.size == 4
+        assert len(cset) == 2
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError):
+            parse_constraint_file(["", "# only comments"])
+
+    def test_basket_file(self):
+        ground, db = parse_basket_file(["AB", "A", "AB", "B"])
+        assert len(db) == 3
+        assert db.support(ground.parse("A")) == 2
+
+
+class TestImplies:
+    def test_implied(self, constraint_file):
+        code, text = _run(["implies", constraint_file, "A -> C"])
+        assert code == 0
+        assert "IMPLIED" in text and "NOT" not in text
+
+    def test_not_implied_with_counterexample(self, constraint_file):
+        code, text = _run(
+            ["implies", constraint_file, "C -> A", "--counterexample"]
+        )
+        assert code == 1
+        assert "NOT IMPLIED" in text
+        assert "counterexample" in text
+
+    def test_methods(self, constraint_file):
+        for method in ("lattice", "sat", "fd", "bitset"):
+            code, _ = _run(
+                ["implies", constraint_file, "A -> C", "--method", method]
+            )
+            assert code == 0
+
+    def test_bad_file(self):
+        code, text = _run(["implies", "/nonexistent/file", "A -> B"])
+        assert code == 2
+        assert "error:" in text
+
+
+class TestDerive:
+    def test_derivation_printed(self, constraint_file):
+        code, text = _run(["derive", constraint_file, "A -> C"])
+        assert code == 0
+        assert "given" in text
+        assert "checked" in text
+
+    def test_primitive_mode(self, constraint_file):
+        code, text = _run(
+            ["derive", constraint_file, "A -> C", "--primitive"]
+        )
+        assert code == 0
+        for macro in ("projection", "transitivity", "union", "chain"):
+            assert macro not in text
+
+    def test_refusal(self, constraint_file):
+        code, text = _run(["derive", constraint_file, "C -> A"])
+        assert code == 1
+        assert "NOT IMPLIED" in text
+
+
+class TestClosure:
+    def test_closure_output(self, constraint_file):
+        code, text = _run(["closure", constraint_file])
+        assert code == 0
+        assert "atomic closure" in text
+        assert "minimal cover" in text
+
+    def test_cover_drops_redundant(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("ABC\nA -> B\nB -> C\nA -> C\n")
+        code, text = _run(["closure", str(path)])
+        assert code == 0
+        assert "minimal cover (2 of 3" in text
+
+    def test_empty_closure_marked(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("ABC\nAB -> B\n")  # only a trivial constraint
+        code, text = _run(["closure", str(path)])
+        assert code == 0
+        assert "(empty)" in text
+
+
+class TestMine:
+    def test_apriori_mode(self, basket_file):
+        code, text = _run(["mine", basket_file, "--minsupport", "2"])
+        assert code == 0
+        assert "frequent itemsets" in text
+        assert "AB" in text
+
+    def test_concise_mode(self, basket_file):
+        code, text = _run(
+            ["mine", basket_file, "--minsupport", "2", "--concise"]
+        )
+        assert code == 0
+        assert "FDFree" in text
+
+    def test_stdin_not_required_for_files(self, basket_file):
+        code, _ = _run(["mine", basket_file])
+        assert code == 0
+
+
+class TestDiscover:
+    def test_rules_printed(self, basket_file):
+        code, text = _run(["discover", basket_file])
+        assert code == 0
+        assert "minimal disjunctive rules" in text
+
+    def test_cover_flag(self, basket_file):
+        code, text = _run(["discover", basket_file, "--cover"])
+        assert code == 0
+        assert "differential-theory cover" in text
+        assert "->" in text
+
+    def test_perfect_correlation_discovered(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("ABC\nAB\nAB\nABC\nC\n")
+        code, text = _run(["discover", str(path), "--rule-width", "1"])
+        assert code == 0
+        assert "A =>disj {B}" in text
+        assert "B =>disj {A}" in text

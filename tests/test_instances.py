@@ -1,0 +1,157 @@
+"""Tests for the shared random-instance generators."""
+
+import random
+
+import pytest
+
+from repro.core import GroundSet
+from repro.core.implication import implies_lattice
+from repro.instances import (
+    random_constraint,
+    random_constraint_set,
+    random_dnf,
+    random_family,
+    random_implied_pair,
+    random_mask,
+    random_nonempty_mask,
+    random_nonneg_density_function,
+    random_set_function,
+)
+
+
+@pytest.fixture
+def s() -> GroundSet:
+    return GroundSet("ABCDE")
+
+
+class TestMasks:
+    def test_determinism(self, s):
+        a = [random_mask(random.Random(1), s) for _ in range(10)]
+        b = [random_mask(random.Random(1), s) for _ in range(10)]
+        assert a == b
+
+    def test_nonempty(self, s):
+        rng = random.Random(2)
+        for _ in range(50):
+            assert random_nonempty_mask(rng, s) != 0
+
+    def test_probability_extremes(self, s):
+        rng = random.Random(3)
+        assert random_mask(rng, s, 0.0) == 0
+        assert random_mask(rng, s, 1.0) == s.universe_mask
+
+
+class TestFamiliesAndConstraints:
+    def test_family_bounds(self, s):
+        rng = random.Random(4)
+        for _ in range(30):
+            fam = random_family(rng, s, max_members=3, min_members=1)
+            assert 1 <= len(fam) <= 3
+            assert all(m != 0 for m in fam)
+
+    def test_empty_members_only_when_allowed(self, s):
+        rng = random.Random(5)
+        seen_empty = False
+        for _ in range(200):
+            fam = random_family(rng, s, max_members=3, allow_empty_member=True)
+            if 0 in fam.members:
+                seen_empty = True
+        assert seen_empty
+
+    def test_constraint_set_size(self, s):
+        rng = random.Random(6)
+        cs = random_constraint_set(rng, s, 4, max_members=2)
+        assert len(cs) <= 4  # deduplication may shrink it
+        assert len(cs) >= 1
+
+
+class TestImpliedPairs:
+    def test_always_implied(self, s):
+        rng = random.Random(7)
+        for mode in ("atoms", "decomp", "self"):
+            for _ in range(15):
+                cset, target = random_implied_pair(rng, s, mode=mode)
+                assert implies_lattice(cset, target), mode
+
+    def test_unknown_mode(self, s):
+        with pytest.raises(ValueError):
+            random_implied_pair(random.Random(8), s, mode="nope")
+
+
+class TestFunctions:
+    def test_set_function_range(self, s):
+        rng = random.Random(9)
+        f = random_set_function(rng, s, low=-1, high=1)
+        assert all(-1 <= f.value(m) <= 1 for m in s.all_masks())
+
+    def test_nonneg_density(self, s):
+        rng = random.Random(10)
+        for integral in (False, True):
+            f = random_nonneg_density_function(rng, s, integral=integral)
+            assert f.is_nonnegative_density()
+
+    def test_integral_density_is_support(self, s):
+        from repro.fis import is_support_function
+
+        rng = random.Random(11)
+        f = random_nonneg_density_function(rng, s, integral=True)
+        assert is_support_function(f)
+
+
+class TestDnf:
+    def test_terms_disjoint_literals(self, s):
+        rng = random.Random(12)
+        for _ in range(30):
+            for pos, neg in random_dnf(rng, s, 5):
+                assert pos & neg == 0
+
+
+class TestSatisfyingFunctions:
+    def test_sampled_functions_satisfy(self, s):
+        from repro.instances import (
+            random_constraint_set,
+            random_satisfying_function,
+        )
+
+        rng = random.Random(13)
+        for _ in range(20):
+            cset = random_constraint_set(rng, s, 3, max_members=2)
+            f = random_satisfying_function(rng, cset)
+            assert cset.satisfied_by(f)
+            assert f.is_nonnegative_density()
+
+    def test_integral_mode_gives_support_functions(self, s):
+        from repro.fis import is_support_function
+        from repro.instances import (
+            random_constraint_set,
+            random_satisfying_function,
+        )
+
+        rng = random.Random(14)
+        cset = random_constraint_set(rng, s, 2, max_members=2)
+        f = random_satisfying_function(rng, cset, integral=True)
+        assert is_support_function(f)
+
+    def test_usually_violates_non_consequences(self, s):
+        """With low zero-probability the sample approximates the
+        Armstrong witness: most non-implied constraints are violated."""
+        from repro.core import ConstraintSet
+        from repro.core.implication import implies_lattice
+        from repro.instances import (
+            random_constraint,
+            random_satisfying_function,
+        )
+
+        rng = random.Random(15)
+        cset = ConstraintSet.of(s, "A -> B")
+        f = random_satisfying_function(rng, cset, zero_probability=0.0)
+        violated = checked = 0
+        for _ in range(60):
+            c = random_constraint(rng, s, max_members=2)
+            if implies_lattice(cset, c):
+                assert c.satisfied_by(f)
+            else:
+                checked += 1
+                violated += not c.satisfied_by(f)
+        assert checked > 0
+        assert violated == checked  # zero_probability=0 is exactly Armstrong

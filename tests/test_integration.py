@@ -1,0 +1,197 @@
+"""Cross-package integration scenarios.
+
+Each test threads one object through several subsystems, checking that
+the paper's equivalences hold *end to end* rather than per module.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    armstrong_database,
+    check_proof,
+    decide,
+    derive,
+)
+from repro.fis import (
+    BasketDatabase,
+    DisjunctiveConstraint,
+    FrequencyConstraint,
+    correlated_baskets,
+    discover_cover,
+    induce_basket_database,
+    measure_sat,
+    mine_concise,
+    minimal_disjunctive_rules,
+    random_baskets,
+    support_sat,
+    theory_of,
+    verify_lossless,
+)
+from repro.measures import MassFunction, random_mass
+from repro.relational import (
+    BooleanDependency,
+    Distribution,
+    FunctionalDependency,
+    implies_boolean,
+    random_probabilistic_relation,
+    relation_satisfying_fds,
+    simpson_function,
+    simpson_satisfies,
+)
+
+
+class TestMineReasonRealizeLoop:
+    """data -> discovered theory -> implication -> Armstrong data."""
+
+    def test_full_loop(self, ground_abcd, rng):
+        db = correlated_baskets(ground_abcd, 40, 2, 3, 0.05, 0.05, rng)
+        f = db.support_function()
+
+        # 1. discover a cover of everything the data satisfies
+        cover = discover_cover(db)
+        assert all(c.satisfied_by(f) for c in cover)
+
+        # 2. the cover axiomatizes satisfaction (spot-check via implication)
+        from repro.instances import random_constraint
+
+        for _ in range(20):
+            c = random_constraint(rng, ground_abcd, max_members=2)
+            assert c.satisfied_by(f) == decide(cover, c, "lattice")
+
+        # 3. the Armstrong database of the cover has the same theory
+        generic = armstrong_database(cover)
+        for _ in range(20):
+            c = random_constraint(rng, ground_abcd, max_members=2)
+            disj = DisjunctiveConstraint.from_differential(c)
+            assert disj.satisfied_by(generic) == c.satisfied_by(f)
+
+    def test_rules_feed_derivations(self, ground_abcd, rng):
+        """Discovered minimal rules + the proof engine: any satisfied
+        singleton rule is derivable from the minimal ones."""
+        db = random_baskets(ground_abcd, 10, 0.45, rng)
+        minimal = minimal_disjunctive_rules(db, max_rhs=2)
+        if not minimal:
+            pytest.skip("no rules in this draw")
+        cset = ConstraintSet(
+            ground_abcd, [r.to_differential() for r in minimal]
+        )
+        from repro.fis.disjunctive_free import holds_singleton_rule
+        import repro.core.subsets as sb
+        from repro.core.family import SetFamily
+
+        universe = ground_abcd.universe_mask
+        checked = 0
+        for rhs in range(1, universe + 1):
+            if sb.popcount(rhs) > 2:
+                continue
+            for lhs in sb.iter_subsets(universe & ~rhs):
+                if not holds_singleton_rule(db, lhs, rhs):
+                    continue
+                target = DifferentialConstraint(
+                    ground_abcd, lhs, SetFamily.singletons_of(ground_abcd, rhs)
+                )
+                if decide(cset, target, "lattice"):
+                    proof = derive(cset, target, check=False)
+                    check_proof(proof, cset.constraints)
+                    checked += 1
+                if checked >= 5:
+                    return
+
+
+class TestRelationalToFisLoop:
+    """relations -> Simpson world -> basket world agreement."""
+
+    def test_implication_agrees_across_worlds(self, ground_abcd, rng):
+        from repro.instances import random_constraint
+
+        for _ in range(15):
+            premises = [
+                random_constraint(rng, ground_abcd, max_members=2, min_members=1)
+                for _ in range(2)
+            ]
+            target = random_constraint(
+                rng, ground_abcd, max_members=2, min_members=1
+            )
+            boolean = implies_boolean(
+                [BooleanDependency.from_differential(c) for c in premises],
+                BooleanDependency.from_differential(target),
+            )
+            from repro.fis import implies_disjunctive
+
+            disjunctive = implies_disjunctive(
+                [DisjunctiveConstraint.from_differential(c) for c in premises],
+                DisjunctiveConstraint.from_differential(target),
+            )
+            assert boolean == disjunctive
+
+    def test_fd_repair_to_simpson_to_constraints(self, ground_abcd, rng):
+        fds = [
+            FunctionalDependency.parse(ground_abcd, "A -> B"),
+            FunctionalDependency.parse(ground_abcd, "B -> CD"),
+        ]
+        r = relation_satisfying_fds(ground_abcd, fds, 12, 3, rng)
+        dist = Distribution.uniform(r)
+        for fd in fds:
+            # the Simpson function satisfies the corresponding constraint
+            assert simpson_satisfies(dist, fd.to_differential())
+        # and the FD closure consequences transfer
+        consequence = FunctionalDependency.parse(ground_abcd, "A -> CD")
+        assert simpson_satisfies(dist, consequence.to_differential())
+
+
+class TestMeasureToBasketLoop:
+    """mass functions -> scaled support functions -> basket lists."""
+
+    def test_scaled_mass_realizes_as_baskets(self, ground_abcd, rng):
+        m = random_mass(ground_abcd, rng, n_focal=3)
+        # scale to integers: multiply each focal mass by a common factor
+        from repro.core import SetFunction
+
+        scaled = {
+            u: round(m.mass(u) * 1000) for u in m.focal_elements()
+        }
+        f = SetFunction.from_density(ground_abcd, scaled, exact=True)
+        db = induce_basket_database(f)
+        # the database's satisfied constraints match the mass's
+        from repro.instances import random_constraint
+
+        sb_fn = db.support_function()
+        for _ in range(15):
+            c = random_constraint(rng, ground_abcd, max_members=2, min_members=1)
+            assert c.satisfied_by(sb_fn) == m.satisfies(c)
+
+    def test_freqsat_witness_respects_discovered_theory(self, ground_abcd, rng):
+        """Constrain the LP with a mined cover: the witness's theory
+        includes the mined constraints."""
+        db = correlated_baskets(ground_abcd, 30, 2, 3, 0.1, 0.05, rng)
+        cover = discover_cover(db)
+        nonfull = [c for c in cover if len(c.family) >= 1]
+        witness = measure_sat(
+            ground_abcd,
+            [FrequencyConstraint(0, 10, 10)],
+            nonfull,
+        )
+        assert witness is not None
+        for c in nonfull:
+            assert c.satisfied_by(witness, tol=1e-7)
+
+
+class TestConciseRepresentationRoundTrip:
+    def test_concise_reconstructs_support_function(self, ground_abcd, rng):
+        """Derive every support from (FDFree, Bd-), rebuild the function,
+        and check constraint satisfaction transfers."""
+        db = random_baskets(ground_abcd, 20, 0.5, rng)
+        rep = mine_concise(db, 1, max_rhs=2)
+        assert verify_lossless(db, rep)
+        # at kappa=1 every nonempty-support set is "frequent": rebuild
+        rebuilt = {}
+        for mask in ground_abcd.all_masks():
+            status, support = rep.derive(mask)
+            rebuilt[mask] = support if support is not None else 0
+        for mask in ground_abcd.all_masks():
+            assert rebuilt[mask] == db.support(mask)

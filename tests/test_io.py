@@ -1,0 +1,118 @@
+"""Tests for JSON serialization."""
+
+import json
+
+import pytest
+
+from repro import io
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    check_proof,
+    derive,
+)
+from repro.errors import InvalidProofError
+from repro.instances import random_constraint_set, random_implied_pair
+
+
+class TestConstraintRoundTrips:
+    def test_constraint_set_round_trip(self, ground_abcd, rng):
+        for _ in range(15):
+            cset = random_constraint_set(rng, ground_abcd, 3, max_members=3)
+            text = io.dumps(cset)
+            back = io.loads(text)
+            assert back == cset
+
+    def test_subsets_stored_as_labels(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, "A -> B, CD".replace("D", "C"))
+        data = json.loads(io.dumps(cset))
+        assert data["constraints"][0]["lhs"] == ["A"]
+        assert ["B"] in data["constraints"][0]["family"]
+
+    def test_arbitrary_labels(self):
+        from repro.core import SetFamily
+
+        ground = GroundSet(["beer", "chips", "salsa"])
+        c = DifferentialConstraint(
+            ground,
+            ground.mask(["beer"]),
+            SetFamily(ground, [ground.mask(["chips", "salsa"])]),
+        )
+        cset = ConstraintSet(ground, [c])
+        assert io.loads(io.dumps(cset)) == cset
+
+    def test_format_tag_checked(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, "A -> B")
+        data = json.loads(io.dumps(cset))
+        data["format"] = "something-else"
+        with pytest.raises(ValueError):
+            io.constraint_set_from_json(data)
+
+
+class TestProofRoundTrips:
+    def test_proof_round_trip_checked(self, ground_abcd, rng):
+        for _ in range(10):
+            cset, target = random_implied_pair(rng, ground_abcd, max_members=2)
+            proof = derive(cset, target, check=False)
+            text = io.dumps(proof)
+            back = io.loads(text)
+            assert back.conclusion == proof.conclusion
+            assert back.size() == proof.size()
+            check_proof(back, cset.constraints)
+
+    def test_primitive_proof_round_trip(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        target = DifferentialConstraint.parse(ground_abc, "A -> C")
+        proof = derive(cset, target, allow_derived=False)
+        back = io.loads(io.dumps(proof))
+        assert back.uses_only_primitives()
+        check_proof(back, cset.constraints, allow_derived=False)
+
+    def test_tampered_proof_rejected(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        target = DifferentialConstraint.parse(ground_abc, "A -> C")
+        proof = derive(cset, target)
+        data = json.loads(io.dumps(proof))
+        # corrupt the final conclusion: claim C -> A was derived
+        data["steps"][-1]["conclusion"]["lhs"] = ["C"]
+        data["steps"][-1]["conclusion"]["family"] = [["A"]]
+        with pytest.raises(InvalidProofError):
+            io.proof_from_json(data)
+
+    def test_forward_reference_rejected(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, "A -> B", "B -> C")
+        proof = derive(
+            cset, DifferentialConstraint.parse(ground_abc, "A -> C")
+        )
+        data = json.loads(io.dumps(proof))
+        data["steps"][0]["premises"] = [5]
+        data["steps"][0]["rule"] = "addition"
+        with pytest.raises(InvalidProofError):
+            io.proof_from_json(data)
+
+    def test_unknown_rule_rejected(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, "A -> B")
+        proof = derive(cset, DifferentialConstraint.parse(ground_abc, "A -> B"))
+        data = json.loads(io.dumps(proof))
+        data["steps"][0]["rule"] = "hocus-pocus"
+        with pytest.raises(InvalidProofError):
+            io.proof_from_json(data)
+
+
+class TestDispatch:
+    def test_loads_dispatches(self, ground_abc):
+        cset = ConstraintSet.of(ground_abc, "A -> B")
+        assert isinstance(io.loads(io.dumps(cset)), ConstraintSet)
+        proof = derive(cset, DifferentialConstraint.parse(ground_abc, "A -> B"))
+        from repro.core import Proof
+
+        assert isinstance(io.loads(io.dumps(proof)), Proof)
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError):
+            io.dumps(42)
+
+    def test_unrecognized_document(self):
+        with pytest.raises(ValueError):
+            io.loads('{"hello": 1}')

@@ -1,0 +1,155 @@
+"""Robustness beyond dense tables: ground sets with 24-40 elements.
+
+Dense ``2^|S|`` tables are capped at |S| = 22; everything here must run
+through the sparse-density and SAT code paths only.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    SetFamily,
+    SparseDensityFunction,
+    decide,
+    differential_via_density,
+    differential_value,
+    find_uncovered_sat,
+    implies_sat,
+    sparse_principal_ideal_function,
+)
+from repro.fis import BasketDatabase
+
+
+@pytest.fixture
+def big() -> GroundSet:
+    return GroundSet([f"item{i}" for i in range(30)])
+
+
+@pytest.fixture
+def big_rng() -> random.Random:
+    return random.Random(0xB16)
+
+
+def _random_mask(rng, ground, p=0.2):
+    mask = 0
+    for bit in range(ground.size):
+        if rng.random() < p:
+            mask |= 1 << bit
+    return mask
+
+
+class TestSparseFunctions:
+    def test_values_without_dense_tables(self, big, big_rng):
+        density = {
+            _random_mask(big_rng, big, 0.3): big_rng.randint(1, 5)
+            for _ in range(20)
+        }
+        f = SparseDensityFunction(big, density)
+        import repro.core.subsets as sb
+
+        for _ in range(30):
+            x = _random_mask(big_rng, big, 0.15)
+            expected = sum(
+                v for u, v in density.items() if sb.is_subset(x, u)
+            )
+            assert f.value(x) == expected
+
+    def test_differential_on_sparse(self, big, big_rng):
+        density = {
+            _random_mask(big_rng, big, 0.3): 1 for _ in range(15)
+        }
+        f = SparseDensityFunction(big, density)
+        family = SetFamily(
+            big, [_random_mask(big_rng, big, 0.1) or 1 for _ in range(2)]
+        )
+        x = _random_mask(big_rng, big, 0.1)
+        direct = differential_value(f, family, x)
+        via_density = differential_via_density(f, family, x)
+        assert direct == via_density
+
+    def test_constraint_satisfaction_scales(self, big, big_rng):
+        baskets = [_random_mask(big_rng, big, 0.25) for _ in range(200)]
+        db = BasketDatabase(big, baskets)
+        f = db.support_function()
+        for _ in range(20):
+            lhs = _random_mask(big_rng, big, 0.1)
+            family = SetFamily(
+                big, [_random_mask(big_rng, big, 0.1) or 1 for _ in range(2)]
+            )
+            c = DifferentialConstraint(big, lhs, family)
+            # the density-items scan must agree with a direct check
+            want = not any(
+                c.lattice_contains(u)
+                for u, v in f.density_items()
+                if v != 0
+            )
+            assert c.satisfied_by(f) == want
+
+
+class TestSatDecider:
+    def test_implication_at_30_items(self, big, big_rng):
+        constraints = []
+        for _ in range(4):
+            lhs = _random_mask(big_rng, big, 0.1)
+            members = [_random_mask(big_rng, big, 0.1) or 1 for _ in range(2)]
+            constraints.append(
+                DifferentialConstraint(big, lhs, SetFamily(big, members))
+            )
+        cset = ConstraintSet(big, constraints)
+        # every constraint implies itself and its augmentations
+        for c in constraints:
+            assert implies_sat(cset, c)
+            augmented = DifferentialConstraint(
+                big, c.lhs | 0b1011, c.family
+            )
+            assert implies_sat(cset, augmented)
+
+    def test_auto_routes_to_sat(self, big, big_rng):
+        lhs = _random_mask(big_rng, big, 0.1)
+        member = _random_mask(big_rng, big, 0.1) | 1
+        c = DifferentialConstraint(big, lhs, SetFamily(big, [member]))
+        weaker = DifferentialConstraint(
+            big, lhs, SetFamily(big, [member, 1 << 29])
+        )
+        # auto on a non-dense-capable ground set must still answer
+        assert decide(ConstraintSet(big, [c]), weaker, "auto")
+
+    def test_sat_counterexample_is_genuine(self, big, big_rng):
+        a = DifferentialConstraint(big, 0b1, SetFamily(big, [0b10]))
+        b = DifferentialConstraint(big, 0b10, SetFamily(big, [0b1]))
+        cset = ConstraintSet(big, [a])
+        u = find_uncovered_sat(cset, b)
+        assert u is not None
+        assert b.lattice_contains(u)
+        assert not cset.lattice_contains(u)
+        # and the Theorem 3.5 function built from it separates them
+        f = sparse_principal_ideal_function(big, u)
+        assert cset.satisfied_by(f)
+        assert not b.satisfied_by(f)
+
+    def test_fd_fragment_at_40_attributes(self):
+        ground = GroundSet([f"a{i}" for i in range(40)])
+        rng = random.Random(9)
+        constraints = []
+        for _ in range(6):
+            lhs = _random_mask(rng, ground, 0.08)
+            rhs = _random_mask(rng, ground, 0.08)
+            constraints.append(
+                DifferentialConstraint(ground, lhs, SetFamily(ground, [rhs]))
+            )
+        cset = ConstraintSet(ground, constraints)
+        for c in constraints:
+            assert decide(cset, c, "fd")
+            assert decide(cset, c, "auto")
+
+
+class TestDenseGuard:
+    def test_dense_support_function_guarded(self, big, big_rng):
+        """Materializing 2^30 floats must be refused, not attempted."""
+        db = BasketDatabase(big, [0b111])
+        with pytest.raises(Exception):
+            db.dense_support_function()
