@@ -32,11 +32,25 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> List[str]:
     return lines
 
 
+def _engine_stamp() -> str:
+    """One line recording the evaluation-engine configuration in effect."""
+    try:
+        from repro.engine import default_context
+
+        ctx = default_context()
+        backend = ctx.backend.name if ctx.backend is not None else "inherit"
+        return f"engine: backend={backend}, cache={type(ctx.cache).__name__}"
+    except Exception:  # engine unavailable (e.g. partial checkouts)
+        return "engine: unavailable"
+
+
 def report(experiment: str, title: str, lines: Iterable[str]) -> None:
-    """Print and persist one experiment's table."""
+    """Print and persist one experiment's table (stamped with the engine
+    backend so result files record how they were produced)."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     body = [f"== {experiment}: {title} =="]
     body.extend(lines)
+    body.append(_engine_stamp())
     text = "\n".join(body)
     print("\n" + text)
     path = os.path.join(RESULTS_DIR, f"{experiment}.txt")

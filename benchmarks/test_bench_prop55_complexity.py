@@ -57,8 +57,11 @@ class TestProp55:
 
     def test_exponential_scaling_curves(self, benchmark):
         from repro.core import ConstraintSet
+        from repro.core.implication import implies_engine
+        from repro.engine import EvalContext
 
         rows = []
+        engine_rows = []
         for n in (4, 6, 8, 10, 12, 14, 16):
             ground = GroundSet([f"x{i}" for i in range(n)])
             rng = random.Random(1000 + n)
@@ -79,11 +82,26 @@ class TestProp55:
             sat = [implies_sat(c, t) for c, t in instances]
             t_sat = time.perf_counter() - t0
             assert lat == sat
-            rows.append(
+            # batched engine decider: cold (fresh private cache) and warm
+            # (second pass over the same instances hits the fingerprint
+            # cache, so no lattice table is rebuilt)
+            ctx = EvalContext(private_cache=True)
+            t0 = time.perf_counter()
+            eng = [implies_engine(c, t, context=ctx) for c, t in instances]
+            t_cold = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            eng_warm = [implies_engine(c, t, context=ctx) for c, t in instances]
+            t_warm = time.perf_counter() - t0
+            assert eng == lat == eng_warm
+            per = 1e3 / len(instances)
+            rows.append((n, f"{t_lat * per:.3f}", f"{t_sat * per:.3f}"))
+            engine_rows.append(
                 (
                     n,
-                    f"{t_lat * 1e3 / len(instances):.3f}",
-                    f"{t_sat * 1e3 / len(instances):.3f}",
+                    f"{t_lat * per:.3f}",
+                    f"{t_cold * per:.3f}",
+                    f"{t_warm * per:.3f}",
+                    f"{t_lat / t_cold:.1f}x",
                 )
             )
         report(
@@ -91,8 +109,21 @@ class TestProp55:
             "decision time vs |S| (ms/query; exact deciders grow with 2^n)",
             format_table(["|S|", "lattice (ms)", "DPLL (ms)"], rows),
         )
+        report(
+            "E5_prop55_engine",
+            "scalar lattice decider vs batched engine (ms/query)",
+            format_table(
+                ["|S|", "lattice (ms)", "engine cold (ms)",
+                 "engine warm (ms)", "speedup (cold)"],
+                engine_rows,
+            ),
+        )
         # the lattice decider must show clear growth from n=4 to n=12
         assert float(rows[-1][1]) > float(rows[0][1])
+        # the batched engine must beat the scalar decider at |S| >= 12
+        for n, t_lat_s, t_cold_s, _, _ in engine_rows:
+            if n >= 12:
+                assert float(t_cold_s) < float(t_lat_s)
 
         # benchmark one mid-size decision through each decider
         ground = GroundSet([f"x{i}" for i in range(10)])

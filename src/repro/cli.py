@@ -42,6 +42,7 @@ from repro.core import (
     derive,
     find_uncovered,
 )
+from repro.engine import EvalContext
 from repro.errors import NotImpliedError, ReproError
 
 __all__ = ["main", "parse_constraint_file", "parse_basket_file"]
@@ -86,10 +87,18 @@ def _read(path: str) -> List[str]:
         return fh.read().splitlines()
 
 
+def _context_for(args) -> EvalContext:
+    """The :class:`EvalContext` selected by ``--backend`` (inherit when absent)."""
+    return EvalContext(backend=getattr(args, "backend", None))
+
+
 def _cmd_implies(args, out: TextIO) -> int:
+    from repro.core import principal_ideal_function
+
     ground, cset = parse_constraint_file(_read(args.file))
     target = DifferentialConstraint.parse(ground, args.target)
-    answer = decide(cset, target, method=args.method)
+    context = _context_for(args)
+    answer = decide(cset, target, method=args.method, context=context)
     print(f"{'IMPLIED' if answer else 'NOT IMPLIED'}: {target!r}", file=out)
     if not answer and args.counterexample:
         u = find_uncovered(cset, target)
@@ -98,6 +107,15 @@ def _cmd_implies(args, out: TextIO) -> int:
             "(density 1 at U, satisfies C, violates the target)",
             file=out,
         )
+        if ground.is_dense_capable():
+            # re-check the Theorem 3.5 witness on the selected backend
+            backend = context.backend
+            exact = backend.exact if backend is not None else True
+            f_u = principal_ideal_function(ground, u, exact=exact)
+            ok = cset.satisfied_by(f_u) and not target.satisfied_by(f_u)
+            kind = "exact" if exact else "float"
+            print(f"witness checked on the {kind} backend: "
+                  f"{'ok' if ok else 'FAILED'}", file=out)
     return 0 if answer else 1
 
 
@@ -197,7 +215,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--method",
         default="auto",
-        choices=["auto", "lattice", "bitset", "sat", "fd"],
+        choices=["auto", "engine", "lattice", "bitset", "sat", "fd"],
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=["exact", "float"],
+        help="numeric backend for the evaluation engine "
+        "(default: inherit from each operand)",
     )
     p.add_argument(
         "--counterexample",

@@ -19,6 +19,7 @@ from repro.core.differential import (
     density_family_for,
     density_value_by_definition,
     differential_function,
+    differential_function_by_definition,
     differential_value,
     differential_via_density,
 )
@@ -42,8 +43,10 @@ from repro.core.implication import (
     decide,
     fd_closure,
     find_uncovered,
+    find_uncovered_engine,
     find_uncovered_sat,
     implies_bitset,
+    implies_engine,
     implies_fd,
     implies_lattice,
     implies_sat,
@@ -74,6 +77,7 @@ __all__ = [
     "density_family_for",
     "density_value_by_definition",
     "differential_function",
+    "differential_function_by_definition",
     "differential_value",
     "differential_via_density",
     "count_witnesses",
@@ -91,8 +95,10 @@ __all__ = [
     "decide",
     "fd_closure",
     "find_uncovered",
+    "find_uncovered_engine",
     "find_uncovered_sat",
     "implies_bitset",
+    "implies_engine",
     "implies_fd",
     "implies_lattice",
     "implies_sat",

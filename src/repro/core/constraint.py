@@ -161,9 +161,11 @@ class DifferentialConstraint:
         """Whether ``f`` satisfies this constraint.
 
         ``semantics="density"`` (Definition 3.1, the paper's default):
-        ``d_f`` vanishes on all of ``L(X, Y)``.  The check iterates the
-        *nonzero density entries* of ``f`` and tests lattice membership,
-        so for sparse functions it costs ``O(nnz * |Y|)``.
+        ``d_f`` vanishes on all of ``L(X, Y)``.  Dense functions are
+        checked by the batched engine -- one vectorized sweep of the
+        density table against the cached ``L(X, Y)`` bitset.  Sparse
+        functions iterate their *nonzero density entries* and test
+        lattice membership, costing ``O(nnz * |Y|)``.
 
         ``semantics="differential"`` (Remark 3.6): ``D_f^Y(X) = 0``.
         """
@@ -172,6 +174,17 @@ class DifferentialConstraint:
             return abs(differential_value(f, self._family, self._lhs)) <= tol
         if semantics != DENSITY:
             raise ValueError(f"unknown semantics {semantics!r}")
+        if isinstance(f, SetFunction):
+            from repro.engine import batch, shared_cache
+
+            blocked = shared_cache().blocked_table(
+                self._ground, self._family.members
+            )
+            lattice_tbl = batch.superset_indicator(
+                self._ground.size, self._lhs
+            ) & ~blocked
+            density = f.density()._values
+            return not f.backend.any_nonzero_where(density, lattice_tbl, tol)
         for mask, value in f.density_items():
             if abs(value) > tol and self.lattice_contains(mask):
                 return False

@@ -118,23 +118,28 @@ class ConstraintSet:
         return any(c.lattice_contains(u_mask) for c in self._constraints)
 
     def iter_lattice(self) -> Iterator[int]:
-        """Iterate ``L(C)`` (each mask once, ascending)."""
-        for u in self._ground.all_masks():
-            if self.lattice_contains(u):
-                yield u
+        """Iterate ``L(C)`` (each mask once, ascending).
+
+        Reads off the engine's cached boolean table rather than running
+        ``2^|S|`` interpreted membership tests.
+        """
+        for u in np.flatnonzero(self.lattice_bitset()):
+            yield int(u)
 
     def lattice_bitset(self) -> np.ndarray:
         """``L(C)`` as a cached boolean table over all masks.
 
         Useful when many implication queries are asked against the same
-        ``C``; costs ``O(2^|S| * |C|)`` once.
+        ``C``.  Built by the memoizing engine decider, so equal
+        constraint sets constructed independently (e.g. per CLI
+        invocation) share one table via the fingerprint cache.  The
+        returned array is **read-only** (it is the shared cache entry);
+        copy it before mutating.
         """
         if self._bitset_cache is None:
-            table = np.zeros(1 << self._ground.size, dtype=bool)
-            for c in self._constraints:
-                for u in c.iter_lattice():
-                    table[u] = True
-            self._bitset_cache = table
+            from repro.engine import shared_cache
+
+            self._bitset_cache = shared_cache().joint_lattice_table(self)
         return self._bitset_cache
 
     # ------------------------------------------------------------------
@@ -149,17 +154,18 @@ class ConstraintSet:
         """Whether ``f`` satisfies every constraint in the set."""
         return all(c.satisfied_by(f, semantics=semantics, tol=tol) for c in self)
 
-    def implies(self, target, method: str = "auto") -> bool:
+    def implies(self, target, method: str = "auto", context=None) -> bool:
         """Whether ``C |= target`` (Theorem 3.5 and friends).
 
         Delegates to :func:`repro.core.implication.decide`; ``target`` may
-        be a constraint object or a parseable string.
+        be a constraint object or a parseable string.  ``context`` is an
+        optional :class:`repro.engine.EvalContext` for the engine decider.
         """
         from repro.core.implication import decide
 
         if not isinstance(target, DifferentialConstraint):
             target = DifferentialConstraint.parse(self._ground, target)
-        return decide(self, target, method=method)
+        return decide(self, target, method=method, context=context)
 
     # ------------------------------------------------------------------
     # covers
@@ -168,7 +174,7 @@ class ConstraintSet:
         """Whether ``c`` is already implied by the other constraints."""
         from repro.core.implication import decide
 
-        return decide(self.remove(c), c, method="lattice")
+        return decide(self.remove(c), c, method="auto")
 
     def minimal_cover(self) -> "ConstraintSet":
         """A subset of ``C`` with the same ``L`` (greedy redundancy removal).
@@ -180,13 +186,13 @@ class ConstraintSet:
         kept = list(self._constraints)
         for c in list(reversed(kept)):
             trial = ConstraintSet(self._ground, (x for x in kept if x != c))
-            if trial.implies(c, method="lattice"):
+            if trial.implies(c, method="auto"):
                 kept = list(trial.constraints)
         return ConstraintSet(self._ground, kept)
 
     def equivalent_to(self, other: "ConstraintSet") -> bool:
         """Whether ``L(C) == L(C')`` -- i.e. the sets imply each other."""
         self._ground.check_same(other._ground)
-        return all(self.implies(c, method="lattice") for c in other) and all(
-            other.implies(c, method="lattice") for c in self
+        return all(self.implies(c, method="auto") for c in other) and all(
+            other.implies(c, method="auto") for c in self
         )

@@ -47,7 +47,7 @@ from repro.core.constraint import DifferentialConstraint
 from repro.core.constraint_set import ConstraintSet
 from repro.core.family import SetFamily
 from repro.core.ground import GroundSet
-from repro.core.implication import find_uncovered
+from repro.core.implication import find_uncovered_engine, find_uncovered_sat
 from repro.core.proofs import (
     Proof,
     addition,
@@ -103,7 +103,10 @@ def derive(
     elif target in cset:
         proof = axiom(target)
     else:
-        uncovered = find_uncovered(cset, target)
+        if ground.is_dense_capable():
+            uncovered = find_uncovered_engine(cset, target)
+        else:
+            uncovered = find_uncovered_sat(cset, target)
         if uncovered is not None:
             raise NotImpliedError(
                 f"{target!r} is not implied: "

@@ -7,10 +7,17 @@ singleton-right-hand-side fragment coincides with functional-dependency
 implication and is decidable in polynomial time.  All three routes are
 implemented here:
 
+``method="engine"``
+    Both sides of the containment become boolean numpy tables built by
+    :mod:`repro.engine`; the tables are memoized across queries keyed by
+    constraint fingerprints (the atomic closure ``L(C)`` is computed at
+    most once per distinct ``C``, even across equal sets constructed
+    independently).  The default for dense-capable ground sets.
+
 ``method="lattice"``
     Enumerate ``L(X, Y)`` (supersets of ``X`` containing no member of
     ``Y``) and test each against ``L(C)`` membership.  Exact; cost
-    ``O(2^{|S|-|X|} * |C| * |Y|)``.
+    ``O(2^{|S|-|X|} * |C| * |Y|)``.  Kept as the scalar oracle.
 
 ``method="bitset"``
     Same containment decided against the cached dense ``L(C)`` table --
@@ -26,7 +33,7 @@ implemented here:
     Decided by the classical attribute-closure algorithm.
 
 ``method="auto"``
-    ``fd`` when the instance is in the fragment, otherwise ``lattice``
+    ``fd`` when the instance is in the fragment, otherwise ``engine``
     for dense-capable ground sets, otherwise ``sat``.
 
 :func:`find_uncovered` exposes the certificate: a set
@@ -45,11 +52,13 @@ from repro.errors import NotApplicableError
 
 __all__ = [
     "decide",
+    "implies_engine",
     "implies_lattice",
     "implies_bitset",
     "implies_sat",
     "implies_fd",
     "find_uncovered",
+    "find_uncovered_engine",
     "find_uncovered_sat",
     "fd_closure",
     "in_fd_fragment",
@@ -70,17 +79,25 @@ def decide(
     constraints: Constraints,
     target: DifferentialConstraint,
     method: str = "auto",
+    context=None,
 ) -> bool:
-    """Decide ``C |= target`` with the selected ``method``."""
+    """Decide ``C |= target`` with the selected ``method``.
+
+    ``context`` is an optional :class:`repro.engine.EvalContext` whose
+    memoization cache the engine decider uses (the process-wide shared
+    cache otherwise).
+    """
     cset = _as_constraint_set(constraints, target)
     cset.ground.check_same(target.ground)
     if method == "auto":
         if in_fd_fragment(cset, target):
             method = "fd"
         elif cset.ground.is_dense_capable():
-            method = "lattice"
+            method = "engine"
         else:
             method = "sat"
+    if method == "engine":
+        return implies_engine(cset, target, context=context)
     if method == "lattice":
         return implies_lattice(cset, target)
     if method == "bitset":
@@ -90,6 +107,41 @@ def decide(
     if method == "fd":
         return implies_fd(cset, target)
     raise ValueError(f"unknown implication method {method!r}")
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.5 at table speed: the memoizing engine decider
+# ----------------------------------------------------------------------
+def implies_engine(
+    constraints: Constraints,
+    target: DifferentialConstraint,
+    context=None,
+) -> bool:
+    """``C |= target`` via cached boolean-table containment."""
+    return find_uncovered_engine(constraints, target, context=context) is None
+
+
+def find_uncovered_engine(
+    constraints: Constraints,
+    target: DifferentialConstraint,
+    context=None,
+) -> Optional[int]:
+    """Like :func:`find_uncovered`, decided by the batched engine.
+
+    The per-constraint lattice tables and the atomic closure ``L(C)``
+    are memoized by structural fingerprint, so repeated queries against
+    the same (or an equal) ``C`` skip the lattice sweep entirely.
+    """
+    from repro.engine import decider
+
+    cset = _as_constraint_set(constraints, target)
+    if not cset.ground.is_dense_capable():
+        raise NotApplicableError(
+            f"the engine decider builds dense 2^|S| tables; |S| = "
+            f"{cset.ground.size} exceeds the dense limit -- use method='sat'"
+        )
+    cache = context.cache if context is not None else None
+    return decider.find_uncovered_batched(cset, target, cache)
 
 
 # ----------------------------------------------------------------------

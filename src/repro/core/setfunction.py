@@ -31,6 +31,7 @@ import numpy as np
 from repro.core import subsets as sb
 from repro.core import transforms
 from repro.core.ground import GroundSet
+from repro.engine.backends import EXACT, FLOAT, Backend
 from repro.errors import GroundSetMismatchError
 
 __all__ = ["SetFunction", "SparseDensityFunction", "DEFAULT_TOLERANCE"]
@@ -77,10 +78,7 @@ class SetFunction:
             )
         self._ground = ground
         self._exact = exact
-        if exact:
-            self._values = list(values)
-        else:
-            self._values = np.asarray(values, dtype=np.float64).copy()
+        self._values = self.backend.copy(values)
         self._density_cache = None
 
     # ------------------------------------------------------------------
@@ -91,16 +89,16 @@ class SetFunction:
         """The identically-zero function."""
         _require_dense(ground)
         size = transforms.table_size_for(ground.size)
-        values = [0] * size if exact else np.zeros(size)
-        return cls(ground, values, exact=exact)
+        backend = EXACT if exact else FLOAT
+        return cls(ground, backend.zeros(size), exact=exact)
 
     @classmethod
     def constant(cls, ground: GroundSet, c: Number, exact: bool = False) -> "SetFunction":
         """The function with ``f(X) = c`` for every ``X``."""
         _require_dense(ground)
         size = transforms.table_size_for(ground.size)
-        values = [c] * size if exact else np.full(size, float(c))
-        return cls(ground, values, exact=exact)
+        backend = EXACT if exact else FLOAT
+        return cls(ground, backend.full(size, c), exact=exact)
 
     @classmethod
     def from_dict(
@@ -170,6 +168,11 @@ class SetFunction:
     def exact(self) -> bool:
         return self._exact
 
+    @property
+    def backend(self) -> Backend:
+        """The :mod:`repro.engine` backend owning this function's tables."""
+        return EXACT if self._exact else FLOAT
+
     def value(self, mask: int) -> Number:
         """``f(X)`` for the subset with bitmask ``mask``."""
         self._ground._check_mask(mask)
@@ -216,9 +219,14 @@ class SetFunction:
         only if its density is nonnegative.
         """
         dens = self.density()
-        if self._exact:
-            return all(v >= 0 for v in dens._values)
-        return bool(np.all(np.asarray(dens._values) >= -tol))
+        # exact functions keep the historic strict ``>= 0`` check
+        return self.backend.all_nonnegative(dens._values, 0 if self._exact else tol)
+
+    def differential(self, family) -> "SetFunction":
+        """``D_f^Y`` as a whole function, via the batched engine pass."""
+        from repro.core.differential import differential_function
+
+        return differential_function(self, family)
 
     # ------------------------------------------------------------------
     # arithmetic / comparison
@@ -317,6 +325,12 @@ class SparseDensityFunction:
     def to_dense(self, exact: bool = True) -> SetFunction:
         """Materialize as a dense :class:`SetFunction` (small ``|S|`` only)."""
         return SetFunction.from_density(self._ground, dict(self._density), exact=exact)
+
+    def differential(self, family) -> SetFunction:
+        """``D_f^Y`` as a dense function, via the batched density-sum pass."""
+        from repro.core.differential import differential_function
+
+        return differential_function(self, family)
 
     def __repr__(self) -> str:
         return (

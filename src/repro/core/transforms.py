@@ -8,27 +8,34 @@ order)::
     f(X) = sum_{X subseteq U subseteq S} d(U)                       (5)
 
 Equation (5) is the *superset zeta transform* and equation (4) the
-*superset Moebius transform*.  Both are computed here with the standard
-in-place butterfly over bit positions in ``O(n * 2^n)`` arithmetic
-operations -- exponentially faster than the naive ``O(4^n)`` double loop,
-which is retained (:func:`naive_density_table`,
-:func:`naive_zeta_table`) as an oracle for the test suite.
+*superset Moebius transform*.  Both run as the standard in-place
+butterfly over bit positions in ``O(n * 2^n)`` arithmetic operations --
+exponentially faster than the naive ``O(4^n)`` double loop, which is
+retained (:func:`naive_density_table`, :func:`naive_zeta_table`) as an
+oracle for the test suite.
 
-Two storage modes are supported transparently:
+The butterflies themselves live in :mod:`repro.engine.backends`, where
+each storage mode is a first-class backend:
 
-* ``numpy.ndarray`` of floats -- vectorized butterflies (fast path);
+* ``numpy.ndarray`` of floats -- vectorized butterflies
+  (:class:`~repro.engine.backends.FloatBackend`, the fast path);
 * plain Python ``list`` of exact numbers (``int``, ``Fraction``) --
-  pure-Python butterflies preserving exactness, used when constraints must
-  be checked without floating-point tolerance.
+  pure-Python butterflies preserving exactness
+  (:class:`~repro.engine.backends.ExactBackend`), used when constraints
+  must be checked without floating-point tolerance.
+
+The functions here dispatch on the table's type, so existing callers are
+unchanged.
 """
 
 from __future__ import annotations
 
-from typing import List, MutableSequence, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
 from repro.core import subsets as sb
+from repro.engine.backends import backend_for_table, n_bits_for
 
 __all__ = [
     "superset_zeta_inplace",
@@ -50,30 +57,13 @@ def table_size_for(n_elements: int) -> int:
     return 1 << n_elements
 
 
-def _n_bits(length: int) -> int:
-    n = length.bit_length() - 1
-    if length <= 0 or (1 << n) != length:
-        raise ValueError(f"table length {length} is not a power of two")
-    return n
-
-
 def superset_zeta_inplace(values: Table) -> None:
     """In-place superset zeta transform: ``values[X] <- sum_{U >= X} values[U]``.
 
     Implements equation (5): applied to a density table it yields the
     function table.
     """
-    n = _n_bits(len(values))
-    if isinstance(values, np.ndarray):
-        for i in range(n):
-            view = values.reshape(-1, 2, 1 << i)
-            view[:, 0, :] += view[:, 1, :]
-        return
-    for i in range(n):
-        bit = 1 << i
-        for mask in range(len(values)):
-            if not mask & bit:
-                values[mask] = values[mask] + values[mask | bit]
+    backend_for_table(values).superset_zeta_inplace(values)
 
 
 def superset_mobius_inplace(values: Table) -> None:
@@ -82,17 +72,7 @@ def superset_mobius_inplace(values: Table) -> None:
     Implements equation (4): applied to a function table it yields the
     density table ``d_f``.
     """
-    n = _n_bits(len(values))
-    if isinstance(values, np.ndarray):
-        for i in range(n):
-            view = values.reshape(-1, 2, 1 << i)
-            view[:, 0, :] -= view[:, 1, :]
-        return
-    for i in range(n):
-        bit = 1 << i
-        for mask in range(len(values)):
-            if not mask & bit:
-                values[mask] = values[mask] - values[mask | bit]
+    backend_for_table(values).superset_mobius_inplace(values)
 
 
 def subset_zeta_inplace(values: Table) -> None:
@@ -102,33 +82,13 @@ def subset_zeta_inplace(values: Table) -> None:
     mass table it yields the belief function (Section 8's pointer to the
     Dempster-Shafer theory, made executable in :mod:`repro.measures`).
     """
-    n = _n_bits(len(values))
-    if isinstance(values, np.ndarray):
-        for i in range(n):
-            view = values.reshape(-1, 2, 1 << i)
-            view[:, 1, :] += view[:, 0, :]
-        return
-    for i in range(n):
-        bit = 1 << i
-        for mask in range(len(values)):
-            if mask & bit:
-                values[mask] = values[mask] + values[mask ^ bit]
+    backend_for_table(values).subset_zeta_inplace(values)
 
 
 def subset_mobius_inplace(values: Table) -> None:
     """In-place subset Moebius transform (inverse of the subset zeta);
     recovers a mass table from a belief table."""
-    n = _n_bits(len(values))
-    if isinstance(values, np.ndarray):
-        for i in range(n):
-            view = values.reshape(-1, 2, 1 << i)
-            view[:, 1, :] -= view[:, 0, :]
-        return
-    for i in range(n):
-        bit = 1 << i
-        for mask in range(len(values)):
-            if mask & bit:
-                values[mask] = values[mask] - values[mask ^ bit]
+    backend_for_table(values).subset_mobius_inplace(values)
 
 
 def density_table(values: Sequence) -> Table:
@@ -151,7 +111,7 @@ def naive_density_table(values: Sequence) -> list:
     ``O(4^n)`` -- used only to validate :func:`density_table` in tests.
     """
     size = len(values)
-    _n_bits(size)
+    n_bits_for(size)
     universe = size - 1
     out = []
     for x in range(size):
@@ -166,7 +126,7 @@ def naive_density_table(values: Sequence) -> list:
 def naive_zeta_table(density: Sequence) -> list:
     """Oracle implementation of equation (5) by direct summation."""
     size = len(density)
-    _n_bits(size)
+    n_bits_for(size)
     universe = size - 1
     out = []
     for x in range(size):

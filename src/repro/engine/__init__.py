@@ -1,0 +1,75 @@
+"""Batched evaluation engine: whole-table differentials, pluggable
+exact/float backends, and a memoizing implication decider.
+
+The engine is the performance layer under :mod:`repro.core`.  It
+replaces three scalar hot paths with table-at-a-time computation:
+
+* :mod:`repro.engine.backends` -- the exact (python numbers) vs float
+  (numpy) storage split as first-class :class:`Backend` objects owning
+  the zeta/Moebius butterflies;
+* :mod:`repro.engine.batch` -- ``D_f^Y(X)`` for *all* ``X`` in one
+  ``O(n * 2^n)`` pass (Proposition 2.9 as a masked zeta transform), and
+  boolean lattice tables for ``L(X, Y)`` / ``L(C)``;
+* :mod:`repro.engine.decider` -- Theorem 3.5 containment decided by
+  vectorized table operations, memoized across queries by structural
+  fingerprints;
+* :mod:`repro.engine.context` -- :class:`EvalContext`, the single
+  handle (backend + cache) threaded through the CLI and library.
+
+Layering: engine modules never import :mod:`repro.core`; the scalar
+entry points in core remain as thin wrappers over this package, so the
+paper-facing API is unchanged.
+"""
+
+from repro.engine.backends import (
+    EXACT,
+    FLOAT,
+    Backend,
+    ExactBackend,
+    FloatBackend,
+    backend_by_name,
+    backend_for_table,
+)
+from repro.engine.batch import (
+    batched_differential,
+    blocked_table,
+    density_table_of,
+    differential_table,
+    joint_lattice_table,
+    lattice_table,
+    superset_indicator,
+)
+from repro.engine.context import EvalContext, default_context
+from repro.engine.decider import (
+    ImplicationCache,
+    constraint_fingerprint,
+    constraint_set_fingerprint,
+    decide_batched,
+    find_uncovered_batched,
+    shared_cache,
+)
+
+__all__ = [
+    "Backend",
+    "ExactBackend",
+    "FloatBackend",
+    "EXACT",
+    "FLOAT",
+    "backend_by_name",
+    "backend_for_table",
+    "batched_differential",
+    "blocked_table",
+    "density_table_of",
+    "differential_table",
+    "joint_lattice_table",
+    "lattice_table",
+    "superset_indicator",
+    "EvalContext",
+    "default_context",
+    "ImplicationCache",
+    "constraint_fingerprint",
+    "constraint_set_fingerprint",
+    "decide_batched",
+    "find_uncovered_batched",
+    "shared_cache",
+]

@@ -1,0 +1,286 @@
+"""Numeric table backends: the exact/float split as a first-class object.
+
+Every dense computation in the library happens on a *table*: a length
+``2^n`` sequence indexed by subset mask.  Historically each call site
+branched on an ``exact`` flag (python list of ints/Fractions vs numpy
+float64 array), duplicating the butterfly transforms and the comparison
+logic across :mod:`repro.core.setfunction`, :mod:`repro.core.transforms`
+and :mod:`repro.core.lattice`.  This module centralizes that split:
+
+:class:`ExactBackend`
+    Tables are plain python lists; arithmetic is exact (``int``,
+    ``fractions.Fraction`` -- anything with ``+``/``-``).  Used when
+    constraints must be checked without floating-point tolerance.
+
+:class:`FloatBackend`
+    Tables are ``numpy.float64`` arrays; butterflies are vectorized
+    strided adds -- the fast path.
+
+Both expose the same small interface (allocate, copy, scatter, the four
+zeta/Moebius butterflies, masked zeroing and masked comparisons), so the
+batched evaluation engine (:mod:`repro.engine.batch`) is written once.
+
+This module deliberately imports nothing from :mod:`repro.core`; it is
+the bottom layer of the engine and safe to import from anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Backend",
+    "ExactBackend",
+    "FloatBackend",
+    "EXACT",
+    "FLOAT",
+    "backend_by_name",
+    "backend_for_table",
+    "n_bits_for",
+]
+
+Table = Union[np.ndarray, List]
+
+
+def n_bits_for(length: int) -> int:
+    """``n`` such that ``length == 2^n``; raises on non-powers of two."""
+    n = length.bit_length() - 1
+    if length <= 0 or (1 << n) != length:
+        raise ValueError(f"table length {length} is not a power of two")
+    return n
+
+
+class Backend:
+    """Interface over one storage mode for dense subset-indexed tables."""
+
+    name: str = "abstract"
+    exact: bool = False
+
+    # -- allocation ----------------------------------------------------
+    def zeros(self, size: int) -> Table:
+        raise NotImplementedError
+
+    def full(self, size: int, value) -> Table:
+        """A table with every entry equal to ``value``."""
+        raise NotImplementedError
+
+    def copy(self, values: Sequence) -> Table:
+        """A fresh table of this backend's storage mode with ``values``."""
+        raise NotImplementedError
+
+    def adopt(self, values: Sequence) -> Table:
+        """Take ownership of a table the caller freshly allocated.
+
+        Converts storage mode only when needed -- unlike :meth:`copy`
+        it will NOT duplicate a table that is already in this backend's
+        format, so only pass tables nobody else holds a reference to.
+        """
+        raise NotImplementedError
+
+    def scatter(self, size: int, items: Iterable[Tuple[int, object]]) -> Table:
+        """A table with ``items`` summed into their mask positions."""
+        table = self.zeros(size)
+        for mask, value in items:
+            table[mask] = table[mask] + value
+        return table
+
+    # -- butterflies ---------------------------------------------------
+    def superset_zeta_inplace(self, values: Table) -> None:
+        raise NotImplementedError
+
+    def superset_mobius_inplace(self, values: Table) -> None:
+        raise NotImplementedError
+
+    def subset_zeta_inplace(self, values: Table) -> None:
+        raise NotImplementedError
+
+    def subset_mobius_inplace(self, values: Table) -> None:
+        raise NotImplementedError
+
+    # -- masked elementwise helpers ------------------------------------
+    def zero_where(self, values: Table, where: np.ndarray) -> None:
+        """In place: ``values[i] <- 0`` wherever ``where[i]`` is true."""
+        raise NotImplementedError
+
+    def any_nonzero_where(
+        self, values: Table, where: np.ndarray, tol: float
+    ) -> bool:
+        """Whether some ``|values[i]| > tol`` with ``where[i]`` true."""
+        raise NotImplementedError
+
+    def first_nonzero_where(
+        self, values: Table, where: np.ndarray, tol: float
+    ):
+        """Smallest ``i`` with ``where[i]`` and ``|values[i]| > tol``, else None."""
+        raise NotImplementedError
+
+    def all_nonnegative(self, values: Table, tol: float) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class ExactBackend(Backend):
+    """Python-list tables over exact numbers (``int``, ``Fraction``)."""
+
+    name = "exact"
+    exact = True
+
+    def zeros(self, size: int) -> list:
+        return [0] * size
+
+    def full(self, size: int, value) -> list:
+        return [value] * size
+
+    def copy(self, values: Sequence) -> list:
+        if isinstance(values, np.ndarray):
+            return [v for v in values.tolist()]
+        return list(values)
+
+    def adopt(self, values: Sequence) -> list:
+        if isinstance(values, list):
+            return values
+        return self.copy(values)
+
+    def superset_zeta_inplace(self, values: Table) -> None:
+        n = n_bits_for(len(values))
+        for i in range(n):
+            bit = 1 << i
+            for mask in range(len(values)):
+                if not mask & bit:
+                    values[mask] = values[mask] + values[mask | bit]
+
+    def superset_mobius_inplace(self, values: Table) -> None:
+        n = n_bits_for(len(values))
+        for i in range(n):
+            bit = 1 << i
+            for mask in range(len(values)):
+                if not mask & bit:
+                    values[mask] = values[mask] - values[mask | bit]
+
+    def subset_zeta_inplace(self, values: Table) -> None:
+        n = n_bits_for(len(values))
+        for i in range(n):
+            bit = 1 << i
+            for mask in range(len(values)):
+                if mask & bit:
+                    values[mask] = values[mask] + values[mask ^ bit]
+
+    def subset_mobius_inplace(self, values: Table) -> None:
+        n = n_bits_for(len(values))
+        for i in range(n):
+            bit = 1 << i
+            for mask in range(len(values)):
+                if mask & bit:
+                    values[mask] = values[mask] - values[mask ^ bit]
+
+    def zero_where(self, values: Table, where: np.ndarray) -> None:
+        for i in np.flatnonzero(where):
+            values[i] = 0
+
+    def any_nonzero_where(
+        self, values: Table, where: np.ndarray, tol: float
+    ) -> bool:
+        # ``abs(v) > tol`` (not ``v != 0``) matches the historic scalar
+        # checks, which apply the tolerance to exact values as well.
+        return any(abs(values[i]) > tol for i in np.flatnonzero(where))
+
+    def first_nonzero_where(self, values: Table, where: np.ndarray, tol: float):
+        for i in np.flatnonzero(where):
+            if abs(values[i]) > tol:
+                return int(i)
+        return None
+
+    def all_nonnegative(self, values: Table, tol: float) -> bool:
+        if tol == 0:
+            return all(v >= 0 for v in values)
+        return all(v >= -tol for v in values)
+
+
+class FloatBackend(Backend):
+    """``numpy.float64`` tables with vectorized strided butterflies."""
+
+    name = "float"
+    exact = False
+
+    def zeros(self, size: int) -> np.ndarray:
+        return np.zeros(size)
+
+    def full(self, size: int, value) -> np.ndarray:
+        return np.full(size, float(value))
+
+    def copy(self, values: Sequence) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64).copy()
+
+    def adopt(self, values: Sequence) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64)
+
+    def scatter(self, size: int, items) -> np.ndarray:
+        table = np.zeros(size)
+        for mask, value in items:
+            table[mask] += value
+        return table
+
+    def superset_zeta_inplace(self, values: Table) -> None:
+        n = n_bits_for(len(values))
+        for i in range(n):
+            view = values.reshape(-1, 2, 1 << i)
+            view[:, 0, :] += view[:, 1, :]
+
+    def superset_mobius_inplace(self, values: Table) -> None:
+        n = n_bits_for(len(values))
+        for i in range(n):
+            view = values.reshape(-1, 2, 1 << i)
+            view[:, 0, :] -= view[:, 1, :]
+
+    def subset_zeta_inplace(self, values: Table) -> None:
+        n = n_bits_for(len(values))
+        for i in range(n):
+            view = values.reshape(-1, 2, 1 << i)
+            view[:, 1, :] += view[:, 0, :]
+
+    def subset_mobius_inplace(self, values: Table) -> None:
+        n = n_bits_for(len(values))
+        for i in range(n):
+            view = values.reshape(-1, 2, 1 << i)
+            view[:, 1, :] -= view[:, 0, :]
+
+    def zero_where(self, values: Table, where: np.ndarray) -> None:
+        values[where] = 0.0
+
+    def any_nonzero_where(
+        self, values: Table, where: np.ndarray, tol: float
+    ) -> bool:
+        return bool(np.any(np.abs(values[where]) > tol))
+
+    def first_nonzero_where(self, values: Table, where: np.ndarray, tol: float):
+        hits = np.flatnonzero(where & (np.abs(values) > tol))
+        return int(hits[0]) if hits.size else None
+
+    def all_nonnegative(self, values: Table, tol: float) -> bool:
+        return bool(np.all(np.asarray(values) >= -tol))
+
+
+#: Shared singletons -- backends are stateless.
+EXACT = ExactBackend()
+FLOAT = FloatBackend()
+
+_BY_NAME = {"exact": EXACT, "float": FLOAT}
+
+
+def backend_by_name(name: str) -> Backend:
+    """Look up ``"exact"`` / ``"float"``."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {sorted(_BY_NAME)}"
+        ) from None
+
+
+def backend_for_table(values: Sequence) -> Backend:
+    """The backend that owns a given table's storage mode."""
+    return FLOAT if isinstance(values, np.ndarray) else EXACT

@@ -69,11 +69,40 @@ class TestImplies:
         assert "counterexample" in text
 
     def test_methods(self, constraint_file):
-        for method in ("lattice", "sat", "fd", "bitset"):
+        for method in ("engine", "lattice", "sat", "fd", "bitset"):
             code, _ = _run(
                 ["implies", constraint_file, "A -> C", "--method", method]
             )
             assert code == 0
+
+    def test_backend_flag(self, constraint_file):
+        for backend in ("exact", "float"):
+            code, text = _run(
+                ["implies", constraint_file, "A -> C", "--backend", backend]
+            )
+            assert code == 0
+            assert "IMPLIED" in text and "NOT" not in text
+            # the witness re-check runs on the selected backend
+            code, text = _run(
+                [
+                    "implies", constraint_file, "C -> A",
+                    "--backend", backend, "--method", "engine",
+                    "--counterexample",
+                ]
+            )
+            assert code == 1
+            assert f"witness checked on the {backend} backend: ok" in text
+
+    def test_counterexample_without_backend_checks_exact(self, constraint_file):
+        code, text = _run(
+            ["implies", constraint_file, "C -> A", "--counterexample"]
+        )
+        assert code == 1
+        assert "witness checked on the exact backend: ok" in text
+
+    def test_backend_rejects_unknown(self, constraint_file):
+        with pytest.raises(SystemExit):
+            _run(["implies", constraint_file, "A -> C", "--backend", "decimal"])
 
     def test_bad_file(self):
         code, text = _run(["implies", "/nonexistent/file", "A -> B"])
