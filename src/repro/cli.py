@@ -22,6 +22,12 @@ reason about constraint files without writing Python:
     Discover the basket file's differential theory: the minimal
     disjunctive rules and a redundancy-free constraint cover.
 
+``stream``
+    Replay a transaction log of row inserts/deletes/updates against a
+    constraint file, reporting per transaction which constraints were
+    newly violated or restored (the incremental engine: per-row delta
+    maintenance instead of full recomputation).
+
 Constraint files are plain text: first line the ground set (e.g.
 ``ABCD``), then one constraint per line in ``A -> B, CD`` syntax; ``#``
 comments and blank lines are ignored.  Basket files: first line the item
@@ -202,6 +208,44 @@ def _cmd_discover(args, out: TextIO) -> int:
     return 0
 
 
+def _cmd_stream(args, out: TextIO) -> int:
+    ground, cset = parse_constraint_file(_read(args.file))
+    density = None
+    if args.baskets:
+        basket_ground, db = parse_basket_file(_read(args.baskets))
+        ground.check_same(basket_ground)
+        density = db.multiset_counts()
+    session = cset.stream_session(density=density, backend=args.backend or "exact")
+    if density:
+        seeded = session.violated_constraints()
+        print(
+            f"seeded {sum(density.values())} rows; "
+            f"{len(seeded)}/{len(cset)} constraints violated",
+            file=out,
+        )
+    reports = session.replay(_read(args.log))
+    for rep in reports:
+        print(
+            f"tx {rep.tx}: +{len(rep.newly_violated)} violated, "
+            f"-{len(rep.restored)} restored; "
+            f"{len(rep.violated)}/{len(cset)} violated",
+            file=out,
+        )
+        for c in rep.newly_violated:
+            print(f"  violated: {c!r}", file=out)
+        for c in rep.restored:
+            print(f"  restored: {c!r}", file=out)
+    final = session.violated_constraints()
+    print(
+        f"final: {len(final)}/{len(cset)} constraints violated "
+        f"after {len(reports)} transactions",
+        file=out,
+    )
+    for c in final:
+        print(f"  {c!r}", file=out)
+    return 1 if final else 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -267,6 +311,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print a redundancy-free cover of the full theory",
     )
     p.set_defaults(run=_cmd_discover)
+
+    p = sub.add_parser(
+        "stream", help="replay a transaction log against constraints"
+    )
+    p.add_argument("file", help="constraint file ('-' for stdin)")
+    p.add_argument(
+        "log",
+        help="transaction log: '+|-|= SUBSET [AMOUNT]' lines, "
+        "'commit' ends a transaction",
+    )
+    p.add_argument(
+        "--baskets",
+        default=None,
+        help="seed the instance from a basket file before replaying",
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=["exact", "float"],
+        help="numeric backend for the incremental tables (default exact)",
+    )
+    p.set_defaults(run=_cmd_stream)
     return parser
 
 

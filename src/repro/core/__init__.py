@@ -18,6 +18,7 @@ from repro.core.constraint_set import ConstraintSet
 from repro.core.differential import (
     density_family_for,
     density_value_by_definition,
+    differential_apply_delta,
     differential_function,
     differential_function_by_definition,
     differential_value,
@@ -79,6 +80,7 @@ __all__ = [
     "differential_function",
     "differential_function_by_definition",
     "differential_value",
+    "differential_apply_delta",
     "differential_via_density",
     "count_witnesses",
     "is_witness",

@@ -149,6 +149,16 @@ class DifferentialConstraint:
         """Membership ``U in L(X, Y)`` in ``O(|Y|)``."""
         return in_lattice(self._lhs, self._family, u_mask)
 
+    def delta_affects(self, u_mask: int) -> bool:
+        """Whether a density delta at ``u_mask`` can change satisfaction.
+
+        Under density semantics satisfaction reads ``d_f`` only on
+        ``L(X, Y)``, so a streaming delta is relevant exactly when its
+        mask lies in the lattice decomposition -- the ``O(|Y|)`` test
+        the incremental engine fires per tracked constraint per delta.
+        """
+        return self.lattice_contains(u_mask)
+
     # ------------------------------------------------------------------
     # satisfaction
     # ------------------------------------------------------------------

@@ -117,6 +117,27 @@ class ConstraintSet:
         """Membership ``U in L(C)`` without materializing ``L(C)``."""
         return any(c.lattice_contains(u_mask) for c in self._constraints)
 
+    def delta_affects(self, u_mask: int) -> bool:
+        """Whether a density delta at ``u_mask`` can change the
+        satisfaction of *some* member constraint (streaming hook)."""
+        return self.lattice_contains(u_mask)
+
+    def stream_session(self, density=None, backend="exact", **kwargs):
+        """A :class:`repro.engine.StreamSession` monitoring this set.
+
+        ``density`` optionally seeds the instance (``{mask: value}``);
+        remaining keyword arguments pass through to the session.
+        """
+        from repro.engine.stream import StreamSession
+
+        return StreamSession(
+            self._ground,
+            constraints=self._constraints,
+            density=density,
+            backend=backend,
+            **kwargs,
+        )
+
     def iter_lattice(self) -> Iterator[int]:
         """Iterate ``L(C)`` (each mask once, ascending).
 

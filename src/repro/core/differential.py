@@ -32,6 +32,7 @@ __all__ = [
     "differential_value",
     "differential_function",
     "differential_function_by_definition",
+    "differential_apply_delta",
     "differential_via_density",
     "density_family_for",
     "density_value_by_definition",
@@ -96,6 +97,24 @@ def differential_function_by_definition(
     exact = getattr(f, "exact", True)
     values = [differential_value(f, family, x) for x in ground.all_masks()]
     return SetFunction(ground, values, exact=bool(exact))
+
+
+def differential_apply_delta(table, family: SetFamily, mask: int, delta):
+    """Maintain a differential table ``D_f^Y`` under one density delta.
+
+    Proposition 2.9 makes the differential linear in the density, so a
+    delta at ``mask`` adds ``delta`` at every subset position -- unless
+    some member of ``Y`` is contained in ``mask``, in which case ``mask``
+    is outside every ``L(X, Y)`` and the table is untouched.  ``O(2^n)``
+    (vectorized) per delta instead of the ``O(n * 2^n)`` rebuild of
+    :func:`differential_function`; the incremental engine applies the
+    same rule to its live tables.
+    """
+    from repro.engine.incremental import add_on_subsets
+
+    if not family.contains_subset_of(mask):
+        add_on_subsets(table, mask, delta)
+    return table
 
 
 def differential_via_density(f: AnySetFunction, family: SetFamily, x_mask: int):

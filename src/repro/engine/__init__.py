@@ -14,7 +14,14 @@ replaces three scalar hot paths with table-at-a-time computation:
   vectorized table operations, memoized across queries by structural
   fingerprints;
 * :mod:`repro.engine.context` -- :class:`EvalContext`, the single
-  handle (backend + cache) threaded through the CLI and library.
+  handle (backend + cache) threaded through the CLI and library;
+* :mod:`repro.engine.incremental` -- :class:`IncrementalEvalContext`,
+  delta-maintained density/support/differential tables (``O(2^n)`` per
+  row delta instead of ``O(n * 2^n)`` rebuilds) with per-delta
+  constraint-violation detection;
+* :mod:`repro.engine.stream` -- :class:`StreamSession`, the
+  transactional surface (batch of deltas -> newly violated / restored
+  constraints) and the transaction-log format behind ``repro stream``.
 
 Layering: engine modules never import :mod:`repro.core`; the scalar
 entry points in core remain as thin wrappers over this package, so the
@@ -40,6 +47,17 @@ from repro.engine.batch import (
     superset_indicator,
 )
 from repro.engine.context import EvalContext, default_context
+from repro.engine.incremental import (
+    IncrementalEvalContext,
+    add_on_subsets,
+    iter_subset_masks,
+    recompute_tables,
+)
+from repro.engine.stream import (
+    StreamReport,
+    StreamSession,
+    parse_transaction_log,
+)
 from repro.engine.decider import (
     ImplicationCache,
     constraint_fingerprint,
@@ -66,6 +84,13 @@ __all__ = [
     "superset_indicator",
     "EvalContext",
     "default_context",
+    "IncrementalEvalContext",
+    "add_on_subsets",
+    "iter_subset_masks",
+    "recompute_tables",
+    "StreamReport",
+    "StreamSession",
+    "parse_transaction_log",
     "ImplicationCache",
     "constraint_fingerprint",
     "constraint_set_fingerprint",

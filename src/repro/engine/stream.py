@@ -1,0 +1,236 @@
+"""Streaming workloads: transaction logs over an incremental context.
+
+A :class:`StreamSession` wraps an
+:class:`~repro.engine.incremental.IncrementalEvalContext` with the
+transactional surface a live instance needs: apply a *batch* of row
+deltas, get back the set of constraints the batch newly violated or
+restored (net of intra-batch churn).  Sessions also parse the plain-text
+transaction-log format replayed by ``repro stream``:
+
+.. code-block:: text
+
+    # one op per line; a `commit` line ends a transaction
+    + AB        insert one row with itemset AB
+    + AB 3      insert three
+    - AB        delete one
+    = AB 5      update: set the multiplicity of AB to 5
+    commit
+
+Subsets use the same shorthand as constraint files (``ground.parse``);
+``#`` comments and blank lines are ignored; a trailing transaction
+without ``commit`` is committed implicitly.
+
+Like the rest of the engine, this module imports nothing from
+:mod:`repro.core`; ground sets and constraints are duck-typed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.backends import Backend
+from repro.engine.decider import ImplicationCache
+from repro.engine.incremental import (
+    DEFAULT_TOLERANCE,
+    IncrementalEvalContext,
+    Number,
+)
+
+__all__ = ["StreamReport", "StreamSession", "parse_transaction_log"]
+
+#: One parsed log operation: ``("delta", mask, amount)`` adds ``amount``
+#: rows with itemset ``mask``; ``("set", mask, value)`` pins the
+#: multiplicity (resolved against the live density at apply time).
+Op = Tuple[str, int, Number]
+
+
+class StreamReport:
+    """What one committed transaction changed."""
+
+    __slots__ = ("tx", "newly_violated", "restored", "violated")
+
+    def __init__(
+        self,
+        tx: int,
+        newly_violated: Tuple,
+        restored: Tuple,
+        violated: Tuple,
+    ):
+        self.tx = tx
+        #: Constraints satisfied before the batch, violated after.
+        self.newly_violated = newly_violated
+        #: Constraints violated before the batch, satisfied after.
+        self.restored = restored
+        #: All tracked constraints violated after the batch.
+        self.violated = violated
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.newly_violated or self.restored)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamReport(tx={self.tx}, "
+            f"newly_violated={list(self.newly_violated)}, "
+            f"restored={list(self.restored)}, "
+            f"violated={len(self.violated)})"
+        )
+
+
+class StreamSession:
+    """Transactional deltas against one incremental evaluation context.
+
+    Parameters mirror :class:`IncrementalEvalContext`; ``density`` seeds
+    the instance (e.g. a basket database's multiset counts) without
+    counting as a transaction.
+    """
+
+    def __init__(
+        self,
+        ground,
+        constraints: Iterable = (),
+        density=None,
+        backend: Union[str, Backend] = "exact",
+        tol: float = DEFAULT_TOLERANCE,
+        cache: Optional[ImplicationCache] = None,
+        private_cache: bool = False,
+    ):
+        self._context = IncrementalEvalContext(
+            ground,
+            density=density,
+            constraints=constraints,
+            backend=backend,
+            tol=tol,
+            cache=cache,
+            private_cache=private_cache,
+        )
+        self._tx = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> IncrementalEvalContext:
+        """The live context (set-function protocol, tables, versions)."""
+        return self._context
+
+    @property
+    def ground(self):
+        return self._context.ground
+
+    @property
+    def transactions(self) -> int:
+        """Number of committed transactions."""
+        return self._tx
+
+    def value(self, mask: int) -> Number:
+        """Current ``f(X)`` (for basket streams: the live support)."""
+        return self._context.value(mask)
+
+    def support(self, subset) -> Number:
+        """Live support of a subset given as labels/shorthand."""
+        return self._context.value(self.ground.parse(subset))
+
+    def violated_constraints(self) -> Tuple:
+        return self._context.violated_constraints()
+
+    def satisfied_constraints(self) -> Tuple:
+        return self._context.satisfied_constraints()
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def apply(self, deltas: Iterable[Tuple[int, Number]]) -> StreamReport:
+        """Commit a batch of raw ``(mask, delta)`` density deltas."""
+        newly, restored = self._context.apply_batch(deltas)
+        self._tx += 1
+        return StreamReport(
+            self._tx, newly, restored, self._context.violated_constraints()
+        )
+
+    def apply_ops(self, ops: Iterable[Op]) -> StreamReport:
+        """Commit a batch of parsed log operations."""
+        deltas: List[Tuple[int, Number]] = []
+        staged = {}  # resolve "set" against density *plus staged deltas*
+        for op, mask, amount in ops:
+            if op == "delta":
+                delta = amount
+            elif op == "set":
+                current = self._context.density_value(mask) + staged.get(mask, 0)
+                delta = amount - current
+            else:
+                raise ValueError(f"unknown stream op {op!r}")
+            staged[mask] = staged.get(mask, 0) + delta
+            deltas.append((mask, delta))
+        return self.apply(deltas)
+
+    def insert(self, subset, count: Number = 1) -> StreamReport:
+        """Commit a single-row insert (labels/shorthand accepted)."""
+        mask = subset if isinstance(subset, int) else self.ground.parse(subset)
+        return self.apply([(mask, count)])
+
+    def delete(self, subset, count: Number = 1) -> StreamReport:
+        """Commit a single-row delete."""
+        mask = subset if isinstance(subset, int) else self.ground.parse(subset)
+        return self.apply([(mask, -count)])
+
+    def replay(self, lines: Sequence[str]) -> List[StreamReport]:
+        """Replay a transaction log; one report per committed batch."""
+        return [
+            self.apply_ops(batch)
+            for batch in parse_transaction_log(self.ground, lines)
+        ]
+
+
+def _parse_amount(token: str) -> Number:
+    try:
+        return int(token)
+    except ValueError:
+        return float(token)
+
+
+def parse_transaction_log(ground, lines: Sequence[str]) -> List[List[Op]]:
+    """Parse the log format into transactions (lists of ops).
+
+    ``ground`` is anything with ``.parse`` (subset shorthand codec).
+    """
+    transactions: List[List[Op]] = []
+    current: List[Op] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()  # trailing comments allowed
+        if not line:
+            continue
+        if line == "commit":
+            transactions.append(current)
+            current = []
+            continue
+        parts = line.split()
+        op, rest = parts[0], parts[1:]
+        if op not in ("+", "-", "=") or not rest or len(rest) > 2:
+            raise ValueError(
+                f"line {lineno}: expected '+|-|= SUBSET [AMOUNT]' or "
+                f"'commit', got {raw!r}"
+            )
+        mask = ground.parse(rest[0])
+        if op == "=":
+            if len(rest) != 2:
+                raise ValueError(
+                    f"line {lineno}: '=' needs an explicit amount: {raw!r}"
+                )
+            amount = _parse_amount(rest[1])
+            if amount < 0:
+                raise ValueError(
+                    f"line {lineno}: multiplicities are nonnegative: {raw!r}"
+                )
+            current.append(("set", mask, amount))
+        else:
+            amount = _parse_amount(rest[1]) if len(rest) == 2 else 1
+            if amount < 0:
+                raise ValueError(
+                    f"line {lineno}: amounts are nonnegative "
+                    f"(use '-' to delete): {raw!r}"
+                )
+            current.append(
+                ("delta", mask, amount if op == "+" else -amount)
+            )
+    if current:
+        transactions.append(current)
+    return transactions

@@ -153,3 +153,24 @@ class BasketDatabase:
             for b in more_baskets
         ]
         return BasketDatabase(self._ground, self._baskets + tuple(extra))
+
+    def stream_session(self, constraints: Iterable = (), backend="exact", **kwargs):
+        """A :class:`repro.engine.StreamSession` seeded with this database.
+
+        The session's density starts at this database's multiset counts
+        ``d^B`` (Section 6.1), so its live value table *is* the support
+        function -- basket inserts/deletes are then ``O(2^n)``-per-row
+        density deltas with per-delta constraint monitoring, instead of
+        support recounts over a rebuilt database.  Mining entry points
+        (:func:`repro.fis.discovery.zero_set` and friends) consume the
+        session state directly.
+        """
+        from repro.engine.stream import StreamSession
+
+        return StreamSession(
+            self._ground,
+            constraints=constraints,
+            density=self.multiset_counts(),
+            backend=backend,
+            **kwargs,
+        )

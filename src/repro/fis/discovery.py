@@ -46,8 +46,31 @@ __all__ = [
 AnySetFunction = Union[SetFunction, SparseDensityFunction]
 
 
-def zero_set(f: AnySetFunction, tol: float = DEFAULT_TOLERANCE) -> Set[int]:
-    """``Z(f)``: the subsets where the density vanishes."""
+def _as_function(source):
+    """Unwrap mining sources: stream sessions expose their live context
+    (which itself implements the set-function protocol)."""
+    from repro.engine.stream import StreamSession
+
+    if isinstance(source, StreamSession):
+        return source.context
+    if isinstance(source, BasketDatabase):
+        return source.support_function()
+    return source
+
+
+def zero_set(f, tol: float = DEFAULT_TOLERANCE) -> Set[int]:
+    """``Z(f)``: the subsets where the density vanishes.
+
+    Accepts set functions, basket databases, stream sessions, and
+    incremental contexts.  Incremental state answers from its cached
+    zero set -- invalidated only when a density entry actually crosses
+    zero, so discovery over a growing instance reuses work across
+    deltas instead of rescanning per query.
+    """
+    f = _as_function(f)
+    cached = getattr(f, "zero_set", None)
+    if cached is not None:
+        return set(cached(tol))
     ground = f.ground
     nonzero = {
         mask for mask, value in f.density_items() if abs(value) > tol
@@ -55,14 +78,14 @@ def zero_set(f: AnySetFunction, tol: float = DEFAULT_TOLERANCE) -> Set[int]:
     return {mask for mask in ground.all_masks() if mask not in nonzero}
 
 
-def theory_of(
-    f: AnySetFunction, tol: float = DEFAULT_TOLERANCE
-) -> ConstraintSet:
+def theory_of(f, tol: float = DEFAULT_TOLERANCE) -> ConstraintSet:
     """The atomic axiomatization of all constraints ``f`` satisfies.
 
     Returns ``{atom(U) | U in Z(f)}``; a constraint is satisfied by ``f``
-    iff this set implies it (tested property).
+    iff this set implies it (tested property).  Accepts the same sources
+    as :func:`zero_set`.
     """
+    f = _as_function(f)
     ground = f.ground
     return ConstraintSet(
         ground, (atom(ground, u) for u in sorted(zero_set(f, tol)))
@@ -75,8 +98,9 @@ def discover_cover(
 ) -> ConstraintSet:
     """A compact cover of the source's differential theory.
 
-    Accepts a set function or a basket database (whose support function
-    is used).  Atoms are pairwise irredundant (each covers exactly one
+    Accepts a set function, a basket database (whose support function is
+    used), or a stream session / incremental context (whose live density
+    state is read in place).  Atoms are pairwise irredundant (each covers exactly one
     zero), so compression requires *growing* constraints instead of
     pruning them: starting from the atom of an uncovered zero, the
     left-hand side is shrunk and family members dropped as long as the
@@ -86,11 +110,7 @@ def discover_cover(
     pruning, yields a set equivalent to the full theory (tested) that is
     typically far smaller than the atomic axiomatization.
     """
-    f = (
-        source.support_function()
-        if isinstance(source, BasketDatabase)
-        else source
-    )
+    f = _as_function(source)
     ground = f.ground
     zeros = zero_set(f, tol)
     remaining = set(zeros)

@@ -23,6 +23,7 @@ from repro.relational.boolean_dependency import (
 )
 from repro.relational.fd import (
     FunctionalDependency,
+    StreamingFDChecker,
     armstrong_derives,
     candidate_keys,
     closure,
@@ -55,6 +56,7 @@ __all__ = [
     "implies_boolean",
     "semantic_implies_over_two_tuple_relations",
     "FunctionalDependency",
+    "StreamingFDChecker",
     "armstrong_derives",
     "candidate_keys",
     "closure",

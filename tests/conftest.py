@@ -8,11 +8,32 @@ constraint data).
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core import GroundSet, SetFamily, SetFunction
+
+# Seeded Hypothesis profiles: ``derandomize=True`` makes every property
+# test a pure function of its code, so runs are reproducible across the
+# CI python matrix (no cross-job flakes from random example draws).
+# ``deadline=None`` because exact-backend tables are interpreter-speed.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 @pytest.fixture

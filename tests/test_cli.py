@@ -191,3 +191,68 @@ class TestDiscover:
         assert code == 0
         assert "A =>disj {B}" in text
         assert "B =>disj {A}" in text
+
+
+@pytest.fixture
+def log_file(tmp_path):
+    path = tmp_path / "log.txt"
+    path.write_text(
+        "# violate A -> B, then heal it\n"
+        "+ AC 2\n"
+        "commit\n"
+        "= AC 0   # update: retract both rows\n"
+        "+ AB\n"
+        "commit\n"
+    )
+    return str(path)
+
+
+class TestStream:
+    def test_replay_reports_flips(self, constraint_file, log_file):
+        code, text = _run(["stream", constraint_file, log_file])
+        assert "tx 1: +1 violated" in text
+        assert "violated: A -> {B}" in text
+        assert "tx 2:" in text and "restored: A -> {B}" in text
+        # tx 2 inserts AB, which violates B -> C
+        assert "violated: B -> {C}" in text
+        assert "final: 1/2 constraints violated" in text
+        assert code == 1
+
+    def test_clean_stream_exits_zero(self, constraint_file, tmp_path):
+        log = tmp_path / "clean.txt"
+        log.write_text("+ ABC 3\ncommit\n")
+        code, text = _run(["stream", constraint_file, str(log)])
+        assert code == 0
+        assert "final: 0/2 constraints violated" in text
+
+    def test_basket_seed_and_float_backend(self, constraint_file, basket_file, tmp_path):
+        log = tmp_path / "log.txt"
+        log.write_text("- AB\n- AB\n- C\n- BC\ncommit\n")
+        code, text = _run(
+            ["stream", constraint_file, str(log), "--baskets", basket_file,
+             "--backend", "float"]
+        )
+        # the AB baskets violate B -> C at seed time (A -> B holds)
+        assert "seeded 5 rows; 1/2 constraints violated" in text
+        # removing every basket except ABC restores it
+        assert "restored: B -> {C}" in text
+        assert "final: 0/2 constraints violated" in text
+        assert code == 0
+
+    def test_ground_set_mismatch_rejected(self, constraint_file, tmp_path):
+        baskets = tmp_path / "other.txt"
+        baskets.write_text("AB\nAB\n")
+        log = tmp_path / "log.txt"
+        log.write_text("+ AB\ncommit\n")
+        code, text = _run(
+            ["stream", constraint_file, str(log), "--baskets", str(baskets)]
+        )
+        assert code == 2
+        assert "error" in text
+
+    def test_bad_log_line_is_an_error(self, constraint_file, tmp_path):
+        log = tmp_path / "log.txt"
+        log.write_text("* AB\n")
+        code, text = _run(["stream", constraint_file, str(log)])
+        assert code == 2
+        assert "error" in text

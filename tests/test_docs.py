@@ -60,5 +60,13 @@ class TestTutorial:
         with open(os.path.join(ROOT, "docs", "TUTORIAL.md")) as fh:
             text = fh.read()
         for package in ("repro.core", "repro.fis", "repro.relational",
-                        "repro.logic", "repro.measures", "repro.equivalence"):
+                        "repro.logic", "repro.measures", "repro.equivalence",
+                        "repro.engine"):
             assert package in text, package
+
+    def test_streaming_section_exercises_the_session(self):
+        namespace = _run_blocks(os.path.join(ROOT, "docs", "TUTORIAL.md"))
+        session = namespace["session"]
+        assert session.transactions == 2
+        assert session.violated_constraints() == ()
+        assert namespace["checker"].violated_fds() == ()

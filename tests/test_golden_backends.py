@@ -1,0 +1,153 @@
+"""Golden backend regressions: paper example values pinned as literals.
+
+The worked examples behind Figures 1/2 (the running constraint set
+``{A -> B, B -> CD}`` and its derivations) and Examples 2.2/3.2 are
+evaluated on *both* engine backends and compared against hard-coded
+tables.  Backend drift -- a butterfly reordered, a tolerance nudged, a
+cache returning a stale table -- then shows up as a literal diff against
+this file instead of a flaky downstream failure.
+
+All pinned values are integers, which float64 represents exactly, so
+equality is exact on both backends by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    SetFamily,
+    SetFunction,
+    differential_function_by_definition,
+    differential_value,
+    find_uncovered,
+)
+from repro.core.implication import find_uncovered_engine, implies_engine, implies_lattice
+from repro.engine import EvalContext, IncrementalEvalContext, recompute_tables
+from repro.engine.backends import backend_by_name
+
+BACKENDS = ["exact", "float"]
+
+S3 = GroundSet("ABC")
+S4 = GroundSet("ABCD")
+
+#: Example 3.2: ``f((/)) = f(C) = 2`` and ``f = 1`` elsewhere over ABC.
+EX32_TABLE = [2, 1, 1, 1, 2, 1, 1, 1]
+EX32_DENSITY = [0, 0, 0, 0, 1, 0, 0, 1]
+
+#: A pinned integer function over ABCD: ``f(X) = 3|X| + (mask mod 5)``.
+PINNED_TABLE = [0, 4, 5, 9, 7, 6, 7, 11, 6, 10, 6, 10, 8, 12, 13, 12]
+PINNED_DENSITY = [-10, 0, 5, 0, 10, -5, -5, -1, 5, 0, -5, -2, -5, 0, 1, 12]
+#: Its Example 2.2 differential ``D_f^{B, CD}`` as a whole table.
+PINNED_DIFF_B_CD = [0, -5, 0, 0, 5, -5, 0, 0, 5, 0, 0, 0, 0, 0, 0, 0]
+
+#: The Figure 1/2 running example ``C = {A -> B, B -> CD}`` over ABCD:
+#: its atomic closure ``L(C)`` and the Theorem 3.5 counterexample mask
+#: for the non-implied target ``C -> A``.
+RUNNING_LC = [1, 2, 3, 5, 6, 7, 9, 10, 11, 13]  # A B AB AC BC ABC AD BD ABD ACD
+RUNNING_UNCOVERED = 14  # BCD
+
+
+def as_list(table):
+    return list(np.asarray(table)) if isinstance(table, np.ndarray) else list(table)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestExample32Golden:
+    def test_function_and_density_tables(self, backend_name):
+        exact = backend_name == "exact"
+        f = SetFunction.from_dict(S3, {"": 2, "C": 2}, default=1, exact=exact)
+        assert as_list(f.table()) == EX32_TABLE
+        assert as_list(f.density().table()) == EX32_DENSITY
+
+    def test_from_density_roundtrip(self, backend_name):
+        exact = backend_name == "exact"
+        density = {m: v for m, v in enumerate(EX32_DENSITY) if v}
+        f = SetFunction.from_density(S3, density, exact=exact)
+        assert as_list(f.table()) == EX32_TABLE
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestExample22Golden:
+    def test_pinned_density(self, backend_name):
+        exact = backend_name == "exact"
+        f = SetFunction(S4, PINNED_TABLE, exact=exact)
+        assert as_list(f.density().table()) == PINNED_DENSITY
+
+    def test_differential_table_engine(self, backend_name):
+        exact = backend_name == "exact"
+        f = SetFunction(S4, PINNED_TABLE, exact=exact)
+        fam = SetFamily.of(S4, "B", "CD")
+        got = f.differential(fam)
+        assert as_list(got.table()) == PINNED_DIFF_B_CD
+        assert got.exact == exact
+
+    def test_differential_table_scalar(self, backend_name):
+        exact = backend_name == "exact"
+        f = SetFunction(S4, PINNED_TABLE, exact=exact)
+        fam = SetFamily.of(S4, "B", "CD")
+        got = differential_function_by_definition(f, fam)
+        assert as_list(got.table()) == PINNED_DIFF_B_CD
+        # Example 2.2's expansion at X = A, spelled out
+        assert differential_value(f, fam, S4.parse("A")) == (
+            PINNED_TABLE[1] - PINNED_TABLE[3] - PINNED_TABLE[13] + PINNED_TABLE[15]
+        )
+
+    def test_incremental_rebuild_hits_same_tables(self, backend_name):
+        backend = backend_by_name(backend_name)
+        fam = SetFamily.of(S4, "B", "CD")
+        ctx = IncrementalEvalContext(S4, backend=backend)
+        ctx.support_table()
+        ctx.differential_table(fam)
+        for mask, value in enumerate(PINNED_DENSITY):
+            ctx.apply_delta(mask, value)
+        assert as_list(ctx.support_table()) == PINNED_TABLE
+        assert as_list(ctx.differential_table(fam)) == PINNED_DIFF_B_CD
+        density, support, (diff,) = recompute_tables(
+            4, enumerate(PINNED_DENSITY), [fam.members], backend
+        )
+        assert as_list(density) == PINNED_DENSITY
+        assert as_list(support) == PINNED_TABLE
+        assert as_list(diff) == PINNED_DIFF_B_CD
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+class TestRunningExampleGolden:
+    """The Figure 1/2 derivation example ``{A -> B, B -> CD} |- A -> CD``."""
+
+    def test_atomic_closure_pinned(self, backend_name):
+        cset = ConstraintSet.of(S4, "A -> B", "B -> CD")
+        EvalContext(backend=backend_name)  # backends share the bool tables
+        assert sorted(cset.iter_lattice()) == RUNNING_LC
+        assert [S4.format_mask(m) for m in RUNNING_LC] == [
+            "A", "B", "AB", "AC", "BC", "ABC", "AD", "BD", "ABD", "ACD",
+        ]
+
+    def test_implication_and_counterexample_pinned(self, backend_name):
+        cset = ConstraintSet.of(S4, "A -> B", "B -> CD")
+        context = EvalContext(backend=backend_name)
+        implied = DifferentialConstraint.parse(S4, "A -> CD")
+        not_implied = DifferentialConstraint.parse(S4, "C -> A")
+        assert implies_engine(cset, implied, context=context)
+        assert implies_lattice(cset, implied)
+        assert not implies_engine(cset, not_implied, context=context)
+        assert find_uncovered(cset, not_implied) == RUNNING_UNCOVERED
+        assert find_uncovered_engine(cset, not_implied, context=context) == (
+            RUNNING_UNCOVERED
+        )
+
+    def test_counterexample_function_separates(self, backend_name):
+        """The Theorem 3.5 witness at the pinned mask satisfies C and
+        violates the target -- on both backends."""
+        exact = backend_name == "exact"
+        cset = ConstraintSet.of(S4, "A -> B", "B -> CD")
+        not_implied = DifferentialConstraint.parse(S4, "C -> A")
+        witness = SetFunction.from_density(
+            S4, {RUNNING_UNCOVERED: 1}, exact=exact
+        )
+        assert cset.satisfied_by(witness)
+        assert not not_implied.satisfied_by(witness)
