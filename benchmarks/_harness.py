@@ -11,6 +11,7 @@ so EXPERIMENTS.md can cite stable artifacts.
 from __future__ import annotations
 
 import os
+import platform
 from typing import Iterable, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -44,13 +45,28 @@ def _engine_stamp() -> str:
         return "engine: unavailable"
 
 
+def _host_stamp() -> str:
+    """One line recording the hardware/python the numbers came from.
+
+    Parallel experiments (E17's worker scaling in particular) are only
+    interpretable relative to the CPU budget of the machine that ran
+    them, so every result file records it.
+    """
+    cpus = os.cpu_count() or 1
+    return (
+        f"host: {cpus} CPU(s), python {platform.python_version()}, "
+        f"{platform.machine() or 'unknown-arch'}"
+    )
+
+
 def report(experiment: str, title: str, lines: Iterable[str]) -> None:
     """Print and persist one experiment's table (stamped with the engine
-    backend so result files record how they were produced)."""
+    backend and host so result files record how they were produced)."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
     body = [f"== {experiment}: {title} =="]
     body.extend(lines)
     body.append(_engine_stamp())
+    body.append(_host_stamp())
     text = "\n".join(body)
     print("\n" + text)
     path = os.path.join(RESULTS_DIR, f"{experiment}.txt")

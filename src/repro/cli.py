@@ -26,7 +26,15 @@ reason about constraint files without writing Python:
     Replay a transaction log of row inserts/deletes/updates against a
     constraint file, reporting per transaction which constraints were
     newly violated or restored (the incremental engine: per-row delta
-    maintenance instead of full recomputation).
+    maintenance instead of full recomputation).  ``--shards K`` routes
+    the instance through the horizontally sharded context.
+
+``serve``
+    Answer a batch of ``implies``/``check`` queries through the
+    microbatching constraint server: concurrent duplicates coalesce
+    into one computation and answers are memoized in a fingerprint
+    -keyed LRU.  ``--baskets`` loads a (shardable) live instance for
+    ``check`` queries.
 
 Constraint files are plain text: first line the ground set (e.g.
 ``ABCD``), then one constraint per line in ``A -> B, CD`` syntax; ``#``
@@ -96,6 +104,34 @@ def _read(path: str) -> List[str]:
 def _context_for(args) -> EvalContext:
     """The :class:`EvalContext` selected by ``--backend`` (inherit when absent)."""
     return EvalContext(backend=getattr(args, "backend", None))
+
+
+def _resolve_shards(args) -> int:
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {shards}")
+    return shards
+
+
+def _resolve_workers(args, shards: int) -> int:
+    """``--workers`` with the sane default: CPU count, capped by shards
+    (and 1 when ``K = 1`` -- the single-process fallback)."""
+    from repro.engine.parallel import default_workers
+
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        return default_workers(shards)
+    if workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {workers}")
+    return min(workers, max(1, shards))
+
+
+def _engine_stamp_line(backend: Optional[str], shards: int, workers: int) -> str:
+    """The one-line configuration stamp printed by stream/serve output."""
+    return (
+        f"# engine: backend={backend or 'exact'}, "
+        f"shards={shards}, workers={workers}"
+    )
 
 
 def _cmd_implies(args, out: TextIO) -> int:
@@ -215,7 +251,15 @@ def _cmd_stream(args, out: TextIO) -> int:
         basket_ground, db = parse_basket_file(_read(args.baskets))
         ground.check_same(basket_ground)
         density = db.multiset_counts()
-    session = cset.stream_session(density=density, backend=args.backend or "exact")
+    shards = _resolve_shards(args)
+    workers = _resolve_workers(args, shards)
+    print(_engine_stamp_line(args.backend, shards, workers), file=out)
+    session = cset.stream_session(
+        density=density,
+        backend=args.backend or "exact",
+        shards=shards,
+        workers=workers if shards > 1 else None,
+    )
     if density:
         seeded = session.violated_constraints()
         print(
@@ -236,6 +280,18 @@ def _cmd_stream(args, out: TextIO) -> int:
         for c in rep.restored:
             print(f"  restored: {c!r}", file=out)
     final = session.violated_constraints()
+    if shards > 1:
+        # cross-check the incremental statuses through the per-shard
+        # fan-out (runs on the worker pool when workers > 1)
+        fanout = session.context.evaluate()
+        consistent = fanout.violated == tuple(
+            session.context.is_violated(c) for c in session.context.constraints
+        )
+        print(
+            f"# fan-out check over {shards} shards / {workers} worker(s): "
+            f"{'consistent' if consistent else 'INCONSISTENT'}",
+            file=out,
+        )
     print(
         f"final: {len(final)}/{len(cset)} constraints violated "
         f"after {len(reports)} transactions",
@@ -244,6 +300,71 @@ def _cmd_stream(args, out: TextIO) -> int:
     for c in final:
         print(f"  {c!r}", file=out)
     return 1 if final else 0
+
+
+def parse_query_file(ground, lines: Sequence[str]):
+    """Parse serve queries: one per line, ``implies``/``check`` prefix
+    optional (``implies`` assumed), then a constraint in arrow syntax."""
+    queries = []
+    for raw in lines:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        kind = "implies"
+        head, _, rest = line.partition(" ")
+        if head in ("implies", "check"):
+            kind, line = head, rest.strip()
+        queries.append(
+            (kind, DifferentialConstraint.parse(ground, line))
+        )
+    return queries
+
+
+def _cmd_serve(args, out: TextIO) -> int:
+    from repro.engine.server import serve_queries
+
+    ground, cset = parse_constraint_file(_read(args.file))
+    queries = parse_query_file(ground, _read(args.queries))
+    shards = _resolve_shards(args)
+    workers = _resolve_workers(args, shards)
+    instance = None
+    if args.baskets:
+        basket_ground, db = parse_basket_file(_read(args.baskets))
+        ground.check_same(basket_ground)
+        instance = db.sharded_context(
+            shards=shards,
+            workers=workers if shards > 1 else None,
+            backend=args.backend or "exact",
+        )
+    if instance is None and any(kind == "check" for kind, _ in queries):
+        raise ValueError(
+            "'check' queries need a live instance: no live instance was "
+            "loaded (pass --baskets)"
+        )
+    print(_engine_stamp_line(args.backend, shards, workers), file=out)
+    answers, stats = serve_queries(
+        cset,
+        queries,
+        instance=instance,
+        max_batch=args.batch_size,
+        max_delay=args.max_delay / 1000.0,
+    )
+    failures = 0
+    for (kind, constraint), answer in zip(queries, answers):
+        if kind == "implies":
+            verdict = "IMPLIED" if answer else "NOT IMPLIED"
+        else:
+            verdict = "SATISFIED" if answer else "VIOLATED"
+        if not answer:
+            failures += 1
+        print(f"{verdict}: {constraint!r}", file=out)
+    print(
+        f"# served {stats.requests} queries in {stats.batches} batches: "
+        f"{stats.coalesced} coalesced, {stats.cache_hits} cache hits, "
+        f"{stats.computed} computed",
+        file=out,
+    )
+    return 1 if failures else 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -332,8 +453,60 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["exact", "float"],
         help="numeric backend for the incremental tables (default exact)",
     )
+    _add_shard_flags(p)
     p.set_defaults(run=_cmd_stream)
+
+    p = sub.add_parser(
+        "serve",
+        help="answer implication/check queries via the microbatching server",
+    )
+    p.add_argument("file", help="constraint file ('-' for stdin)")
+    p.add_argument(
+        "queries",
+        help="query file: one '[implies|check] X -> Y, Z' per line",
+    )
+    p.add_argument(
+        "--baskets",
+        default=None,
+        help="basket file loaded as the live instance for 'check' queries",
+    )
+    p.add_argument(
+        "--backend",
+        default=None,
+        choices=["exact", "float"],
+        help="numeric backend for the live instance (default exact)",
+    )
+    p.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="microbatch bound: requests coalesced per dispatch (default 64)",
+    )
+    p.add_argument(
+        "--max-delay",
+        type=float,
+        default=2.0,
+        help="microbatch window in milliseconds (default 2)",
+    )
+    _add_shard_flags(p)
+    p.set_defaults(run=_cmd_serve)
     return parser
+
+
+def _add_shard_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="horizontal shard count for the instance (default 1)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count capped by --shards; "
+        "1 means single-process inline)",
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None, out: TextIO = sys.stdout) -> int:

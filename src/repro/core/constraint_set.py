@@ -138,6 +138,18 @@ class ConstraintSet:
             **kwargs,
         )
 
+    def server(self, instance=None, **kwargs):
+        """A :class:`repro.engine.ConstraintServer` fronting this set.
+
+        The async microbatching queue coalesces concurrent implication
+        queries against ``C`` (and ``check`` queries against an optional
+        live ``instance``) and memoizes answers in a fingerprint-keyed
+        LRU; see ``repro serve`` for the CLI surface.
+        """
+        from repro.engine.server import ConstraintServer
+
+        return ConstraintServer(self, instance=instance, **kwargs)
+
     def iter_lattice(self) -> Iterator[int]:
         """Iterate ``L(C)`` (each mask once, ascending).
 

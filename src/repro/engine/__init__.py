@@ -21,7 +21,18 @@ replaces three scalar hot paths with table-at-a-time computation:
   constraint-violation detection;
 * :mod:`repro.engine.stream` -- :class:`StreamSession`, the
   transactional surface (batch of deltas -> newly violated / restored
-  constraints) and the transaction-log format behind ``repro stream``.
+  constraints) and the transaction-log format behind ``repro stream``;
+* :mod:`repro.engine.shard` -- :class:`ShardedEvalContext`, horizontal
+  sharding by density mask: per-shard density/support/differential
+  tables with disjoint supports, merged exactly by elementwise sum,
+  with a dirty-shard fast path over the incremental engine;
+* :mod:`repro.engine.parallel` -- :class:`ParallelExecutor`, persistent
+  worker processes pinned per shard (version-keyed table reuse) with a
+  single-process inline fallback;
+* :mod:`repro.engine.server` -- :class:`ConstraintServer`, the async
+  microbatching request queue behind ``repro serve``: coalesces
+  concurrent implication/check queries and memoizes answers in a
+  fingerprint-keyed LRU.
 
 Layering: engine modules never import :mod:`repro.core`; the scalar
 entry points in core remain as thin wrappers over this package, so the
@@ -58,6 +69,23 @@ from repro.engine.stream import (
     StreamSession,
     parse_transaction_log,
 )
+from repro.engine.shard import (
+    ShardPlan,
+    ShardedEvalContext,
+    ShardedEvaluation,
+    sum_tables,
+)
+from repro.engine.parallel import (
+    EvalRequest,
+    ParallelExecutor,
+    ShardAnswer,
+    default_workers,
+)
+from repro.engine.server import (
+    ConstraintServer,
+    ServerStats,
+    serve_queries,
+)
 from repro.engine.decider import (
     ImplicationCache,
     constraint_fingerprint,
@@ -91,6 +119,17 @@ __all__ = [
     "StreamReport",
     "StreamSession",
     "parse_transaction_log",
+    "ShardPlan",
+    "ShardedEvalContext",
+    "ShardedEvaluation",
+    "sum_tables",
+    "EvalRequest",
+    "ParallelExecutor",
+    "ShardAnswer",
+    "default_workers",
+    "ConstraintServer",
+    "ServerStats",
+    "serve_queries",
     "ImplicationCache",
     "constraint_fingerprint",
     "constraint_set_fingerprint",

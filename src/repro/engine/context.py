@@ -44,7 +44,9 @@ class EvalContext:
         shared cache.  Pass ``private_cache=True`` for an isolated one.
     """
 
-    __slots__ = ("_backend", "_cache")
+    # __weakref__ lets subclasses register weakref.finalize cleanup
+    # (ShardedEvalContext reclaims owned executors that way)
+    __slots__ = ("_backend", "_cache", "__weakref__")
 
     def __init__(
         self,

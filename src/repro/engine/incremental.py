@@ -182,6 +182,7 @@ class IncrementalEvalContext(EvalContext):
         "_support",
         "_diffs",
         "_nonzero",
+        "_support_nnz",
         "_constraints",
         "_viol_counts",
         "_violated",
@@ -215,7 +216,13 @@ class IncrementalEvalContext(EvalContext):
         self._density = backend.zeros(1 << self._n)
         self._support: Optional[Table] = None
         self._diffs: Dict[Tuple[int, ...], Table] = {}
+        #: masks with ``abs(d_f) > tol`` -- drives constraint statuses
+        #: and the zero set (Definition 3.1's tolerance semantics).
         self._nonzero: set = set()
+        #: masks with ``d_f != 0`` *exactly* -- drives the set-function
+        #: protocol (``value`` / ``density_items``), which must agree
+        #: with the live tables even for sub-tolerance residues.
+        self._support_nnz: set = set()
         self._constraints: List = []
         self._viol_counts: List[int] = []
         self._violated: set = set()
@@ -260,7 +267,7 @@ class IncrementalEvalContext(EvalContext):
             v = self._support[mask]
             return v if self.exact else float(v)
         total = 0
-        for u in self._nonzero:
+        for u in self._support_nnz:
             if u & mask == mask:
                 total = total + self._density[u]
         return total if self.exact else float(total)
@@ -274,17 +281,23 @@ class IncrementalEvalContext(EvalContext):
         return v if self.exact else float(v)
 
     def density_items(self) -> Iterator[Tuple[int, Number]]:
-        """Iterate the currently-nonzero ``(mask, density)`` entries."""
-        for mask in sorted(self._nonzero):
+        """Iterate the exactly-nonzero ``(mask, density)`` entries.
+
+        Matches :meth:`repro.core.setfunction.SetFunction.density_items`
+        (and the live :meth:`density_table`): entries below the
+        tolerance but not exactly zero are still yielded, so rebuilding
+        from these items reproduces the maintained tables bit for bit.
+        """
+        for mask in sorted(self._support_nnz):
             yield mask, self.density_value(mask)
 
     def support_size(self) -> int:
         """Number of nonzero density entries (sparse-function protocol)."""
-        return len(self._nonzero)
+        return len(self._support_nnz)
 
     def is_nonnegative_density(self, tol: Optional[float] = None) -> bool:
         tol = self._tol if tol is None else tol
-        return all(self._density[u] >= -tol for u in self._nonzero)
+        return all(self._density[u] >= -tol for u in self._support_nnz)
 
     # ------------------------------------------------------------------
     # live tables
@@ -414,6 +427,10 @@ class IncrementalEvalContext(EvalContext):
         self._density[mask] = new
         self._update_tables(mask, delta)
 
+        if new == 0:
+            self._support_nnz.discard(mask)
+        else:
+            self._support_nnz.add(mask)
         was_nonzero = mask in self._nonzero
         now_nonzero = abs(new) > self._tol
         if was_nonzero == now_nonzero:

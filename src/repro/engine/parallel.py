@@ -1,0 +1,366 @@
+"""Process-pool execution of per-shard work with shard affinity.
+
+A :class:`ParallelExecutor` runs shard tasks on ``W`` persistent worker
+processes.  Plain ``ProcessPoolExecutor(max_workers=W)`` gives no
+control over which worker receives which task, which defeats worker-side
+state; this executor instead keeps ``W`` single-process pools and pins
+shard ``k`` to pool ``k % W``.  Workers therefore accumulate per-shard
+state that survives across calls:
+
+* the shard's payload (raw row masks or sparse density items), shipped
+  once per shard *version* by :meth:`load_rows` / :meth:`load_density`;
+* the dense density/support tables built from it, cached per version
+  (the *per-shard table reuse* fast path: re-evaluating a clean shard
+  does no table work at all).
+
+``workers = 1`` (the single-process fallback -- also the sane default on
+single-CPU hosts) short-circuits to *inline* mode: the same worker
+functions run in the calling process with no pools, no pickling and no
+subprocess spawn, so ``K = 1`` sharding costs nothing over the plain
+incremental engine.
+
+Everything shipped across the process boundary is plain picklable data
+(masks, numbers, name strings); exact tables are python lists of
+ints/Fractions and cross the boundary losslessly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import weakref
+from concurrent.futures import Executor, ProcessPoolExecutor
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.engine import batch
+from repro.engine.backends import Table, backend_by_name
+
+__all__ = [
+    "EvalRequest",
+    "ShardAnswer",
+    "ParallelExecutor",
+    "default_workers",
+]
+
+
+def default_workers(shards: Optional[int] = None) -> int:
+    """A sane worker default: the CPU count, capped by the shard count."""
+    cpus = os.cpu_count() or 1
+    if shards is not None:
+        cpus = min(cpus, shards)
+    return max(1, cpus)
+
+
+class EvalRequest(NamedTuple):
+    """One shard's evaluation order (picklable)."""
+
+    shard_id: int
+    version: int
+    n: int
+    backend: str
+    tol: float
+    #: ``(lhs_mask, family_members)`` per constraint to check.
+    constraints: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    #: Support probe masks.
+    probes: Tuple[int, ...]
+    #: Families whose per-shard differential tables are requested.
+    families: Tuple[Tuple[int, ...], ...]
+    return_tables: bool
+    #: Caller-chosen shard-state scope: contexts sharing one executor
+    #: use distinct scopes so their shard ids never collide.
+    scope: str = ""
+
+
+class ShardAnswer(NamedTuple):
+    """One shard's contribution, merged by :mod:`repro.engine.shard`."""
+
+    shard_id: int
+    version: int
+    nnz: int
+    #: Per requested constraint: nonzero density inside ``L(X, Y)``?
+    verdicts: Tuple[bool, ...]
+    #: Per requested probe mask: the shard's support value.
+    probes: Tuple
+    density_table: Optional[Table]
+    support_table: Optional[Table]
+    differential_tables: Tuple[Table, ...]
+
+
+# ----------------------------------------------------------------------
+# worker-side state and functions (also run inline when workers == 1)
+# ----------------------------------------------------------------------
+#: (namespace, scope, shard_id) -> (version, kind, data).  The
+#: namespace isolates executors sharing one process (inline mode); the
+#: scope isolates contexts sharing one executor.
+_SHARD_DATA: Dict[Tuple[str, str, int], Tuple[int, str, object]] = {}
+#: (namespace, scope, shard_id, version, backend) -> (density, support, nnz).
+_TABLE_CACHE: Dict[Tuple[str, str, int, int, str], Tuple[Table, Table, int]] = {}
+#: (n, members) -> blocked boolean table (structural, version-free).
+_BLOCKED_CACHE: Dict[Tuple[int, Tuple[int, ...]], object] = {}
+#: (n, lhs, members) -> lattice boolean table L(X, Y) (structural).
+_LATTICE_CACHE: Dict[Tuple[int, int, Tuple[int, ...]], object] = {}
+
+
+def _w_load(
+    ns: str, scope: str, shard_id: int, version: int, kind: str, data
+) -> int:
+    """Install a shard payload; drops caches of older versions."""
+    _SHARD_DATA[ns, scope, shard_id] = (version, kind, data)
+    stale = [
+        k
+        for k in _TABLE_CACHE
+        if k[:3] == (ns, scope, shard_id) and k[3] != version
+    ]
+    for key in stale:
+        del _TABLE_CACHE[key]
+    return shard_id
+
+
+def _w_density_items(ns: str, scope: str, shard_id: int) -> List[Tuple[int, object]]:
+    """The shard's sparse density (aggregating raw rows on demand)."""
+    version, kind, data = _SHARD_DATA[ns, scope, shard_id]
+    if kind == "density":
+        return list(data)
+    counts: Dict[int, int] = {}
+    for mask in data:
+        counts[mask] = counts.get(mask, 0) + 1
+    return sorted(counts.items())
+
+
+def _w_tables(
+    ns: str, scope: str, shard_id: int, version: int, n: int, backend_name: str
+):
+    """Density + support tables for a shard, cached per version."""
+    have = _SHARD_DATA.get((ns, scope, shard_id))
+    if have is None or have[0] != version:
+        raise RuntimeError(
+            f"shard {shard_id} at version {None if have is None else have[0]} "
+            f"in this worker; expected {version} -- sync before evaluating"
+        )
+    key = (ns, scope, shard_id, version, backend_name)
+    cached = _TABLE_CACHE.get(key)
+    if cached is None:
+        backend = backend_by_name(backend_name)
+        items = _w_density_items(ns, scope, shard_id)
+        density = backend.scatter(1 << n, items)
+        support = backend.copy(density)
+        backend.superset_zeta_inplace(support)
+        cached = (density, support, len(items))
+        _TABLE_CACHE[key] = cached
+    return cached
+
+
+def _w_blocked(n: int, members: Tuple[int, ...]):
+    key = (n, members)
+    table = _BLOCKED_CACHE.get(key)
+    if table is None:
+        table = batch.blocked_table(n, members)
+        _BLOCKED_CACHE[key] = table
+    return table
+
+
+def _w_lattice(n: int, lhs: int, members: Tuple[int, ...]):
+    """Cached ``L(X, Y)`` table: the warm verdict path allocates no
+    fresh ``2^n`` arrays (structural, like the blocked cache)."""
+    key = (n, lhs, members)
+    table = _LATTICE_CACHE.get(key)
+    if table is None:
+        table = batch.superset_indicator(n, lhs) & ~_w_blocked(n, members)
+        _LATTICE_CACHE[key] = table
+    return table
+
+
+def _w_evaluate(ns: str, request: EvalRequest) -> ShardAnswer:
+    """Answer one :class:`EvalRequest` from this worker's shard state."""
+    backend = backend_by_name(request.backend)
+    density, support, nnz = _w_tables(
+        ns, request.scope, request.shard_id, request.version,
+        request.n, request.backend,
+    )
+    verdicts = []
+    for lhs, members in request.constraints:
+        lattice = _w_lattice(request.n, lhs, members)
+        verdicts.append(
+            backend.any_nonzero_where(density, lattice, request.tol)
+        )
+    probes = tuple(support[mask] for mask in request.probes)
+    diffs: List[Table] = []
+    for members in request.families:
+        table = backend.copy(density)
+        batch.differential_table(table, members, backend)
+        diffs.append(table)
+    return ShardAnswer(
+        shard_id=request.shard_id,
+        version=request.version,
+        nnz=nnz,
+        verdicts=tuple(verdicts),
+        probes=probes,
+        density_table=density if request.return_tables else None,
+        support_table=support if request.return_tables else None,
+        differential_tables=tuple(diffs),
+    )
+
+
+def _w_clear(ns: str) -> None:
+    """Drop one executor's worker-side shard state.
+
+    Namespace-scoped: other executors sharing this process (inline
+    mode) keep their state.  The blocked-table cache is structural and
+    shared, so it stays.
+    """
+    for key in [k for k in _SHARD_DATA if k[0] == ns]:
+        del _SHARD_DATA[key]
+    for key in [k for k in _TABLE_CACHE if k[0] == ns]:
+        del _TABLE_CACHE[key]
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+class ParallelExecutor:
+    """``W`` pinned worker processes for per-shard work.
+
+    Parameters
+    ----------
+    workers:
+        Process count; default :func:`default_workers` (the CPU count).
+        ``1`` means inline (no subprocesses at all).
+    """
+
+    _ns_counter = itertools.count()
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is None:
+            workers = default_workers()
+        if workers < 1:
+            raise ValueError(f"worker count must be >= 1, got {workers}")
+        self._workers = workers
+        self._pools: Optional[List[Executor]] = None
+        self._closed = False
+        self._epoch = 0
+        # isolates this executor's worker-side state from other
+        # executors that share a process (inline mode, forked workers)
+        self._ns = f"ex{next(self._ns_counter)}-{os.getpid()}"
+        # inline state lives in this process's module globals, so a
+        # dropped executor must not pin its tables forever
+        self._finalizer = weakref.finalize(self, _w_clear, self._ns)
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def inline(self) -> bool:
+        """Whether work runs in-process (the single-worker fallback)."""
+        return self._workers == 1
+
+    @property
+    def epoch(self) -> int:
+        """Bumped by :meth:`clear`; consumers that track per-shard sync
+        state (``ShardedEvalContext``) resync everything when it moves."""
+        return self._epoch
+
+    def _pool_for(self, shard_id: int) -> Executor:
+        if self._closed:
+            raise RuntimeError("executor has been shut down")
+        if self._pools is None:
+            # one single-process pool per worker: shard -> worker pinning
+            self._pools = [
+                ProcessPoolExecutor(max_workers=1)
+                for _ in range(self._workers)
+            ]
+        return self._pools[shard_id % self._workers]
+
+    def _run(self, calls: Sequence[Tuple[int, object, tuple]]) -> list:
+        """Run ``(shard_id, fn, args)`` calls, in parallel across pools."""
+        if self.inline:
+            return [fn(*args) for _, fn, args in calls]
+        futures = [
+            self._pool_for(shard_id).submit(fn, *args)
+            for shard_id, fn, args in calls
+        ]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # shard payloads
+    # ------------------------------------------------------------------
+    def load_rows(
+        self, shard_id: int, version: int, rows: Sequence[int],
+        scope: str = "",
+    ) -> None:
+        """Install raw row masks for a shard (aggregated worker-side)."""
+        self._run(
+            [
+                (shard_id, _w_load,
+                 (self._ns, scope, shard_id, version, "rows", list(rows)))
+            ]
+        )
+
+    def load_density(
+        self, shard_id: int, version: int, items: Iterable[Tuple[int, object]],
+        scope: str = "",
+    ) -> None:
+        """Install a shard's sparse density items."""
+        self._run(
+            [
+                (shard_id, _w_load,
+                 (self._ns, scope, shard_id, version, "density", list(items)))
+            ]
+        )
+
+    def load_density_many(
+        self, loads: Sequence[Tuple[int, int, Iterable[Tuple[int, object]]]],
+        scope: str = "",
+    ) -> None:
+        """Batch form of :meth:`load_density` (one round trip per pool)."""
+        self._run(
+            [
+                (shard_id, _w_load,
+                 (self._ns, scope, shard_id, version, "density", list(items)))
+                for shard_id, version, items in loads
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, requests: Sequence[EvalRequest]) -> List[ShardAnswer]:
+        """Fan :class:`EvalRequest` orders out to their pinned workers."""
+        return self._run(
+            [(r.shard_id, _w_evaluate, (self._ns, r)) for r in requests]
+        )
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop this executor's shard state in every worker.
+
+        Bumps :attr:`epoch`, which tells attached contexts that their
+        sync bookkeeping is void -- the next fan-out reships every
+        shard instead of trusting stale version records.
+        """
+        self._epoch += 1
+        if self.inline:
+            _w_clear(self._ns)
+        elif self._pools is not None:
+            futures = [pool.submit(_w_clear, self._ns) for pool in self._pools]
+            for f in futures:
+                f.result()
+
+    def shutdown(self) -> None:
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True)  # worker state dies with them
+            self._pools = None
+        self._finalizer()  # reclaim any inline state now
+        self._closed = True
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        mode = "inline" if self.inline else "process-pool"
+        return f"ParallelExecutor(workers={self._workers}, {mode})"

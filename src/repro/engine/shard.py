@@ -1,0 +1,538 @@
+"""Horizontal sharding: partitioned density tables merged by summation.
+
+The paper's density and support functions are *additive over disjoint
+partitions of the instance rows* (Section 6.1: a basket database is a
+list; splitting the list splits ``d^B`` into a sum), and the masked
+zeta/differential transforms of the engine are linear in the density
+(Proposition 2.9) -- so per-shard tables merge **exactly** by
+elementwise sum::
+
+    d_f = sum_k d_k      f = sum_k f_k      D_f^Y = sum_k D_{f_k}^Y
+
+This module shards by *density mask*: a :class:`ShardPlan` routes every
+subset mask ``U`` to one owning shard, so all rows with itemset ``U``
+(inserts and the deletes that cancel them) land on the same shard.
+Mask-routing makes the decomposition degenerate in a useful way -- the
+per-shard densities have **disjoint supports**, hence
+
+* merging never cancels across shards: ``d_f(U)`` is exactly the owning
+  shard's entry, and ``Z(f) = intersect_k Z(f_k)``;
+* a constraint is violated globally iff *some* shard has nonzero
+  density inside ``L(X, Y)`` -- verdicts reduce by ``any`` over shards;
+* support queries reduce by scalar sum: ``f(X) = sum_k f_k(X)``.
+
+:class:`ShardedEvalContext` extends
+:class:`~repro.engine.incremental.IncrementalEvalContext`: the merged
+tables, constraint monitoring, zero set and version counters are the
+inherited delta-maintained state, while the context additionally owns
+the per-shard sparse densities with per-shard *version* counters.  A
+delta therefore dirties exactly its owning shard (the dirty-shard fast
+path); the :class:`~repro.engine.parallel.ParallelExecutor` resyncs and
+recomputes only dirty shards, reusing worker-side tables for the rest.
+
+Like the rest of the engine this module imports nothing from
+:mod:`repro.core`; ground sets, constraints and families are duck-typed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.engine import batch
+from repro.engine.backends import Backend, Table
+from repro.engine.decider import ImplicationCache
+from repro.engine.incremental import (
+    DEFAULT_TOLERANCE,
+    IncrementalEvalContext,
+    Number,
+)
+
+__all__ = [
+    "ShardPlan",
+    "ShardedEvalContext",
+    "ShardedEvaluation",
+    "sum_tables",
+]
+
+#: Knuth's multiplicative constant -- spreads consecutive masks across
+#: shards far more evenly than ``mask % shards`` on clustered workloads.
+_HASH_MULT = 0x9E3779B1
+
+
+def _default_route(mask: int, shards: int) -> int:
+    return ((mask * _HASH_MULT) & 0xFFFFFFFF) % shards
+
+
+class ShardPlan:
+    """A deterministic assignment of density masks to ``shards`` shards.
+
+    Parameters
+    ----------
+    shards:
+        The shard count ``K >= 1``.
+    route:
+        Optional ``mask -> shard`` function; must be deterministic and
+        return values in ``range(shards)`` (checked on use).  The
+        default is a multiplicative hash.  Uneven routes -- including
+        ones that leave some shards empty -- are fully supported; only
+        determinism is required, so that inserts and the deletes that
+        cancel them meet on the same shard.
+    """
+
+    __slots__ = ("_shards", "_route")
+
+    def __init__(self, shards: int, route: Optional[Callable[[int], int]] = None):
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {shards}")
+        self._shards = shards
+        self._route = route
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    def shard_of(self, mask: int) -> int:
+        """The shard owning density mask ``mask``."""
+        if self._route is None:
+            return _default_route(mask, self._shards)
+        k = self._route(mask)
+        if not 0 <= k < self._shards:
+            raise ValueError(
+                f"shard route sent mask {mask:#x} to shard {k}, "
+                f"outside range(0, {self._shards})"
+            )
+        return k
+
+    def partition_rows(self, rows: Iterable[int]) -> List[List[int]]:
+        """Split row masks into per-shard lists (order-preserving)."""
+        parts: List[List[int]] = [[] for _ in range(self._shards)]
+        for mask in rows:
+            parts[self.shard_of(mask)].append(mask)
+        return parts
+
+    def partition_density(
+        self, density: Union[Mapping[int, Number], Iterable[Tuple[int, Number]]]
+    ) -> List[Dict[int, Number]]:
+        """Split a density mapping into per-shard mappings."""
+        items = density.items() if hasattr(density, "items") else density
+        parts: List[Dict[int, Number]] = [{} for _ in range(self._shards)]
+        for mask, value in items:
+            part = parts[self.shard_of(mask)]
+            part[mask] = part.get(mask, 0) + value
+        return parts
+
+    def __repr__(self) -> str:
+        kind = "default" if self._route is None else "custom"
+        return f"ShardPlan(shards={self._shards}, route={kind})"
+
+
+def sum_tables(tables: Sequence[Table], backend: Backend) -> Table:
+    """Elementwise sum of same-length tables -- the shard merge.
+
+    Vectorized left-to-right on the float backend (deterministic
+    addition order, so integer-valued float tables merge bit-exactly);
+    elementwise python sums on the exact backend.
+    """
+    tables = list(tables)
+    if not tables:
+        raise ValueError("sum_tables needs at least one table")
+    if backend.exact:
+        merged = backend.copy(tables[0])
+        for table in tables[1:]:
+            for i, v in enumerate(table):
+                if v != 0:
+                    merged[i] = merged[i] + v
+        return merged
+    merged = backend.copy(tables[0])
+    for table in tables[1:]:
+        np.add(merged, table, out=merged)
+    return merged
+
+
+class ShardedEvaluation:
+    """The merged result of one fan-out over the shards.
+
+    ``violated[i]`` answers the i-th requested constraint (``any`` over
+    shards -- exact under mask routing); ``support[mask]`` the requested
+    support probes (scalar sums); the optional tables are the vectorized
+    sums of the per-shard tables.  ``answers`` keeps the raw per-shard
+    :class:`~repro.engine.parallel.ShardAnswer` objects.
+    """
+
+    __slots__ = (
+        "violated",
+        "support",
+        "density_table",
+        "support_table",
+        "differential_tables",
+        "answers",
+    )
+
+    def __init__(self, violated, support, density_table, support_table,
+                 differential_tables, answers):
+        self.violated = violated
+        self.support = support
+        self.density_table = density_table
+        self.support_table = support_table
+        self.differential_tables = differential_tables
+        self.answers = answers
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEvaluation(violated={sum(map(bool, self.violated))}"
+            f"/{len(self.violated)}, probes={len(self.support)}, "
+            f"shards={len(self.answers)})"
+        )
+
+
+class ShardedEvalContext(IncrementalEvalContext):
+    """An incremental context whose instance rows are horizontally sharded.
+
+    The *merged* state -- density/support/differential tables, tracked
+    constraints, zero set, theory/zero versions -- is the inherited
+    :class:`IncrementalEvalContext` machinery, maintained in ``O(2^n)``
+    per delta as before.  On top, the context partitions the density by
+    a :class:`ShardPlan` and maintains per-shard sparse densities with
+    version counters: a delta touches exactly one shard, so downstream
+    consumers (the parallel executor, re-merge caches) recompute only
+    the dirty shard.
+
+    Parameters mirror :class:`IncrementalEvalContext` plus:
+
+    shards:
+        Shard count ``K`` (ignored when an explicit ``plan`` is given).
+    plan:
+        A :class:`ShardPlan` (for custom routing).
+    executor:
+        An optional :class:`~repro.engine.parallel.ParallelExecutor`
+        used by :meth:`evaluate`; ``workers`` builds one on demand.
+        ``K = 1`` or ``workers = 1`` stays single-process inline.
+    """
+
+    __slots__ = (
+        "_plan",
+        "_shard_density",
+        "_shard_versions",
+        "_synced_versions",
+        "_synced_epoch",
+        "_executor",
+        "_owns_executor",
+        "_scope",
+        "_executor_finalizer",
+    )
+
+    _scope_counter = itertools.count()
+
+    def __init__(
+        self,
+        ground,
+        density: Optional[Mapping[int, Number]] = None,
+        constraints: Iterable = (),
+        shards: int = 1,
+        plan: Optional[ShardPlan] = None,
+        backend: Union[str, Backend] = "exact",
+        tol: float = DEFAULT_TOLERANCE,
+        cache: Optional[ImplicationCache] = None,
+        private_cache: bool = False,
+        executor=None,
+        workers: Optional[int] = None,
+    ):
+        if plan is None:
+            plan = ShardPlan(shards)
+        # shard state must exist before super().__init__ seeds the
+        # density (seeding funnels through our apply_delta override)
+        self._plan = plan
+        self._shard_density: List[Dict[int, Number]] = [
+            {} for _ in range(plan.shards)
+        ]
+        self._shard_versions = [0] * plan.shards
+        self._synced_versions: List[Optional[int]] = [None] * plan.shards
+        self._synced_epoch: Optional[int] = None
+        # contexts may share one executor: the scope keeps their shard
+        # ids from colliding in the workers' state
+        self._scope = f"ctx{next(self._scope_counter)}"
+        self._owns_executor = False
+        self._executor_finalizer = None
+        if executor is None and workers is not None and workers > 1:
+            from repro.engine.parallel import ParallelExecutor
+
+            executor = ParallelExecutor(workers=workers)
+            self._adopt_executor(executor)
+        self._executor = executor
+        super().__init__(
+            ground,
+            density=density,
+            constraints=constraints,
+            backend=backend,
+            tol=tol,
+            cache=cache,
+            private_cache=private_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # shard state
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> ShardPlan:
+        return self._plan
+
+    @property
+    def shards(self) -> int:
+        return self._plan.shards
+
+    @property
+    def executor(self):
+        return self._executor
+
+    @property
+    def shard_versions(self) -> Tuple[int, ...]:
+        """Per-shard version counters: bumped on every owned delta."""
+        return tuple(self._shard_versions)
+
+    def shard_sizes(self) -> Tuple[int, ...]:
+        """Nonzero density entries per shard (empty shards report 0)."""
+        return tuple(len(d) for d in self._shard_density)
+
+    def shard_density_items(self, k: int) -> List[Tuple[int, Number]]:
+        """The k-th shard's sparse density, sorted by mask."""
+        return sorted(self._shard_density[k].items())
+
+    def shard_density_table(self, k: int) -> Table:
+        """The k-th shard's dense density table (a fresh table)."""
+        return self.backend.scatter(
+            1 << self._n, self._shard_density[k].items()
+        )
+
+    def shard_support_table(self, k: int) -> Table:
+        """``f_k``: the k-th shard's support table (a fresh table)."""
+        table = self.shard_density_table(k)
+        self.backend.superset_zeta_inplace(table)
+        return table
+
+    def shard_differential_table(self, k: int, family) -> Table:
+        """``D_{f_k}^Y``: the k-th shard's differential table."""
+        table = self.shard_density_table(k)
+        return batch.differential_table(
+            table, tuple(family.members), self.backend
+        )
+
+    # ------------------------------------------------------------------
+    # merged tables (the vectorized-summation oracle)
+    # ------------------------------------------------------------------
+    def merged_density_table(self) -> Table:
+        """Sum of the per-shard density tables.
+
+        Exactly equals the live :meth:`density_table` (property-tested):
+        mask routing gives the shards disjoint supports, so the sum
+        never mixes entries.
+        """
+        return sum_tables(
+            [self.shard_density_table(k) for k in range(self.shards)],
+            self.backend,
+        )
+
+    def merged_support_table(self) -> Table:
+        """Sum of the per-shard support tables (equals ``f``'s table)."""
+        return sum_tables(
+            [self.shard_support_table(k) for k in range(self.shards)],
+            self.backend,
+        )
+
+    def merged_differential_table(self, family) -> Table:
+        """Sum of the per-shard differentials (equals ``D_f^Y``)."""
+        return sum_tables(
+            [
+                self.shard_differential_table(k, family)
+                for k in range(self.shards)
+            ],
+            self.backend,
+        )
+
+    # ------------------------------------------------------------------
+    # deltas: route to the owning shard
+    # ------------------------------------------------------------------
+    def apply_delta(self, mask: int, delta: Number) -> List[Tuple[object, bool]]:
+        flips = super().apply_delta(mask, delta)
+        if delta != 0:
+            k = self._plan.shard_of(mask)
+            part = self._shard_density[k]
+            value = part.get(mask, 0) + delta
+            if value == 0:
+                part.pop(mask, None)
+            else:
+                part[mask] = value
+            self._shard_versions[k] += 1
+        return flips
+
+    # ------------------------------------------------------------------
+    # parallel fan-out
+    # ------------------------------------------------------------------
+    def _adopt_executor(self, executor) -> None:
+        """Take ownership: the executor dies with this context."""
+        self._owns_executor = True
+        # backstop for contexts that are dropped without close(): the
+        # finalizer holds the executor (not the context), so worker
+        # pools are reclaimed when the context is garbage-collected
+        self._executor_finalizer = weakref.finalize(
+            self, _shutdown_executor, executor
+        )
+
+    def close(self) -> None:
+        """Shut down an executor this context created (a shared,
+        caller-provided executor is left running)."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown()
+        if self._executor_finalizer is not None:
+            self._executor_finalizer.detach()
+
+    def __enter__(self) -> "ShardedEvalContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _require_executor(self):
+        if self._executor is None:
+            from repro.engine.parallel import ParallelExecutor
+
+            executor = ParallelExecutor(workers=1)
+            self._adopt_executor(executor)
+            self._executor = executor
+        return self._executor
+
+    def sync_executor(self) -> Tuple[int, ...]:
+        """Push dirty shards' densities to their workers.
+
+        Only shards whose version moved since the last sync are shipped
+        (the dirty-shard fast path); returns the synced shard ids.  An
+        executor whose :attr:`~repro.engine.parallel.ParallelExecutor.
+        epoch` moved (``clear()`` was called) invalidates the sync
+        bookkeeping wholesale, so every shard is reshipped.
+        """
+        executor = self._require_executor()
+        epoch = getattr(executor, "epoch", None)
+        if epoch != self._synced_epoch:
+            self._synced_versions = [None] * self.shards
+            self._synced_epoch = epoch
+        dirty = [
+            k
+            for k in range(self.shards)
+            if self._synced_versions[k] != self._shard_versions[k]
+        ]
+        executor.load_density_many(
+            [
+                (k, self._shard_versions[k], self.shard_density_items(k))
+                for k in dirty
+            ],
+            scope=self._scope,
+        )
+        for k in dirty:
+            self._synced_versions[k] = self._shard_versions[k]
+        return tuple(dirty)
+
+    def evaluate(
+        self,
+        constraints: Optional[Sequence] = None,
+        probes: Sequence[int] = (),
+        families: Sequence = (),
+        return_tables: bool = False,
+    ) -> ShardedEvaluation:
+        """Fan one evaluation out over the shards and merge exactly.
+
+        ``constraints`` (default: the tracked ones) are answered as
+        violated-iff-some-shard-hits; ``probes`` are support masks
+        answered by scalar sum; ``families`` requests per-shard
+        differential tables, merged by vectorized sum (implies
+        ``return_tables`` for those).  Runs on the attached executor --
+        worker processes hold per-shard tables keyed by shard version,
+        so clean shards answer from cache.
+        """
+        from repro.engine.parallel import EvalRequest
+
+        if constraints is None:
+            constraints = self.constraints
+        constraints = list(constraints)
+        specs = tuple(
+            (c.lhs, tuple(c.family.members)) for c in constraints
+        )
+        probe_masks = tuple(
+            self._ground.parse(p) if not isinstance(p, int) else p
+            for p in probes
+        )
+        for mask in probe_masks:
+            self._check_mask(mask)
+        family_members = tuple(tuple(f.members) for f in families)
+        executor = self._require_executor()
+        self.sync_executor()
+        requests = [
+            EvalRequest(
+                shard_id=k,
+                scope=self._scope,
+                version=self._shard_versions[k],
+                n=self._n,
+                backend=self.backend.name,
+                tol=self._tol,
+                constraints=specs,
+                probes=probe_masks,
+                families=family_members,
+                return_tables=return_tables or bool(family_members),
+            )
+            for k in range(self.shards)
+        ]
+        answers = executor.evaluate(requests)
+        violated = tuple(
+            any(a.verdicts[i] for a in answers)
+            for i in range(len(constraints))
+        )
+        support = {
+            mask: _sum_scalars((a.probes[i] for a in answers), self.backend)
+            for i, mask in enumerate(probe_masks)
+        }
+        density = support_tbl = None
+        diffs: Dict[Tuple[int, ...], Table] = {}
+        if return_tables or family_members:
+            density = sum_tables(
+                [a.density_table for a in answers], self.backend
+            )
+            support_tbl = sum_tables(
+                [a.support_table for a in answers], self.backend
+            )
+            for j, members in enumerate(family_members):
+                diffs[members] = sum_tables(
+                    [a.differential_tables[j] for a in answers], self.backend
+                )
+        return ShardedEvaluation(
+            violated, support, density, support_tbl, diffs, answers
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedEvalContext(|S|={self._n}, shards={self.shards}, "
+            f"backend={self.backend.name!r}, nnz={self.support_size()}, "
+            f"tracked={len(self._constraints)})"
+        )
+
+
+def _shutdown_executor(executor) -> None:
+    executor.shutdown()
+
+
+def _sum_scalars(values, backend: Backend):
+    total = 0
+    for v in values:
+        total = total + v
+    return total if backend.exact else float(total)

@@ -82,7 +82,11 @@ class StreamSession:
 
     Parameters mirror :class:`IncrementalEvalContext`; ``density`` seeds
     the instance (e.g. a basket database's multiset counts) without
-    counting as a transaction.
+    counting as a transaction.  ``shards > 1`` routes the session
+    through a :class:`~repro.engine.shard.ShardedEvalContext` (same
+    semantics, horizontally partitioned density; ``workers``/``plan``/
+    ``executor`` pass through); ``shards = 1`` stays on the plain
+    single-process incremental context.
     """
 
     def __init__(
@@ -94,9 +98,12 @@ class StreamSession:
         tol: float = DEFAULT_TOLERANCE,
         cache: Optional[ImplicationCache] = None,
         private_cache: bool = False,
+        shards: int = 1,
+        plan=None,
+        workers: Optional[int] = None,
+        executor=None,
     ):
-        self._context = IncrementalEvalContext(
-            ground,
+        common = dict(
             density=density,
             constraints=constraints,
             backend=backend,
@@ -104,6 +111,19 @@ class StreamSession:
             cache=cache,
             private_cache=private_cache,
         )
+        if shards > 1 or plan is not None:
+            from repro.engine.shard import ShardedEvalContext
+
+            self._context = ShardedEvalContext(
+                ground,
+                shards=shards,
+                plan=plan,
+                workers=workers,
+                executor=executor,
+                **common,
+            )
+        else:
+            self._context = IncrementalEvalContext(ground, **common)
         self._tx = 0
 
     # ------------------------------------------------------------------

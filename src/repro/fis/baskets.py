@@ -174,3 +174,36 @@ class BasketDatabase:
             backend=backend,
             **kwargs,
         )
+
+    def sharded_context(
+        self,
+        constraints: Iterable = (),
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        backend="exact",
+        **kwargs,
+    ):
+        """A :class:`repro.engine.ShardedEvalContext` over this database.
+
+        The baskets are partitioned by itemset mask across ``shards``
+        shards (default: the CPU count), so the per-shard densities are
+        the multiset counts of disjoint sublists of ``B`` -- Section
+        6.1's additivity made literal.  The context's merged state is
+        the support function ``s_B``; discovery and satisfaction
+        machinery consume it directly, and ``workers > 1`` attaches a
+        process pool for fanned-out evaluation.
+        """
+        from repro.engine.parallel import default_workers
+        from repro.engine.shard import ShardedEvalContext
+
+        if shards is None:
+            shards = default_workers()
+        return ShardedEvalContext(
+            self._ground,
+            density=self.multiset_counts(),
+            constraints=constraints,
+            shards=shards,
+            workers=workers,
+            backend=backend,
+            **kwargs,
+        )

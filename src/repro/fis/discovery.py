@@ -48,7 +48,11 @@ AnySetFunction = Union[SetFunction, SparseDensityFunction]
 
 def _as_function(source):
     """Unwrap mining sources: stream sessions expose their live context
-    (which itself implements the set-function protocol)."""
+    (which itself implements the set-function protocol).  Incremental
+    and sharded contexts (:class:`repro.engine.ShardedEvalContext`)
+    pass through directly -- discovery over a partitioned instance
+    reads the merged live state, so ``db.sharded_context()`` mines
+    without materializing an unsharded copy."""
     from repro.engine.stream import StreamSession
 
     if isinstance(source, StreamSession):

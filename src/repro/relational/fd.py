@@ -150,6 +150,8 @@ class StreamingFDChecker:
         ground: GroundSet,
         fds: Iterable[FunctionalDependency] = (),
         backend: str = "exact",
+        shards: int = 1,
+        workers=None,
         **session_kwargs,
     ):
         from repro.engine.stream import StreamSession
@@ -159,10 +161,14 @@ class StreamingFDChecker:
         self._by_constraint = {
             fd.to_differential(): fd for fd in self._fds
         }
+        # shards > 1 partitions the agreement density by agreement-set
+        # mask (the sharded engine path); semantics are identical.
         self._session = StreamSession(
             ground,
             constraints=tuple(self._by_constraint),
             backend=backend,
+            shards=shards,
+            workers=workers,
             **session_kwargs,
         )
         self._rows: Counter = Counter()

@@ -1,0 +1,231 @@
+"""Property suite: sharded tables exactly equal unsharded tables.
+
+Mask-routed sharding gives the per-shard densities disjoint supports,
+so density/support/differential tables must merge to the unsharded
+tables *exactly* -- bit for bit on the exact backend, and bit for bit
+on the float backend too for integer-valued deltas (float64 addition of
+small integers is exact regardless of order).  The suite drives random
+delta sequences through sharded and unsharded contexts across shard
+counts ``K in {1, 2, 3, 7}``, default and deliberately uneven custom
+routes (including all-rows-on-one-shard, which leaves the other shards
+empty), and asserts exact table equality plus agreement of the derived
+machinery: parallel fan-out verdicts, violation tracking, and server
+answers vs the direct decider.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core import (
+    ConstraintSet,
+    DifferentialConstraint,
+    GroundSet,
+    SetFamily,
+    SetFunction,
+    decide,
+)
+from repro.engine import (
+    ConstraintServer,
+    IncrementalEvalContext,
+    ShardPlan,
+    ShardedEvalContext,
+    recompute_tables,
+    sum_tables,
+)
+from repro.engine.backends import backend_by_name
+
+GROUNDS = [GroundSet("ABCDE"[:n]) for n in range(6)]  # |S| = 0..5
+
+BACKENDS = ["exact", "float"]
+
+SHARD_COUNTS = [1, 2, 3, 7]
+
+#: Route makers: shards -> route fn (None = the default hash).  The
+#: named alternatives produce deliberately uneven partitions: ``lopsided``
+#: routes most masks to shard 0, ``all-on-last`` leaves every other
+#: shard empty.
+ROUTES = {
+    "default": lambda shards: None,
+    "modulo": lambda shards: (lambda mask: mask % shards),
+    "lopsided": lambda shards: (
+        lambda mask: (mask % shards) if mask % 5 == 0 else 0
+    ),
+    "all-on-last": lambda shards: (lambda mask: shards - 1),
+}
+
+
+def tables_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(
+            np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+        )
+    return list(a) == list(b)
+
+
+@st.composite
+def instances(draw):
+    """Ground set, constraints, integer delta sequence, shard plan."""
+    ground = draw(st.sampled_from(GROUNDS))
+    universe = ground.universe_mask
+    masks = st.integers(min_value=0, max_value=universe)
+    constraints = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        lhs = draw(masks)
+        members = draw(st.lists(masks, min_size=0, max_size=3))
+        constraints.append(
+            DifferentialConstraint(ground, lhs, SetFamily(ground, members))
+        )
+    deltas = draw(
+        st.lists(
+            st.tuples(masks, st.integers(min_value=-3, max_value=3)),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    shards = draw(st.sampled_from(SHARD_COUNTS))
+    route = ROUTES[draw(st.sampled_from(sorted(ROUTES)))](shards)
+    return ground, constraints, deltas, ShardPlan(shards, route=route)
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@settings(max_examples=250)
+@given(data=instances())
+def test_sharded_tables_equal_unsharded(backend_name, data):
+    """Merged-by-sum shard tables == the unsharded incremental tables ==
+    a from-scratch batched recompute.  Exact equality on both backends."""
+    ground, constraints, deltas, plan = data
+    backend = backend_by_name(backend_name)
+    sharded = ShardedEvalContext(
+        ground, constraints=constraints, plan=plan, backend=backend
+    )
+    plain = IncrementalEvalContext(
+        ground, constraints=constraints, backend=backend
+    )
+    # materialize the live merged tables up front: they must be
+    # delta-maintained, not recomputed at comparison time
+    sharded.support_table()
+    for c in constraints:
+        sharded.differential_table(c.family)
+    for mask, delta in deltas:
+        assert sharded.apply_delta(mask, delta) == plain.apply_delta(
+            mask, delta
+        )
+
+    # the vectorized-summation merge equals the live merged tables
+    assert tables_equal(sharded.merged_density_table(), sharded.density_table())
+    assert tables_equal(sharded.merged_support_table(), sharded.support_table())
+    for c in constraints:
+        assert tables_equal(
+            sharded.merged_differential_table(c.family),
+            sharded.differential_table(c.family),
+        )
+
+    # and everything equals the unsharded oracle
+    families = [c.family.members for c in constraints]
+    density, support, diffs = recompute_tables(
+        ground.size, plain.density_items(), families, backend
+    )
+    assert tables_equal(sharded.density_table(), density)
+    assert tables_equal(sharded.support_table(), support)
+    for c, want in zip(constraints, diffs):
+        assert tables_equal(sharded.differential_table(c.family), want)
+    assert sharded.violated_constraints() == plain.violated_constraints()
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@settings(max_examples=150)
+@given(data=instances())
+def test_shard_supports_are_disjoint_and_complete(backend_name, data):
+    """Every nonzero density mask lives on exactly its planned shard;
+    empty shards contribute all-zero tables to the merge."""
+    ground, constraints, deltas, plan = data
+    sharded = ShardedEvalContext(
+        ground, constraints=constraints, plan=plan, backend=backend_name
+    )
+    for mask, delta in deltas:
+        sharded.apply_delta(mask, delta)
+    seen = {}
+    for k in range(plan.shards):
+        for mask, value in sharded.shard_density_items(k):
+            assert plan.shard_of(mask) == k
+            assert mask not in seen
+            seen[mask] = value
+    assert seen == dict(sharded.density_items())
+    size = 1 << ground.size
+    for k in range(plan.shards):
+        if not sharded.shard_density_items(k):
+            assert tables_equal(
+                sharded.shard_density_table(k),
+                backend_by_name(backend_name).zeros(size),
+            )
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@settings(max_examples=100)
+@given(data=instances())
+def test_parallel_evaluate_matches_scalar_oracle(backend_name, data):
+    """Fan-out verdicts (any-over-shards) and support probes (scalar
+    sums) == scalar satisfied_by / value on the rebuilt function."""
+    ground, constraints, deltas, plan = data
+    sharded = ShardedEvalContext(
+        ground, constraints=constraints, plan=plan, backend=backend_name
+    )
+    for mask, delta in deltas:
+        sharded.apply_delta(mask, delta)
+    probes = list(range(min(4, 1 << ground.size)))
+    result = sharded.evaluate(probes=probes, return_tables=True)
+    f = SetFunction.from_density(
+        ground,
+        dict(sharded.density_items()),
+        exact=(backend_name == "exact"),
+    )
+    for c, violated in zip(constraints, result.violated):
+        assert violated == (not c.satisfied_by(f))
+        assert violated == sharded.is_violated(c)
+    for mask in probes:
+        assert result.support[mask] == f.value(mask)
+    assert tables_equal(result.density_table, sharded.density_table())
+    assert tables_equal(result.support_table, sharded.support_table())
+
+
+@settings(max_examples=40)
+@given(data=instances())
+def test_server_answers_match_direct_decide(data):
+    """Microbatched, coalesced, memoized answers == decide() -- for
+    implication queries against C and checks against a live sharded
+    instance."""
+    ground, constraints, deltas, plan = data
+    cset = ConstraintSet(ground, constraints)
+    sharded = ShardedEvalContext(ground, constraints=constraints, plan=plan)
+    for mask, delta in deltas:
+        sharded.apply_delta(mask, delta)
+    targets = list(constraints) + [
+        DifferentialConstraint(
+            ground, 0, SetFamily(ground, [ground.universe_mask])
+        )
+    ]
+
+    async def scenario():
+        async with ConstraintServer(
+            cset, instance=sharded, max_delay=0.0005
+        ) as server:
+            implied = await asyncio.gather(
+                *[server.implies(t) for t in targets]
+            )
+            checked = await asyncio.gather(
+                *[server.check(t) for t in targets]
+            )
+            return implied, checked
+
+    implied, checked = asyncio.run(scenario())
+    f = SetFunction.from_density(ground, dict(sharded.density_items()), exact=True)
+    for t, answer in zip(targets, implied):
+        assert answer == decide(cset, t)
+    for t, answer in zip(targets, checked):
+        assert answer == t.satisfied_by(f)

@@ -208,6 +208,38 @@ def log_file(tmp_path):
 
 
 class TestStream:
+    def test_output_stamped_with_engine_config(self, constraint_file, log_file):
+        code, text = _run(["stream", constraint_file, log_file])
+        assert "# engine: backend=exact, shards=1, workers=1" in text
+        _, text = _run(
+            ["stream", constraint_file, log_file, "--backend", "float",
+             "--shards", "2", "--workers", "1"]
+        )
+        assert "# engine: backend=float, shards=2, workers=1" in text
+
+    def test_sharded_replay_matches_unsharded(self, constraint_file, log_file):
+        code_plain, plain = _run(["stream", constraint_file, log_file])
+        code_sharded, sharded = _run(
+            ["stream", constraint_file, log_file, "--shards", "3",
+             "--workers", "1"]
+        )
+        assert code_plain == code_sharded
+        # identical transcripts modulo the configuration stamp and the
+        # sharded run's extra fan-out cross-check line
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert strip(plain) == strip(sharded)
+        assert "# fan-out check over 3 shards / 1 worker(s): consistent" in sharded
+        assert "fan-out" not in plain
+
+    def test_invalid_shard_count_rejected(self, constraint_file, log_file):
+        code, text = _run(
+            ["stream", constraint_file, log_file, "--shards", "0"]
+        )
+        assert code == 2
+        assert "--shards must be >= 1" in text
+
     def test_replay_reports_flips(self, constraint_file, log_file):
         code, text = _run(["stream", constraint_file, log_file])
         assert "tx 1: +1 violated" in text
@@ -254,5 +286,69 @@ class TestStream:
         log = tmp_path / "log.txt"
         log.write_text("* AB\n")
         code, text = _run(["stream", constraint_file, str(log)])
+        assert code == 2
+        assert "error" in text
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "queries.txt"
+    path.write_text(
+        "# implied twice (coalesces), then an instance check\n"
+        "A -> C\n"
+        "implies A -> C\n"
+        "check A -> B\n"
+        "check B -> C\n"
+        "implies C -> A\n"
+    )
+    return str(path)
+
+
+class TestServe:
+    def test_check_without_instance_is_an_error(
+        self, constraint_file, query_file
+    ):
+        code, text = _run(["serve", constraint_file, query_file])
+        assert code == 2
+        assert "no live instance" in text
+
+    def test_full_serving_with_instance(
+        self, constraint_file, query_file, basket_file
+    ):
+        code, text = _run(
+            ["serve", constraint_file, query_file, "--baskets", basket_file,
+             "--shards", "2", "--workers", "1"]
+        )
+        assert "# engine: backend=exact, shards=2, workers=1" in text
+        assert text.count("IMPLIED: A -> {C}") == 2
+        assert "NOT IMPLIED: C -> {A}" in text
+        # the AB baskets violate B -> C; A -> B holds on the instance
+        assert "SATISFIED: A -> {B}" in text
+        assert "VIOLATED: B -> {C}" in text
+        assert "# served 5 queries" in text
+        assert "coalesced" in text and "cache hits" in text
+        assert code == 1  # some answers were negative
+
+    def test_all_positive_exits_zero(self, constraint_file, tmp_path):
+        queries = tmp_path / "q.txt"
+        queries.write_text("A -> B\nA -> C\nB -> C\n")
+        code, text = _run(["serve", constraint_file, str(queries)])
+        assert code == 0
+        assert "NOT IMPLIED" not in text
+
+    def test_coalescing_visible_in_stats(self, constraint_file, tmp_path):
+        queries = tmp_path / "q.txt"
+        queries.write_text("A -> C\n" * 8)
+        code, text = _run(["serve", constraint_file, str(queries)])
+        assert code == 0
+        assert "# served 8 queries" in text
+        stats_line = [l for l in text.splitlines() if "coalesced" in l][0]
+        coalesced = int(stats_line.split("batches:")[1].split("coalesced")[0])
+        assert coalesced >= 1
+
+    def test_bad_query_line_is_an_error(self, constraint_file, tmp_path):
+        queries = tmp_path / "q.txt"
+        queries.write_text("A -> Z\n")  # Z is not in the ground set
+        code, text = _run(["serve", constraint_file, str(queries)])
         assert code == 2
         assert "error" in text

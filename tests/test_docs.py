@@ -70,3 +70,26 @@ class TestTutorial:
         assert session.transactions == 2
         assert session.violated_constraints() == ()
         assert namespace["checker"].violated_fds() == ()
+
+    def test_scaling_section_exercises_shards_and_server(self):
+        namespace = _run_blocks(os.path.join(ROOT, "docs", "TUTORIAL.md"))
+        shard_ctx = namespace["shard_ctx"]
+        assert shard_ctx.shards == 3
+        assert list(shard_ctx.merged_density_table()) == list(
+            shard_ctx.density_table()
+        )
+        assert namespace["server_answers"][0] is True
+        assert namespace["server_stats"].requests == 3
+
+
+class TestShardedServiceExample:
+    def test_example_runs_end_to_end(self, capsys):
+        import runpy
+
+        runpy.run_path(
+            os.path.join(ROOT, "examples", "sharded_service.py"),
+            run_name="__main__",
+        )
+        out = capsys.readouterr().out
+        assert "shards" in out
+        assert "IMPLIED" in out or "implied" in out
