@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Fail CI when regenerated benchmark results drift from the committed ones.
+
+Timing cells vary run to run and host to host, so a byte diff is
+useless -- what must *not* drift silently is the experiment's
+**structure**: its title, its table header (the measured columns), and
+its row identities (the workload each row pins: ``|S|``, backend, shard
+count, ...).  A benchmark change that adds/renames/retypes rows or
+columns has to land together with the regenerated committed file; this
+checker makes CI enforce that, where previously regenerated rows were
+printed and never compared.
+
+For every ``benchmarks/results/*.txt`` present in git HEAD, the
+regenerated working-tree file is compared on:
+
+* the ``== Exx: title ==`` line,
+* the header row (column names),
+* the ordered list of row keys -- each data row's leading cells up to
+  its first numeric cell (numbers, including ``1.5x`` / ``12.3`` forms,
+  are measurements; everything before them identifies the workload).
+
+Annotation lines after the table (host stamps, acceptance notes) are
+host-dependent and ignored.  A results file deleted from the working
+tree, or an experiment whose structure changed, fails the check.
+
+Run:  python benchmarks/check_drift.py          (compares vs git HEAD)
+      python benchmarks/check_drift.py --list   (prints the structures)
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from typing import List, Optional, Tuple
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS = os.path.join("benchmarks", "results")
+
+#: A *measurement* cell: a decimal/scientific float, or a unit-suffixed
+#: number (``61.5x``, ``12ms``).  Bare integers are workload parameters
+#: and deterministic seeded counts -- part of the row's identity.
+_MEASUREMENT = re.compile(
+    r"^-?(\d+\.\d+(e-?\d+)?|\d+(\.\d+)?(x|ms|s|%))$", re.IGNORECASE
+)
+
+_TITLE = re.compile(r"^== (\S+): (.*) ==$")
+
+#: Post-table annotation lines ("engine: ...", "host: ...",
+#: "workload: ...", "acceptance floor (...): ...") -- prose keyed by a
+#: colon inside the first cell, never a workload row identity.
+_ANNOTATION = re.compile(r"^[^\s].*?\S: ")
+
+
+def _cells(line: str) -> List[str]:
+    """Split an aligned table row on 2+ space runs (the writer's idiom)."""
+    return [cell for cell in re.split(r"\s{2,}", line.strip()) if cell]
+
+
+def _row_key(line: str) -> Tuple[str, ...]:
+    """A data row's identity: leading cells before the first measurement."""
+    key: List[str] = []
+    for cell in _cells(line):
+        if _MEASUREMENT.match(cell):
+            break
+        key.append(cell)
+    return tuple(key)
+
+
+def structure(text: str) -> Optional[dict]:
+    """Parse one result file into its comparable structure."""
+    lines = [line.rstrip("\n") for line in text.splitlines() if line.strip()]
+    if not lines:
+        return None
+    title = _TITLE.match(lines[0])
+    if title is None:
+        return None
+    header: Optional[Tuple[str, ...]] = None
+    rows: List[Tuple[str, ...]] = []
+    in_table = False
+    for line in lines[1:]:
+        cells = _cells(line)
+        if not in_table:
+            # the header is the line right before the dashed rule
+            if cells and all(set(c) == {"-"} for c in cells):
+                in_table = True
+            else:
+                header = tuple(cells)
+            continue
+        if cells and all(set(c) <= set("-") for c in cells):
+            continue
+        if _ANNOTATION.match(line.strip()):
+            break  # host stamps / acceptance notes: host-dependent
+        key = _row_key(line)
+        if not key:
+            break  # annotation/stamp region begins
+        rows.append(key)
+    return {
+        "experiment": title.group(1),
+        "title": title.group(2),
+        "header": header,
+        "rows": rows,
+    }
+
+
+def committed_files() -> List[str]:
+    out = subprocess.run(
+        ["git", "ls-tree", "-r", "--name-only", "HEAD", RESULTS],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return [path for path in out.stdout.splitlines() if path.endswith(".txt")]
+
+
+def committed_text(path: str) -> str:
+    return subprocess.run(
+        ["git", "show", f"HEAD:{path}"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+
+
+def compare(path: str) -> List[str]:
+    problems: List[str] = []
+    work_path = os.path.join(ROOT, path)
+    if not os.path.exists(work_path):
+        return [f"{path}: regenerated file is missing from the working tree"]
+    baseline = structure(committed_text(path))
+    with open(work_path) as fh:
+        regenerated = structure(fh.read())
+    if baseline is None:
+        return []  # unstructured committed file: nothing to enforce
+    if regenerated is None:
+        return [f"{path}: regenerated file lost its '== Exx: title ==' shape"]
+    for field in ("experiment", "title", "header"):
+        if baseline[field] != regenerated[field]:
+            problems.append(
+                f"{path}: {field} drifted\n"
+                f"  committed:   {baseline[field]!r}\n"
+                f"  regenerated: {regenerated[field]!r}"
+            )
+    if baseline["rows"] != regenerated["rows"]:
+        problems.append(
+            f"{path}: row keys drifted\n"
+            f"  committed:   {baseline['rows']!r}\n"
+            f"  regenerated: {regenerated['rows']!r}"
+        )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    paths = committed_files()
+    if not paths:
+        print("no committed result files under", RESULTS)
+        return 1
+    if "--list" in argv:
+        for path in paths:
+            print(path, structure(committed_text(path)))
+        return 0
+    failures: List[str] = []
+    for path in paths:
+        failures.extend(compare(path))
+    if failures:
+        print(f"benchmark drift detected in {len(failures)} place(s):\n")
+        for failure in failures:
+            print(failure)
+        print(
+            "\nIf the benchmark intentionally changed shape, regenerate and "
+            "commit the result file in the same change."
+        )
+        return 1
+    print(f"benchmark structure clean: {len(paths)} result file(s) match HEAD")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,207 @@
+"""E18 -- durable service: WAL on vs off on the serve path.
+
+Durability costs one CRC-framed append (plus an optional fsync) per
+committed transaction on the stream write path, and nothing at all on
+the read paths (checks and probes read the live tables; the WAL is
+write-only outside recovery).  The regenerated table measures streamed
+transaction throughput on matched seeded workloads:
+
+* ``session`` rows drive :class:`StreamSession.apply` directly -- the
+  engine-side cost of the log (append + flush [+ fsync]);
+* ``http`` rows drive the same transactions through the full serve
+  path -- :class:`ReproService` over real sockets via
+  :class:`ReproClient` -- so the WAL overhead is shown relative to the
+  wire protocol's own cost, which is what a serving deployment pays.
+
+The acceptance bound (stated in the result header and asserted):
+with ``fsync=never`` the WAL keeps at least 10% of the in-memory
+session throughput, and the durable HTTP path keeps at least 10% of
+the non-durable HTTP path.  fsync="always" throughput is recorded but
+not asserted -- it measures the host's disk, not the code.
+"""
+
+import random
+import shutil
+import tempfile
+import time
+
+from repro.core import ConstraintSet, GroundSet
+from repro.engine import ReproService, StreamSession
+
+from _harness import format_table, report
+
+N = 12
+N_TX = 120
+SESSION_REPEATS = 3  # session path is fast; median-of-3 steadies it
+
+#: Asserted floor: WAL-on throughput >= WAL-off throughput / MAX_SLOWDOWN.
+MAX_SLOWDOWN = 10.0
+
+
+def _workload():
+    ground = GroundSet([chr(ord("A") + i) for i in range(N)])
+    cset = ConstraintSet.of(ground, "A -> B", "B -> CD", "AC -> D")
+    rng = random.Random(1800)
+    transactions = [
+        [
+            (rng.randrange(1 << N), rng.choice([-1, 1, 1, 2]))
+            for _ in range(rng.randint(1, 3))
+        ]
+        for _ in range(N_TX)
+    ]
+    return ground, cset, transactions
+
+
+def _session_kwargs(ground, cset, variant, data_dir):
+    kwargs = dict(constraints=cset.constraints)
+    if variant != "off":
+        kwargs.update(durable=data_dir, fsync=variant)
+    return kwargs
+
+
+def _time_session(ground, cset, transactions, variant) -> float:
+    best = None
+    for _ in range(SESSION_REPEATS):
+        data_dir = tempfile.mkdtemp(prefix="e18-")
+        try:
+            session = StreamSession(
+                ground, **_session_kwargs(ground, cset, variant, data_dir)
+            )
+            t0 = time.perf_counter()
+            for deltas in transactions:
+                session.apply(deltas)
+            elapsed = time.perf_counter() - t0
+            session.close()
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _time_http(ground, cset, transactions, variant) -> float:
+    data_dir = tempfile.mkdtemp(prefix="e18-")
+    try:
+        session = StreamSession(
+            ground, **_session_kwargs(ground, cset, variant, data_dir)
+        )
+        handle = ReproService(cset, session=session).start_in_thread()
+        try:
+            client = handle.client()
+            ops_per_tx = [
+                [
+                    f"{'+' if delta >= 0 else '-'} "
+                    f"{'0' if mask == 0 else ground.format_mask(mask)} "
+                    f"{abs(delta)}"
+                    for mask, delta in deltas
+                ]
+                for deltas in transactions
+            ]
+            t0 = time.perf_counter()
+            for ops in ops_per_tx:
+                client.delta(ops)
+            elapsed = time.perf_counter() - t0
+        finally:
+            handle.stop()
+    finally:
+        shutil.rmtree(data_dir, ignore_errors=True)
+    return elapsed
+
+
+class TestDurableService:
+    def test_wal_on_vs_off_throughput(self, benchmark):
+        ground, cset, transactions = _workload()
+        rows = []
+        rates = {}
+        for path, timer in (("session", _time_session), ("http", _time_http)):
+            variants = (
+                ("off", "-"),
+                ("never", "on"),
+                ("always", "on"),
+            )
+            if path == "http":
+                # the wire protocol dominates; fsync=never adds nothing
+                # measurable beyond the "always" row
+                variants = (("off", "-"), ("always", "on"))
+            for variant, wal in variants:
+                elapsed = timer(ground, cset, transactions, variant)
+                rate = N_TX / elapsed
+                rates[(path, variant)] = rate
+                baseline = rates[(path, "off")]
+                rows.append(
+                    (
+                        path,
+                        wal,
+                        variant if variant != "off" else "-",
+                        N_TX,
+                        f"{elapsed * 1e3:.1f}",
+                        f"{rate:.0f}",
+                        f"{baseline / rate:.2f}x",
+                    )
+                )
+        report(
+            "E18_durable_service",
+            "serve-path throughput: write-ahead log on vs off "
+            f"(acceptance: fsync=never within {MAX_SLOWDOWN:.0f}x of "
+            "WAL-off on both paths; fsync=always recorded, not asserted)",
+            format_table(
+                [
+                    "path",
+                    "wal",
+                    "fsync",
+                    "tx",
+                    "total ms",
+                    "tx/sec",
+                    "slowdown",
+                ],
+                rows,
+            ),
+        )
+        assert rates[("session", "never")] >= rates[("session", "off")] / MAX_SLOWDOWN
+        assert rates[("http", "always")] >= rates[("http", "off")] / MAX_SLOWDOWN
+
+        # pytest-benchmark row: the durable commit hot path (no fsync)
+        data_dir = tempfile.mkdtemp(prefix="e18-bench-")
+        session = StreamSession(
+            ground, **_session_kwargs(ground, cset, "never", data_dir)
+        )
+        state = {"i": 0}
+
+        def one_durable_tx():
+            deltas = transactions[state["i"] % len(transactions)]
+            state["i"] += 1
+            session.apply(deltas)
+
+        try:
+            benchmark(one_durable_tx)
+        finally:
+            session.close()
+            shutil.rmtree(data_dir, ignore_errors=True)
+
+    def test_timed_workload_recovers_exactly(self):
+        """The benchmark's own workload round-trips through recovery."""
+        ground, cset, transactions = _workload()
+        data_dir = tempfile.mkdtemp(prefix="e18-")
+        try:
+            session = StreamSession(
+                ground, constraints=cset.constraints, durable=data_dir,
+                fsync="never",
+            )
+            for deltas in transactions:
+                session.apply(deltas)
+            expected = (
+                list(session.context.density_table()),
+                session.violated_constraints(),
+                session.transactions,
+            )
+            session.close()
+            recovered = StreamSession(
+                ground, constraints=cset.constraints, durable=data_dir
+            )
+            assert (
+                list(recovered.context.density_table()),
+                recovered.violated_constraints(),
+                recovered.transactions,
+            ) == expected
+            recovered.close()
+        finally:
+            shutil.rmtree(data_dir, ignore_errors=True)

@@ -34,7 +34,18 @@ reason about constraint files without writing Python:
     microbatching constraint server: concurrent duplicates coalesce
     into one computation and answers are memoized in a fingerprint
     -keyed LRU.  ``--baskets`` loads a (shardable) live instance for
-    ``check`` queries.
+    ``check`` queries.  With ``--port`` the command becomes a *long
+    -running network service* speaking HTTP/JSON (check / implies /
+    delta / probe endpoints; see :mod:`repro.engine.net`): it prints
+    ``# listening on HOST:PORT`` and serves until SIGTERM, draining
+    gracefully.  ``--data-dir`` makes the served instance durable --
+    every committed transaction is write-ahead logged and
+    ``--snapshot-every N`` checkpoints the state, so killing the
+    process and restarting it on the same directory recovers the
+    instance exactly.
+
+Both ``stream`` and ``serve`` accept ``--data-dir`` (durability) and
+``--fsync always|never`` (WAL sync policy).
 
 Constraint files are plain text: first line the ground set (e.g.
 ``ABCD``), then one constraint per line in ``A -> B, CD`` syntax; ``#``
@@ -259,8 +270,19 @@ def _cmd_stream(args, out: TextIO) -> int:
         backend=args.backend or "exact",
         shards=shards,
         workers=workers if shards > 1 else None,
+        durable=args.data_dir,
+        snapshot_every=args.snapshot_every,
+        fsync=args.fsync,
     )
-    if density:
+    if args.data_dir and session.transactions:
+        print(
+            f"recovered {session.transactions} transaction(s) from "
+            f"{args.data_dir}; "
+            f"{len(session.violated_constraints())}/{len(cset)} "
+            "constraints violated",
+            file=out,
+        )
+    elif density:
         seeded = session.violated_constraints()
         print(
             f"seeded {sum(density.values())} rows; "
@@ -299,6 +321,13 @@ def _cmd_stream(args, out: TextIO) -> int:
     )
     for c in final:
         print(f"  {c!r}", file=out)
+    if args.data_dir:
+        session.snapshot()
+        print(
+            f"# snapshotted tx {session.transactions} to {args.data_dir}",
+            file=out,
+        )
+    session.close()
     return 1 if final else 0
 
 
@@ -324,6 +353,13 @@ def _cmd_serve(args, out: TextIO) -> int:
     from repro.engine.server import serve_queries
 
     ground, cset = parse_constraint_file(_read(args.file))
+    if args.port is not None:
+        return _serve_network(args, ground, cset, out)
+    if args.queries is None:
+        raise ValueError(
+            "serve needs a query file in batch mode (or --port to run "
+            "as a network service)"
+        )
     queries = parse_query_file(ground, _read(args.queries))
     shards = _resolve_shards(args)
     workers = _resolve_workers(args, shards)
@@ -365,6 +401,60 @@ def _cmd_serve(args, out: TextIO) -> int:
         file=out,
     )
     return 1 if failures else 0
+
+
+def _serve_network(args, ground, cset, out: TextIO) -> int:
+    """``repro serve --port``: the long-running HTTP/JSON service."""
+    from repro.engine.net import ReproService
+    from repro.engine.stream import StreamSession
+
+    shards = _resolve_shards(args)
+    workers = _resolve_workers(args, shards)
+    density = None
+    if args.baskets:
+        basket_ground, db = parse_basket_file(_read(args.baskets))
+        ground.check_same(basket_ground)
+        density = db.multiset_counts()
+    print(_engine_stamp_line(args.backend, shards, workers), file=out)
+    session = StreamSession(
+        ground,
+        constraints=cset.constraints,
+        density=density,
+        backend=args.backend or "exact",
+        shards=shards,
+        workers=workers if shards > 1 else None,
+        durable=args.data_dir,
+        snapshot_every=args.snapshot_every,
+        fsync=args.fsync,
+    )
+    if args.data_dir and session.transactions:
+        print(
+            f"recovered {session.transactions} transaction(s) from "
+            f"{args.data_dir}",
+            file=out,
+        )
+
+    def _ready(host: str, port: int) -> None:
+        # the e2e driver (and any supervisor) parses this line, so it
+        # must be flushed before the event loop settles into serving
+        print(f"# listening on {host}:{port}", file=out, flush=True)
+
+    service = ReproService(
+        cset,
+        session=session,
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        max_batch=args.batch_size,
+        max_delay=args.max_delay / 1000.0,
+        on_ready=_ready,
+    )
+    service.serve_forever()
+    print(
+        f"# drained after {session.transactions} transaction(s)",
+        file=out,
+    )
+    return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -454,16 +544,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="numeric backend for the incremental tables (default exact)",
     )
     _add_shard_flags(p)
+    _add_durability_flags(p)
     p.set_defaults(run=_cmd_stream)
 
     p = sub.add_parser(
         "serve",
-        help="answer implication/check queries via the microbatching server",
+        help="answer implication/check queries via the microbatching "
+        "server, or run the HTTP/JSON service with --port",
     )
     p.add_argument("file", help="constraint file ('-' for stdin)")
     p.add_argument(
         "queries",
-        help="query file: one '[implies|check] X -> Y, Z' per line",
+        nargs="?",
+        default=None,
+        help="query file: one '[implies|check] X -> Y, Z' per line "
+        "(omit when running with --port)",
     )
     p.add_argument(
         "--baskets",
@@ -488,9 +583,51 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="microbatch window in milliseconds (default 2)",
     )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="run as a long-lived HTTP/JSON service on this port "
+        "(0 = OS-assigned; prints '# listening on HOST:PORT')",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --port mode (default 127.0.0.1)",
+    )
+    p.add_argument(
+        "--queue-size",
+        type=int,
+        default=128,
+        help="backpressure bound: concurrent requests admitted before "
+        "the service answers 503 (default 128)",
+    )
     _add_shard_flags(p)
+    _add_durability_flags(p)
     p.set_defaults(run=_cmd_serve)
     return parser
+
+
+def _add_durability_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--data-dir",
+        default=None,
+        help="durable data directory: transactions are write-ahead "
+        "logged and the instance recovers from it on restart",
+    )
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        help="auto-snapshot (and compact the WAL) every N transactions",
+    )
+    p.add_argument(
+        "--fsync",
+        default="always",
+        choices=["always", "never"],
+        help="WAL sync policy: 'always' fsyncs each commit (default), "
+        "'never' leaves flushing to the OS",
+    )
 
 
 def _add_shard_flags(p: argparse.ArgumentParser) -> None:

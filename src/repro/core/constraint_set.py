@@ -100,6 +100,15 @@ class ConstraintSet:
         inner = ", ".join(repr(c) for c in self._constraints)
         return f"ConstraintSet[{inner}]"
 
+    def parse(self, text) -> DifferentialConstraint:
+        """Parse a constraint in arrow syntax against this set's ground
+        set (already-constructed constraints pass through).  The text
+        codec behind ``C.implies("A -> B")`` and the wire protocol's
+        request bodies."""
+        if isinstance(text, DifferentialConstraint):
+            return text
+        return DifferentialConstraint.parse(self._ground, text)
+
     def add(self, c: DifferentialConstraint) -> "ConstraintSet":
         """A new set with ``c`` included."""
         return ConstraintSet(self._ground, self._constraints + (c,))

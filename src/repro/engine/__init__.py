@@ -32,7 +32,16 @@ replaces three scalar hot paths with table-at-a-time computation:
 * :mod:`repro.engine.server` -- :class:`ConstraintServer`, the async
   microbatching request queue behind ``repro serve``: coalesces
   concurrent implication/check queries and memoizes answers in a
-  fingerprint-keyed LRU.
+  fingerprint-keyed LRU;
+* :mod:`repro.engine.persist` -- :class:`DurableStore`, durability for
+  live instances: a CRC-framed write-ahead log in the ``repro stream``
+  transaction format plus versioned snapshots with log compaction and
+  loudly-checked crash recovery;
+* :mod:`repro.engine.net` -- :class:`ReproService` /
+  :class:`ReproClient`, the asyncio HTTP/JSON wire protocol in front of
+  the constraint server and a durable stream session (``repro serve
+  --port``): microbatching preserved, bounded-queue backpressure,
+  graceful drain on SIGTERM.
 
 Layering: engine modules never import :mod:`repro.core`; the scalar
 entry points in core remain as thin wrappers over this package, so the
@@ -86,6 +95,22 @@ from repro.engine.server import (
     ServerStats,
     serve_queries,
 )
+from repro.engine.persist import (
+    DurableStore,
+    SnapshotStore,
+    WriteAheadLog,
+    decode_transaction,
+    density_fingerprint,
+    encode_transaction,
+    snapshot_state,
+    verify_recovered,
+)
+from repro.engine.net import (
+    ReproClient,
+    ReproService,
+    ServiceError,
+    ServiceHandle,
+)
 from repro.engine.decider import (
     ImplicationCache,
     constraint_fingerprint,
@@ -130,6 +155,18 @@ __all__ = [
     "ConstraintServer",
     "ServerStats",
     "serve_queries",
+    "DurableStore",
+    "SnapshotStore",
+    "WriteAheadLog",
+    "decode_transaction",
+    "density_fingerprint",
+    "encode_transaction",
+    "snapshot_state",
+    "verify_recovered",
+    "ReproClient",
+    "ReproService",
+    "ServiceError",
+    "ServiceHandle",
     "ImplicationCache",
     "constraint_fingerprint",
     "constraint_set_fingerprint",

@@ -20,6 +20,16 @@ Subsets use the same shorthand as constraint files (``ground.parse``);
 ``#`` comments and blank lines are ignored; a trailing transaction
 without ``commit`` is committed implicitly.
 
+Sessions can be **durable**: ``durable=<data dir>`` attaches a
+:class:`~repro.engine.persist.DurableStore`, every committed
+transaction is appended to a CRC-framed write-ahead log *before* it is
+applied (in exactly the transaction-log format above), and
+:meth:`StreamSession.snapshot` persists the live density with its
+consistency counters and compacts the log.  Reopening a session on the
+same directory recovers: load the newest snapshot, assert its counters
+against the seeded state, replay the log tail.  ``snapshot_every=N``
+snapshots automatically every ``N`` transactions.
+
 Like the rest of the engine, this module imports nothing from
 :mod:`repro.core`; ground sets and constraints are duck-typed.
 """
@@ -35,6 +45,17 @@ from repro.engine.incremental import (
     IncrementalEvalContext,
     Number,
 )
+from repro.engine.persist import (
+    DurableStore,
+    decode_density,
+    decode_transaction,
+    density_fingerprint,
+    encode_transaction,
+    parse_value,
+    snapshot_state,
+    verify_recovered,
+)
+from repro.errors import PersistenceError
 
 __all__ = ["StreamReport", "StreamSession", "parse_transaction_log"]
 
@@ -87,6 +108,18 @@ class StreamSession:
     semantics, horizontally partitioned density; ``workers``/``plan``/
     ``executor`` pass through); ``shards = 1`` stays on the plain
     single-process incremental context.
+
+    ``durable`` (a data-directory path or a
+    :class:`~repro.engine.persist.DurableStore`) makes the session
+    crash-proof.  On an empty directory the seed density is recorded
+    (its fingerprint pins the directory to this seed) and a tx-0
+    snapshot is written; on a non-empty directory the session
+    *recovers* -- the provided ``density`` must then either be ``None``
+    or match the recorded seed fingerprint, so reopening a grown
+    instance from the same source database is checked, not assumed.
+    ``fsync`` is the WAL policy (``"always"``/``"never"``);
+    ``snapshot_every=N`` auto-snapshots (and compacts the log) every
+    ``N`` committed transactions.
     """
 
     def __init__(
@@ -102,7 +135,30 @@ class StreamSession:
         plan=None,
         workers: Optional[int] = None,
         executor=None,
+        durable=None,
+        snapshot_every: Optional[int] = None,
+        fsync: str = "always",
+        retain: int = 2,
     ):
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self._snapshot_every = snapshot_every
+        self._wedged = False
+        self._store: Optional[DurableStore] = None
+        if durable is not None:
+            self._store = (
+                durable
+                if isinstance(durable, DurableStore)
+                else DurableStore(durable, fsync=fsync, retain=retain)
+            )
+        recovered = None
+        if self._store is not None and not self._store.is_empty():
+            recovered = self._store.recover()
+            density = self._check_reopen(
+                ground, backend, tol, density, recovered
+            )
         common = dict(
             density=density,
             constraints=constraints,
@@ -125,6 +181,145 @@ class StreamSession:
         else:
             self._context = IncrementalEvalContext(ground, **common)
         self._tx = 0
+        if self._store is not None:
+            if recovered is None:
+                self._init_store(density)
+            else:
+                self._replay_recovered(recovered)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _backend_name(backend) -> str:
+        return backend if isinstance(backend, str) else backend.name
+
+    def _check_reopen(self, ground, backend, tol, density, recovered):
+        """Validate a reopen against the directory's identity record and
+        return the density to seed the context with (the snapshot's)."""
+        meta = self._store.meta
+        if meta.get("kind") != "stream-session":
+            raise PersistenceError(
+                f"{self._store.path}: data dir belongs to "
+                f"{meta.get('kind')!r}, not a stream session"
+            )
+        if meta["n"] != ground.size:
+            raise PersistenceError(
+                f"{self._store.path}: recorded |S|={meta['n']} != "
+                f"ground set size {ground.size}"
+            )
+        if meta["backend"] != self._backend_name(backend):
+            raise PersistenceError(
+                f"{self._store.path}: recorded backend "
+                f"{meta['backend']!r} != requested "
+                f"{self._backend_name(backend)!r}"
+            )
+        if meta["tol"] != tol:
+            raise PersistenceError(
+                f"{self._store.path}: recorded tol {meta['tol']} != "
+                f"requested {tol}"
+            )
+        if density is not None:
+            seed_fp = density_fingerprint(
+                density.items() if hasattr(density, "items") else density
+            )
+            if seed_fp != meta["seed_fingerprint"]:
+                raise PersistenceError(
+                    f"{self._store.path}: the provided seed density "
+                    f"(fingerprint {seed_fp:#010x}) is not the one this "
+                    f"directory was created from "
+                    f"({meta['seed_fingerprint']:#010x}); refusing to "
+                    "recover onto a different instance"
+                )
+        if recovered.snapshot is None:
+            # crash window between write_meta and the tx-0 snapshot:
+            # the seed only exists on the caller's side.  A matching
+            # provided density (fingerprint-checked above) re-seeds;
+            # otherwise recovery would silently drop the seed -- refuse.
+            if density is not None:
+                return density
+            if meta["seed_fingerprint"] == density_fingerprint([]):
+                return None
+            raise PersistenceError(
+                f"{self._store.path}: the seed snapshot is missing "
+                "(interrupted initialization) and no density was "
+                "provided; reopen with the original seed density"
+            )
+        return decode_density(recovered.snapshot)
+
+    def _init_store(self, density) -> None:
+        """First open on an empty directory: record identity + seed."""
+        items = (
+            sorted(density.items() if hasattr(density, "items") else density)
+            if density
+            else []
+        )
+        self._store.write_meta(
+            {
+                "format": 1,
+                "kind": "stream-session",
+                "n": self._context.ground.size,
+                "backend": self._context.backend.name,
+                "tol": self._context.tol,
+                "seed_fingerprint": density_fingerprint(items),
+            }
+        )
+        self.snapshot()
+
+    def _replay_recovered(self, recovered) -> None:
+        """Finish recovery: assert counters, replay the WAL tail."""
+        if recovered.snapshot is not None:
+            self._tx = recovered.snapshot["tx"]
+            verify_recovered(self._context, recovered.snapshot)
+        for seq, payload in recovered.tail:
+            self._context.apply_batch(
+                decode_transaction(self.ground, payload)
+            )
+            self._tx = seq
+        if recovered.snapshot is None:
+            # heal an interrupted initialization: persist the tx-0-style
+            # snapshot now so the next open recovers without the seed
+            self.snapshot()
+
+    @property
+    def durable(self) -> bool:
+        return self._store is not None
+
+    @property
+    def store(self) -> Optional[DurableStore]:
+        """The attached durable store (None for in-memory sessions)."""
+        return self._store
+
+    def _check_not_wedged(self) -> None:
+        if self._wedged:
+            raise PersistenceError(
+                "session is wedged: a durably-logged transaction failed "
+                "to apply, so the live tables lag the log; reopen from "
+                "the data directory to recover (replay heals the state)"
+            )
+
+    def snapshot(self) -> None:
+        """Persist the live state and compact the write-ahead log."""
+        if self._store is None:
+            raise PersistenceError(
+                "this session is not durable (pass durable=<data dir>)"
+            )
+        self._check_not_wedged()
+        self._store.snapshot(snapshot_state(self._context, self._tx))
+
+    def close(self) -> None:
+        """Flush and close the durable store (and any owned executor)."""
+        if self._store is not None:
+            self._store.close()
+        closer = getattr(self._context, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     @property
@@ -159,9 +354,61 @@ class StreamSession:
     # transactions
     # ------------------------------------------------------------------
     def apply(self, deltas: Iterable[Tuple[int, Number]]) -> StreamReport:
-        """Commit a batch of raw ``(mask, delta)`` density deltas."""
-        newly, restored = self._context.apply_batch(deltas)
-        self._tx += 1
+        """Commit a batch of raw ``(mask, delta)`` density deltas.
+
+        Durable sessions log the batch to the write-ahead log *before*
+        touching the live tables; a crash after the append replays the
+        transaction on recovery (it was acknowledged as committed), a
+        crash during the append leaves a torn record that recovery
+        drops (it never committed).
+        """
+        deltas = list(deltas)
+        if self._store is not None:
+            # validate masks before the append: a record must never hit
+            # the log unless the apply below is guaranteed to accept it
+            # (otherwise recovery would replay a poisoned transaction)
+            n = self.ground.size
+            for mask, _ in deltas:
+                if mask < 0 or mask >> n:
+                    raise ValueError(
+                        f"mask {mask:#x} uses bits outside the ground "
+                        f"set of size {n}"
+                    )
+            self._check_not_wedged()
+            try:
+                self._store.append(
+                    self._tx + 1, encode_transaction(self.ground, deltas)
+                )
+            except OSError:
+                # a failed append (ENOSPC, EIO) may have left partial
+                # record bytes in the file; appending after them would
+                # poison the log, so refuse all further writes -- the
+                # reopen path repairs the torn bytes and heals
+                self._wedged = True
+                raise
+            # the append is the commit point: advance the counter now,
+            # so a failure in the apply below (sharded executor death,
+            # ...) cannot make a later transaction reuse this sequence
+            # number and brick the log -- reopening replays the record
+            # and heals the live state instead
+            self._tx += 1
+            try:
+                newly, restored = self._context.apply_batch(deltas)
+            except BaseException:
+                # the log has the record but the tables do not: wedge
+                # the session so no later write or snapshot can persist
+                # (and compact away) the divergent state
+                self._wedged = True
+                raise
+        else:
+            newly, restored = self._context.apply_batch(deltas)
+            self._tx += 1
+        if (
+            self._snapshot_every is not None
+            and self._store is not None
+            and self._tx % self._snapshot_every == 0
+        ):
+            self.snapshot()
         return StreamReport(
             self._tx, newly, restored, self._context.violated_constraints()
         )
@@ -200,11 +447,8 @@ class StreamSession:
         ]
 
 
-def _parse_amount(token: str) -> Number:
-    try:
-        return int(token)
-    except ValueError:
-        return float(token)
+# the log's value codec is the snapshot/WAL codec: one implementation
+_parse_amount = parse_value
 
 
 def parse_transaction_log(ground, lines: Sequence[str]) -> List[List[Op]]:

@@ -16,6 +16,10 @@ __all__ = [
     "NotAFrequencyFunctionError",
     "NotApplicableError",
     "NotImpliedError",
+    "PersistenceError",
+    "CorruptWalError",
+    "CorruptSnapshotError",
+    "WalGapError",
 ]
 
 
@@ -55,6 +59,35 @@ class NotApplicableError(ReproError):
     """Raised when a specialized decision procedure (e.g. the P-time
     functional-dependency decider for singleton right-hand sides) is asked
     to decide an instance outside its fragment."""
+
+
+class PersistenceError(ReproError):
+    """Base class for durability errors (write-ahead log / snapshots).
+
+    Recovery never silently diverges: any data-directory state that
+    cannot be reconstructed exactly raises a subclass of this error
+    instead of producing a plausible-but-wrong instance."""
+
+
+class CorruptWalError(PersistenceError):
+    """Raised when a write-ahead-log record fails its CRC or framing
+    check *before* the final record.  A torn final record (truncated
+    mid-write by a crash) is not corruption -- that transaction never
+    committed and recovery drops it -- but damage anywhere earlier
+    means committed transactions are unrecoverable."""
+
+
+class CorruptSnapshotError(PersistenceError):
+    """Raised when a snapshot file cannot be decoded or the state it
+    seeds fails its recorded consistency counters (density fingerprint,
+    support size, violation counts)."""
+
+
+class WalGapError(PersistenceError):
+    """Raised when the write-ahead log is missing transactions: record
+    sequence numbers must continue contiguously from the snapshot's
+    coverage point.  A snapshot *ahead* of the log (records already
+    compacted away) is fine; a gap means lost commits."""
 
 
 class NotImpliedError(ReproError):

@@ -154,7 +154,14 @@ class BasketDatabase:
         ]
         return BasketDatabase(self._ground, self._baskets + tuple(extra))
 
-    def stream_session(self, constraints: Iterable = (), backend="exact", **kwargs):
+    def stream_session(
+        self,
+        constraints: Iterable = (),
+        backend="exact",
+        durable=None,
+        snapshot_every=None,
+        **kwargs,
+    ):
         """A :class:`repro.engine.StreamSession` seeded with this database.
 
         The session's density starts at this database's multiset counts
@@ -164,6 +171,13 @@ class BasketDatabase:
         support recounts over a rebuilt database.  Mining entry points
         (:func:`repro.fis.discovery.zero_set` and friends) consume the
         session state directly.
+
+        ``durable=<data dir>`` makes the session crash-proof and
+        *reopenable*: the first open records this database's counts as
+        the seed (fingerprinted), later opens on the same directory
+        verify the seed still matches and then recover the streamed
+        state on top of it -- so a grown instance survives restarts
+        while staying pinned to its source database.
         """
         from repro.engine.stream import StreamSession
 
@@ -172,6 +186,8 @@ class BasketDatabase:
             constraints=constraints,
             density=self.multiset_counts(),
             backend=backend,
+            durable=durable,
+            snapshot_every=snapshot_every,
             **kwargs,
         )
 

@@ -143,6 +143,15 @@ class StreamingFDChecker:
     one batch of ``O(rows)`` deltas, each ``O(#FDs)`` to monitor, and
     every insert/delete reports exactly which FDs it newly violated or
     restored -- no quadratic re-scan of the relation per check.
+
+    ``durable=<data dir>`` makes the checker crash-proof: the durable
+    state is the *rows* (the agreement density is derived), so every
+    insert/delete is appended to a CRC-framed write-ahead log as a JSON
+    row op before it is applied, and snapshots persist the full row
+    multiset.  Reopening on the same directory recovers the relation
+    and re-derives the pairwise density through a fresh session (an
+    ``O(rows^2)`` rebuild, asserted against the snapshot's violation
+    counters).  Durable rows must be JSON-round-trippable tuples.
     """
 
     def __init__(
@@ -152,10 +161,19 @@ class StreamingFDChecker:
         backend: str = "exact",
         shards: int = 1,
         workers=None,
+        durable=None,
+        snapshot_every=None,
+        fsync: str = "always",
+        retain: int = 2,
         **session_kwargs,
     ):
+        from repro.engine.persist import DurableStore
         from repro.engine.stream import StreamSession
 
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
         self._ground = ground
         self._fds: List[FunctionalDependency] = list(fds)
         self._by_constraint = {
@@ -172,6 +190,28 @@ class StreamingFDChecker:
             **session_kwargs,
         )
         self._rows: Counter = Counter()
+        self._row_tx = 0
+        self._snapshot_every = snapshot_every
+        self._wedged = False
+        self._store = None
+        if durable is not None:
+            self._store = (
+                durable
+                if isinstance(durable, DurableStore)
+                else DurableStore(durable, fsync=fsync, retain=retain)
+            )
+            if self._store.is_empty():
+                self._store.write_meta(
+                    {
+                        "format": 1,
+                        "kind": "fd-checker",
+                        "n": ground.size,
+                        "backend": self._session.context.backend.name,
+                    }
+                )
+                self.snapshot()
+            else:
+                self._recover()
 
     # ------------------------------------------------------------------
     @property
@@ -212,17 +252,166 @@ class StreamingFDChecker:
         return [(mask, d) for mask, d in deltas.items() if d]
 
     # ------------------------------------------------------------------
-    def insert(self, row):
-        """Insert one tuple; returns the transaction's
-        :class:`repro.engine.StreamReport` (constraints are the FDs'
-        differential translations; map back with :meth:`fd_of`)."""
+    # durability: the rows are the durable state
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        return self._store is not None
+
+    @staticmethod
+    def _rows_fingerprint(rows: Counter) -> int:
+        import json
+        import zlib
+
+        canon = json.dumps(
+            sorted(
+                ([list(row), count] for row, count in rows.items()),
+                key=str,  # heterogeneous row values are not orderable
+            ),
+            separators=(",", ":"),
+            default=str,
+        )
+        return zlib.crc32(canon.encode())
+
+    def _check_not_wedged(self) -> None:
+        if self._wedged:
+            from repro.errors import PersistenceError
+
+            raise PersistenceError(
+                "checker is wedged: a durably-logged row op failed to "
+                "apply, so the live state lags the log; reopen from the "
+                "data directory to recover (replay heals the state)"
+            )
+
+    def _log_row(self, op: str, row: Tuple) -> None:
+        """Durably commit a row op.  The append is the commit point:
+        the sequence counter advances here, so a failed apply cannot
+        make a later op reuse this record's sequence number."""
+        import json
+
+        if self._store is not None:
+            self._check_not_wedged()
+            payload = json.dumps(
+                {"op": op, "row": list(row)}, separators=(",", ":")
+            ).encode()
+            try:
+                self._store.append(self._row_tx + 1, payload)
+            except OSError:
+                # partial record bytes may be in the file: refuse all
+                # further writes; the reopen path repairs the torn tail
+                self._wedged = True
+                raise
+            self._row_tx += 1
+
+    def _after_row_op(self) -> None:
+        if self._store is None:
+            self._row_tx += 1
+        elif (
+            self._snapshot_every is not None
+            and self._row_tx % self._snapshot_every == 0
+        ):
+            self.snapshot()
+
+    def snapshot(self) -> None:
+        """Persist the row multiset and compact the row log."""
+        from repro.errors import PersistenceError
+
+        if self._store is None:
+            raise PersistenceError(
+                "this checker is not durable (pass durable=<data dir>)"
+            )
+        self._check_not_wedged()
+        payload = {
+            "format": 1,
+            "tx": self._row_tx,
+            "rows": sorted(
+                ([list(row), count] for row, count in self._rows.items()),
+                key=str,
+            ),
+            "rows_fingerprint": self._rows_fingerprint(self._rows),
+            "tracked": len(self._fds),
+            "violated": len(self.violated_fds()),
+        }
+        self._store.snapshot(payload)
+
+    def _recover(self) -> None:
+        """Rebuild rows from snapshot + log tail, re-derive the density."""
+        import json
+
+        from repro.errors import CorruptSnapshotError, CorruptWalError
+
+        recovered = self._store.recover()
+        meta = self._store.meta
+        if meta.get("kind") != "fd-checker":
+            raise CorruptSnapshotError(
+                f"{self._store.path}: data dir belongs to "
+                f"{meta.get('kind')!r}, not a streaming FD checker"
+            )
+        if meta["n"] != self._ground.size:
+            raise CorruptSnapshotError(
+                f"{self._store.path}: recorded |schema|={meta['n']} != "
+                f"ground set size {self._ground.size}"
+            )
+        snapshot = recovered.snapshot
+        if snapshot is not None:
+            for row, count in snapshot["rows"]:
+                for _ in range(count):
+                    self._apply_insert(tuple(row))
+            self._row_tx = snapshot["tx"]
+            if self._rows_fingerprint(self._rows) != snapshot["rows_fingerprint"]:
+                raise CorruptSnapshotError(
+                    f"{self._store.path}: recovered rows do not match the "
+                    "snapshot's fingerprint"
+                )
+            if (
+                len(self._fds) == snapshot.get("tracked")
+                and len(self.violated_fds()) != snapshot["violated"]
+            ):
+                raise CorruptSnapshotError(
+                    f"{self._store.path}: recovered violation count "
+                    f"{len(self.violated_fds())} != snapshot count "
+                    f"{snapshot['violated']} for the same FD set"
+                )
+        for seq, payload in recovered.tail:
+            try:
+                record = json.loads(payload)
+                op, row = record["op"], tuple(record["row"])
+            except (ValueError, KeyError, TypeError) as err:
+                raise CorruptWalError(
+                    f"{self._store.path}: row record {seq} is not a "
+                    f"JSON row op ({err})"
+                ) from err
+            if op == "+":
+                self._apply_insert(row)
+            elif op == "-":
+                self._apply_delete(row)
+            else:
+                raise CorruptWalError(
+                    f"{self._store.path}: unknown row op {op!r} in "
+                    f"record {seq}"
+                )
+            self._row_tx = seq
+
+    def close(self) -> None:
+        """Flush and close the durable store and the session."""
+        if self._store is not None:
+            self._store.close()
+        self._session.close()
+
+    def __enter__(self) -> "StreamingFDChecker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _apply_insert(self, row: Tuple):
         row = self._check_row(row)
         report = self._session.apply(self._pair_deltas(row, +1))
         self._rows[row] += 1
         return report
 
-    def delete(self, row):
-        """Delete one copy of ``row`` (must be present)."""
+    def _apply_delete(self, row: Tuple):
         row = self._check_row(row)
         if self._rows[row] <= 0:
             raise ValueError(f"row {row!r} not present")
@@ -230,6 +419,38 @@ class StreamingFDChecker:
         if self._rows[row] == 0:
             del self._rows[row]
         return self._session.apply(self._pair_deltas(row, -1))
+
+    def insert(self, row):
+        """Insert one tuple; returns the transaction's
+        :class:`repro.engine.StreamReport` (constraints are the FDs'
+        differential translations; map back with :meth:`fd_of`).
+        Durable checkers log the row op before applying it."""
+        row = self._check_row(row)
+        self._log_row("+", row)
+        report = self._apply_logged(self._apply_insert, row)
+        self._after_row_op()
+        return report
+
+    def delete(self, row):
+        """Delete one copy of ``row`` (must be present)."""
+        row = self._check_row(row)
+        if self._rows[row] <= 0:
+            raise ValueError(f"row {row!r} not present")
+        self._log_row("-", row)
+        report = self._apply_logged(self._apply_delete, row)
+        self._after_row_op()
+        return report
+
+    def _apply_logged(self, apply, row):
+        if self._store is None:
+            return apply(row)
+        try:
+            return apply(row)
+        except BaseException:
+            # the log has the row op but the state does not: wedge the
+            # checker so no later op or snapshot persists the divergence
+            self._wedged = True
+            raise
 
     def fd_of(self, constraint: DifferentialConstraint) -> FunctionalDependency:
         """The FD behind a reported differential constraint."""

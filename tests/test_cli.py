@@ -352,3 +352,100 @@ class TestServe:
         code, text = _run(["serve", constraint_file, str(queries)])
         assert code == 2
         assert "error" in text
+
+
+class TestStreamDurable:
+    def test_replay_resumes_across_runs(self, constraint_file, tmp_path):
+        data = str(tmp_path / "data")
+        log1 = tmp_path / "log1.txt"
+        log1.write_text("+ AB 2\ncommit\n+ A\ncommit\n")
+        log2 = tmp_path / "log2.txt"
+        log2.write_text("- A\ncommit\n")
+        code, text = _run(
+            ["stream", constraint_file, str(log1), "--data-dir", data]
+        )
+        assert "# snapshotted tx 2" in text
+        code, text = _run(
+            ["stream", constraint_file, str(log2), "--data-dir", data]
+        )
+        assert "recovered 2 transaction(s)" in text
+        assert "tx 3:" in text and "restored: A -> {B}" in text
+
+    def test_snapshot_every_flag(self, constraint_file, tmp_path):
+        import os
+
+        data = str(tmp_path / "data")
+        log = tmp_path / "log.txt"
+        log.write_text("+ AB\ncommit\n" * 4)
+        _run(["stream", constraint_file, str(log), "--data-dir", data,
+              "--snapshot-every", "2", "--fsync", "never"])
+        snapshots = [f for f in os.listdir(data) if f.startswith("snapshot-")]
+        assert f"snapshot-{4:016d}.json" in snapshots
+
+
+class TestServeNetwork:
+    def test_batch_mode_without_queries_is_an_error(self, constraint_file):
+        code, text = _run(["serve", constraint_file])
+        assert code == 2
+        assert "--port" in text
+
+    def test_network_mode_serves_and_recovers(self, constraint_file, tmp_path):
+        import threading
+
+        from repro.engine.net import ReproClient
+
+        data = str(tmp_path / "data")
+        ports = []
+
+        def run_service(out_lines):
+            import io
+
+            class PortGrabber(io.StringIO):
+                def write(self, text):
+                    for line in text.splitlines():
+                        if line.startswith("# listening on"):
+                            ports.append(int(line.rsplit(":", 1)[1]))
+                    return super().write(text)
+
+            out = PortGrabber()
+            code = main(
+                ["serve", constraint_file, "--port", "0",
+                 "--data-dir", data, "--snapshot-every", "2"],
+                out=out,
+            )
+            out_lines.append((code, out.getvalue()))
+
+        for round_no in range(2):
+            results = []
+            thread = threading.Thread(
+                target=run_service, args=(results,), daemon=True
+            )
+            thread.start()
+            deadline = 30.0
+            import time
+
+            waited = 0.0
+            while len(ports) <= round_no and waited < deadline:
+                time.sleep(0.02)
+                waited += 0.02
+            assert len(ports) > round_no, "service never printed its port"
+            client = ReproClient("127.0.0.1", ports[round_no])
+            client.wait_ready(timeout=10)
+            if round_no == 0:
+                client.delta(["+ AB 3"])
+                client.delta(["+ A"])
+                assert client.check("A -> B") is False
+                assert client.implies("A -> C") is True
+            else:
+                health = client.health()
+                assert health["transactions"] == 2  # recovered
+                assert client.probe("AB") == 3
+            client.shutdown()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            code, text = results[0]
+            assert code == 0
+            assert "# listening on 127.0.0.1:" in text
+            assert "# drained after 2 transaction(s)" in text
+            if round_no == 1:
+                assert "recovered 2 transaction(s)" in text

@@ -81,6 +81,17 @@ class TestTutorial:
         assert namespace["server_answers"][0] is True
         assert namespace["server_stats"].requests == 3
 
+    def test_service_section_exercises_durability_and_the_wire(self):
+        namespace = _run_blocks(os.path.join(ROOT, "docs", "TUTORIAL.md"))
+        # the durable session recovered the acknowledged stream
+        assert namespace["recovered_support"] == 4
+        assert namespace["reopened"].transactions == 2
+        # the wire protocol served a delta that flipped a status
+        assert namespace["client_violations"] == ["A -> {B}"]
+        assert namespace["client_stats"]["requests"] >= 2
+        # and the tutorial removed its own data dir
+        assert not os.path.exists(namespace["data_dir"])
+
 
 class TestShardedServiceExample:
     def test_example_runs_end_to_end(self, capsys):
@@ -93,3 +104,17 @@ class TestShardedServiceExample:
         out = capsys.readouterr().out
         assert "shards" in out
         assert "IMPLIED" in out or "implied" in out
+
+
+class TestDurableServiceExample:
+    def test_example_runs_end_to_end(self, capsys):
+        import runpy
+
+        runpy.run_path(
+            os.path.join(ROOT, "examples", "durable_service.py"),
+            run_name="__main__",
+        )
+        out = capsys.readouterr().out
+        assert "recovered answers match the acknowledged state" in out
+        assert "streamed on after recovery" in out
+        assert "done (data dir removed)" in out
