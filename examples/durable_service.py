@@ -15,7 +15,12 @@ import shutil
 import tempfile
 
 from repro.core import ConstraintSet, GroundSet
-from repro.engine import DurableStore, ReproService, StreamSession
+from repro.engine import (
+    DurableStore,
+    EngineConfig,
+    ReproService,
+    StreamSession,
+)
 
 ITEMS = GroundSet("ABCDE")
 
@@ -31,11 +36,11 @@ TRANSACTIONS = [
 
 
 def boot(data_dir: str):
+    config = EngineConfig(durable=data_dir, snapshot_every=3)
     session = StreamSession(
-        ITEMS, constraints=WATCH.constraints,
-        durable=data_dir, snapshot_every=3,
+        ITEMS, constraints=WATCH.constraints, config=config,
     )
-    service = ReproService(WATCH, session=session)
+    service = ReproService(WATCH, session=session, config=config)
     return service.start_in_thread()
 
 

@@ -10,7 +10,12 @@ Run:  PYTHONPATH=src python examples/sharded_service.py
 """
 
 from repro.core import ConstraintSet, GroundSet
-from repro.engine import ShardedEvalContext, default_workers, serve_queries
+from repro.engine import (
+    EngineConfig,
+    ShardedEvalContext,
+    default_workers,
+    serve_queries,
+)
 from repro.fis import BasketDatabase
 from repro.fis.discovery import discover_cover
 
@@ -27,7 +32,10 @@ WATCH = ConstraintSet.of(ITEMS, "A -> B", "D -> C, E", "B -> C")
 def main() -> None:
     db = BasketDatabase.of(ITEMS, *BASKETS)
     workers = default_workers(shards=4)
-    ctx = db.sharded_context(constraints=WATCH.constraints, shards=4)
+    ctx = db.sharded_context(
+        constraints=WATCH.constraints,
+        config=EngineConfig(engine="sharded", shards=4),
+    )
     print(f"instance: {len(db)} baskets over |S|={ITEMS.size}, "
           f"{ctx.shards} shards (host default workers: {workers})")
     print(f"shard sizes (distinct baskets per shard): {ctx.shard_sizes()}")

@@ -7,6 +7,15 @@ reason about constraint files without writing Python:
     Decide ``C |= target`` (any decider), optionally printing the
     Theorem 3.5 counterexample on failure.
 
+``plan``
+    Show the evaluation plan the engine planner resolves for a
+    workload -- tier, backend, shards, workers -- and, with
+    ``--explain``, the cost-model reasoning line by line.  Every
+    subcommand shares the same ``--engine
+    auto|scalar|batched|incremental|sharded`` selection; the
+    pre-planner ``--backend``/``--shards``/``--workers`` flags remain
+    as deprecated pinning aliases.
+
 ``derive``
     Print a checked derivation of the target (Figure 1/2 or
     Figure-1-only with ``--primitive``).
@@ -67,10 +76,22 @@ from repro.core import (
     derive,
     find_uncovered,
 )
-from repro.engine import EvalContext
+from repro.engine.plan import (
+    EngineConfig,
+    Plan,
+    TIERS,
+    Workload,
+    build_context,
+    default_planner,
+)
 from repro.errors import NotImpliedError, ReproError
 
-__all__ = ["main", "parse_constraint_file", "parse_basket_file"]
+__all__ = [
+    "main",
+    "engine_config_from_args",
+    "parse_constraint_file",
+    "parse_basket_file",
+]
 
 
 def parse_constraint_file(lines: Sequence[str]) -> Tuple[GroundSet, ConstraintSet]:
@@ -112,37 +133,59 @@ def _read(path: str) -> List[str]:
         return fh.read().splitlines()
 
 
-def _context_for(args) -> EvalContext:
-    """The :class:`EvalContext` selected by ``--backend`` (inherit when absent)."""
-    return EvalContext(backend=getattr(args, "backend", None))
+def engine_config_from_args(args, err: Optional[TextIO] = None) -> EngineConfig:
+    """One :class:`EngineConfig` from the shared ``engine`` argparse
+    group -- the single place CLI engine flags become configuration.
 
-
-def _resolve_shards(args) -> int:
-    shards = getattr(args, "shards", 1)
-    if shards < 1:
-        raise ValueError(f"--shards must be >= 1, got {shards}")
-    return shards
-
-
-def _resolve_workers(args, shards: int) -> int:
-    """``--workers`` with the sane default: CPU count, capped by shards
-    (and 1 when ``K = 1`` -- the single-process fallback)."""
-    from repro.engine.parallel import default_workers
-
+    ``--engine`` requests a tier (``auto`` lets the planner choose);
+    the pre-planner ``--backend``/``--shards``/``--workers`` aliases
+    keep working as pinned knobs but print a deprecation notice on
+    ``err``.  Durability flags (``--data-dir``/``--snapshot-every``/
+    ``--fsync``) ride along when the subcommand has them.
+    """
+    backend = getattr(args, "backend", None)
+    shards = getattr(args, "shards", None)
     workers = getattr(args, "workers", None)
-    if workers is None:
-        return default_workers(shards)
-    if workers < 1:
+    if shards is not None and shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {shards}")
+    if workers is not None and workers < 1:
         raise ValueError(f"--workers must be >= 1, got {workers}")
-    return min(workers, max(1, shards))
+    deprecated = [
+        f"--{name}"
+        for name, value in (
+            ("backend", backend), ("shards", shards), ("workers", workers)
+        )
+        if value is not None
+    ]
+    if deprecated and err is not None:
+        print(
+            f"# deprecated: {', '.join(deprecated)} -- prefer --engine "
+            "and the planner (see 'repro plan --explain')",
+            file=err,
+        )
+    engine = getattr(args, "engine", "auto")
+    if engine == "auto" and shards is not None and shards > 1:
+        # the legacy alias pinned the tier implicitly: keep doing so
+        engine = "sharded"
+    if shards is not None and shards > 1 and workers is None:
+        # historic CLI default: CPU count capped by the shard count
+        from repro.engine.parallel import default_workers
 
-
-def _engine_stamp_line(backend: Optional[str], shards: int, workers: int) -> str:
-    """The one-line configuration stamp printed by stream/serve output."""
-    return (
-        f"# engine: backend={backend or 'exact'}, "
-        f"shards={shards}, workers={workers}"
+        workers = default_workers(shards)
+    return EngineConfig(
+        engine=engine,
+        backend=backend,
+        shards=shards,
+        workers=workers,
+        durable=getattr(args, "data_dir", None),
+        snapshot_every=getattr(args, "snapshot_every", None),
+        fsync=getattr(args, "fsync", "always"),
     )
+
+
+def _engine_stamp_line(plan: Plan) -> str:
+    """The one-line configuration stamp printed by stream/serve output."""
+    return f"# engine: {plan.stamp()}"
 
 
 def _cmd_implies(args, out: TextIO) -> int:
@@ -150,7 +193,11 @@ def _cmd_implies(args, out: TextIO) -> int:
 
     ground, cset = parse_constraint_file(_read(args.file))
     target = DifferentialConstraint.parse(ground, args.target)
-    context = _context_for(args)
+    config = engine_config_from_args(args, err=sys.stderr)
+    plan = default_planner().plan(
+        Workload(n=ground.size, constraints=len(cset), queries=1), config
+    )
+    context = build_context(plan, ground)
     answer = decide(cset, target, method=args.method, context=context)
     print(f"{'IMPLIED' if answer else 'NOT IMPLIED'}: {target!r}", file=out)
     if not answer and args.counterexample:
@@ -170,6 +217,37 @@ def _cmd_implies(args, out: TextIO) -> int:
             print(f"witness checked on the {kind} backend: "
                   f"{'ok' if ok else 'FAILED'}", file=out)
     return 0 if answer else 1
+
+
+def _cmd_plan(args, out: TextIO) -> int:
+    """``repro plan [--explain]``: show the planner's resolution."""
+    ground, cset = parse_constraint_file(_read(args.file))
+    config = engine_config_from_args(args, err=sys.stderr)
+    density_size = 0
+    streaming = False
+    if args.baskets:
+        basket_ground, db = parse_basket_file(_read(args.baskets))
+        ground.check_same(basket_ground)
+        density_size = len(db.multiset_counts())
+        streaming = True
+    workload = Workload(
+        n=ground.size,
+        constraints=len(cset),
+        density_size=density_size,
+        streaming=streaming,
+        queries=0 if streaming else 1,
+    )
+    planner = default_planner()
+    plan = planner.plan(workload, config)
+    if args.explain:
+        print(plan.explain(), file=out)
+        method, why = planner.decide_method(
+            ground.size, fd_fragment=cset.all_singleton_families()
+        )
+        print(f"  - implies method={method}: {why}", file=out)
+    else:
+        print(f"plan: {plan.stamp()}", file=out)
+    return 0
 
 
 def _cmd_derive(args, out: TextIO) -> int:
@@ -262,18 +340,9 @@ def _cmd_stream(args, out: TextIO) -> int:
         basket_ground, db = parse_basket_file(_read(args.baskets))
         ground.check_same(basket_ground)
         density = db.multiset_counts()
-    shards = _resolve_shards(args)
-    workers = _resolve_workers(args, shards)
-    print(_engine_stamp_line(args.backend, shards, workers), file=out)
-    session = cset.stream_session(
-        density=density,
-        backend=args.backend or "exact",
-        shards=shards,
-        workers=workers if shards > 1 else None,
-        durable=args.data_dir,
-        snapshot_every=args.snapshot_every,
-        fsync=args.fsync,
-    )
+    config = engine_config_from_args(args, err=sys.stderr)
+    session = cset.stream_session(density=density, config=config)
+    print(_engine_stamp_line(session.plan), file=out)
     if args.data_dir and session.transactions:
         print(
             f"recovered {session.transactions} transaction(s) from "
@@ -302,7 +371,7 @@ def _cmd_stream(args, out: TextIO) -> int:
         for c in rep.restored:
             print(f"  restored: {c!r}", file=out)
     final = session.violated_constraints()
-    if shards > 1:
+    if session.plan.shards > 1:
         # cross-check the incremental statuses through the per-shard
         # fan-out (runs on the worker pool when workers > 1)
         fanout = session.context.evaluate()
@@ -310,7 +379,8 @@ def _cmd_stream(args, out: TextIO) -> int:
             session.context.is_violated(c) for c in session.context.constraints
         )
         print(
-            f"# fan-out check over {shards} shards / {workers} worker(s): "
+            f"# fan-out check over {session.plan.shards} shards / "
+            f"{session.plan.effective_workers} worker(s): "
             f"{'consistent' if consistent else 'INCONSISTENT'}",
             file=out,
         )
@@ -361,29 +431,41 @@ def _cmd_serve(args, out: TextIO) -> int:
             "as a network service)"
         )
     queries = parse_query_file(ground, _read(args.queries))
-    shards = _resolve_shards(args)
-    workers = _resolve_workers(args, shards)
+    config = engine_config_from_args(args, err=sys.stderr)
+    if config.shards is None and config.engine == "auto":
+        # the batch server historically ran a single inline shard
+        # unless the user asked for more; an explicit --engine sharded
+        # lets the planner resolve the shard/worker counts
+        config = config.replace(shards=1)
     instance = None
     if args.baskets:
         basket_ground, db = parse_basket_file(_read(args.baskets))
         ground.check_same(basket_ground)
-        instance = db.sharded_context(
-            shards=shards,
-            workers=workers if shards > 1 else None,
-            backend=args.backend or "exact",
-        )
+        instance = db.sharded_context(config=config)
     if instance is None and any(kind == "check" for kind, _ in queries):
         raise ValueError(
             "'check' queries need a live instance: no live instance was "
             "loaded (pass --baskets)"
         )
-    print(_engine_stamp_line(args.backend, shards, workers), file=out)
+    from repro.engine.plan import plan_of_context
+
+    if instance is not None:
+        print(_engine_stamp_line(plan_of_context(instance, config)), file=out)
+    else:
+        plan = default_planner().plan(
+            Workload(
+                n=ground.size, constraints=len(cset), queries=len(queries)
+            ),
+            config,
+        )
+        print(_engine_stamp_line(plan), file=out)
     answers, stats = serve_queries(
         cset,
         queries,
         instance=instance,
         max_batch=args.batch_size,
         max_delay=args.max_delay / 1000.0,
+        config=config,
     )
     failures = 0
     for (kind, constraint), answer in zip(queries, answers):
@@ -408,25 +490,19 @@ def _serve_network(args, ground, cset, out: TextIO) -> int:
     from repro.engine.net import ReproService
     from repro.engine.stream import StreamSession
 
-    shards = _resolve_shards(args)
-    workers = _resolve_workers(args, shards)
+    config = engine_config_from_args(args, err=sys.stderr)
     density = None
     if args.baskets:
         basket_ground, db = parse_basket_file(_read(args.baskets))
         ground.check_same(basket_ground)
         density = db.multiset_counts()
-    print(_engine_stamp_line(args.backend, shards, workers), file=out)
     session = StreamSession(
         ground,
         constraints=cset.constraints,
         density=density,
-        backend=args.backend or "exact",
-        shards=shards,
-        workers=workers if shards > 1 else None,
-        durable=args.data_dir,
-        snapshot_every=args.snapshot_every,
-        fsync=args.fsync,
+        config=config,
     )
+    print(_engine_stamp_line(session.plan), file=out)
     if args.data_dir and session.transactions:
         print(
             f"recovered {session.transactions} transaction(s) from "
@@ -442,6 +518,7 @@ def _serve_network(args, ground, cset, out: TextIO) -> int:
     service = ReproService(
         cset,
         session=session,
+        config=config,
         host=args.host,
         port=args.port,
         queue_size=args.queue_size,
@@ -473,18 +550,32 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["auto", "engine", "lattice", "bitset", "sat", "fd"],
     )
     p.add_argument(
-        "--backend",
-        default=None,
-        choices=["exact", "float"],
-        help="numeric backend for the evaluation engine "
-        "(default: inherit from each operand)",
-    )
-    p.add_argument(
         "--counterexample",
         action="store_true",
         help="print the Theorem 3.5 witness when not implied",
     )
+    _add_engine_flags(p)
     p.set_defaults(run=_cmd_implies)
+
+    p = sub.add_parser(
+        "plan",
+        help="show the evaluation plan the engine planner resolves for "
+        "a workload (--explain prints the cost-model reasoning)",
+    )
+    p.add_argument("file", help="constraint file ('-' for stdin)")
+    p.add_argument(
+        "--baskets",
+        default=None,
+        help="basket file: plan for a live (streaming) instance of "
+        "this size instead of one-shot queries",
+    )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the planner's reasoning, one line per decision",
+    )
+    _add_engine_flags(p)
+    p.set_defaults(run=_cmd_plan)
 
     p = sub.add_parser("derive", help="print a checked derivation")
     p.add_argument("file")
@@ -537,13 +628,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed the instance from a basket file before replaying",
     )
-    p.add_argument(
-        "--backend",
-        default=None,
-        choices=["exact", "float"],
-        help="numeric backend for the incremental tables (default exact)",
-    )
-    _add_shard_flags(p)
+    _add_engine_flags(p)
     _add_durability_flags(p)
     p.set_defaults(run=_cmd_stream)
 
@@ -564,12 +649,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "--baskets",
         default=None,
         help="basket file loaded as the live instance for 'check' queries",
-    )
-    p.add_argument(
-        "--backend",
-        default=None,
-        choices=["exact", "float"],
-        help="numeric backend for the live instance (default exact)",
     )
     p.add_argument(
         "--batch-size",
@@ -602,7 +681,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="backpressure bound: concurrent requests admitted before "
         "the service answers 503 (default 128)",
     )
-    _add_shard_flags(p)
+    _add_engine_flags(p)
     _add_durability_flags(p)
     p.set_defaults(run=_cmd_serve)
     return parser
@@ -630,19 +709,39 @@ def _add_durability_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_shard_flags(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
+def _add_engine_flags(p: argparse.ArgumentParser) -> None:
+    """The shared engine-selection group (one definition, every
+    subcommand): ``--engine`` plus the deprecated pinning aliases."""
+    grp = p.add_argument_group(
+        "engine",
+        "evaluation-engine selection: request a tier with --engine and "
+        "let the planner resolve backend/shards/workers ('repro plan "
+        "--explain' shows the cost model)",
+    )
+    grp.add_argument(
+        "--engine",
+        default="auto",
+        choices=("auto",) + TIERS,
+        help="evaluation tier (default: auto -- the planner chooses "
+        "from the workload shape and host CPUs)",
+    )
+    grp.add_argument(
+        "--backend",
+        default=None,
+        choices=["exact", "float"],
+        help="[deprecated alias] pin the numeric backend",
+    )
+    grp.add_argument(
         "--shards",
         type=int,
-        default=1,
-        help="horizontal shard count for the instance (default 1)",
+        default=None,
+        help="[deprecated alias] pin the horizontal shard count",
     )
-    p.add_argument(
+    grp.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker processes (default: CPU count capped by --shards; "
-        "1 means single-process inline)",
+        help="[deprecated alias] pin the worker-process count",
     )
 
 

@@ -31,7 +31,7 @@ AnySetFunction = Union[SetFunction, SparseDensityFunction]
 class ConstraintSet:
     """An immutable collection of differential constraints over one ground set."""
 
-    __slots__ = ("_ground", "_constraints", "_bitset_cache")
+    __slots__ = ("_ground", "_constraints", "_bitset_cache", "_all_singleton")
 
     def __init__(
         self, ground: GroundSet, constraints: Iterable[DifferentialConstraint] = ()
@@ -46,6 +46,17 @@ class ConstraintSet:
         self._ground = ground
         self._constraints: Tuple[DifferentialConstraint, ...] = tuple(seen)
         self._bitset_cache: Optional[np.ndarray] = None
+        self._all_singleton: Optional[bool] = None
+
+    def all_singleton_families(self) -> bool:
+        """Whether every member constraint has a one-member family (the
+        P-time FD fragment) -- cached: the set is immutable, and the
+        auto implication decider asks per query."""
+        if self._all_singleton is None:
+            self._all_singleton = all(
+                c.has_singleton_family() for c in self._constraints
+            )
+        return self._all_singleton
 
     # ------------------------------------------------------------------
     # constructors
@@ -131,11 +142,15 @@ class ConstraintSet:
         satisfaction of *some* member constraint (streaming hook)."""
         return self.lattice_contains(u_mask)
 
-    def stream_session(self, density=None, backend="exact", **kwargs):
+    def stream_session(self, density=None, config=None, **kwargs):
         """A :class:`repro.engine.StreamSession` monitoring this set.
 
         ``density`` optionally seeds the instance (``{mask: value}``);
-        remaining keyword arguments pass through to the session.
+        ``config`` is the :class:`repro.engine.EngineConfig` the planner
+        resolves the session from (the pre-planner ``backend=`` /
+        ``shards=`` / ``workers=`` / ``durable=`` kwargs still pass
+        through -- the session shims them with a deprecation warning).
+        Remaining keyword arguments pass through to the session.
         """
         from repro.engine.stream import StreamSession
 
@@ -143,7 +158,8 @@ class ConstraintSet:
             self._ground,
             constraints=self._constraints,
             density=density,
-            backend=backend,
+            config=config,
+            _depth=1,
             **kwargs,
         )
 

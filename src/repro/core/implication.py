@@ -33,8 +33,12 @@ implemented here:
     Decided by the classical attribute-closure algorithm.
 
 ``method="auto"``
-    ``fd`` when the instance is in the fragment, otherwise ``engine``
-    for dense-capable ground sets, otherwise ``sat``.
+    Delegates to the engine :class:`~repro.engine.plan.Planner` (one
+    brain for the whole stack): ``fd`` when the instance is in the
+    fragment, otherwise ``engine`` for dense-capable ground sets,
+    otherwise ``sat``.  The planner's dense cutoff is the same constant
+    the context factory uses, so the auto heuristic and the engine's
+    own applicability check can never disagree.
 
 :func:`find_uncovered` exposes the certificate: a set
 ``U in L(X,Y) - L(C)``, from which Theorem 3.5's counterexample function
@@ -66,6 +70,19 @@ __all__ = [
 
 Constraints = Union[ConstraintSet, Iterable[DifferentialConstraint]]
 
+_PLANNER = None
+
+
+def _auto_planner():
+    """The engine planner behind ``method="auto"`` (import deferred like
+    the rest of the engine, then cached -- auto dispatch is per query)."""
+    global _PLANNER
+    if _PLANNER is None:
+        from repro.engine.plan import default_planner
+
+        _PLANNER = default_planner()
+    return _PLANNER
+
 
 def _as_constraint_set(
     constraints: Constraints, like: DifferentialConstraint
@@ -90,12 +107,9 @@ def decide(
     cset = _as_constraint_set(constraints, target)
     cset.ground.check_same(target.ground)
     if method == "auto":
-        if in_fd_fragment(cset, target):
-            method = "fd"
-        elif cset.ground.is_dense_capable():
-            method = "engine"
-        else:
-            method = "sat"
+        method, _why = _auto_planner().decide_method(
+            cset.ground.size, fd_fragment=in_fd_fragment(cset, target)
+        )
     if method == "engine":
         return implies_engine(cset, target, context=context)
     if method == "lattice":
@@ -136,9 +150,16 @@ def find_uncovered_engine(
 
     cset = _as_constraint_set(constraints, target)
     if not cset.ground.is_dense_capable():
+        # the dense-limit error and the auto heuristic share one brain:
+        # the refusal names the plan the planner would have picked
+        suggested, why = _auto_planner().decide_method(
+            cset.ground.size,
+            fd_fragment=in_fd_fragment(cset, target),
+        )
         raise NotApplicableError(
             f"the engine decider builds dense 2^|S| tables; |S| = "
-            f"{cset.ground.size} exceeds the dense limit -- use method='sat'"
+            f"{cset.ground.size} exceeds the dense limit -- the planner "
+            f"suggests method={suggested!r} ({why})"
         )
     cache = context.cache if context is not None else None
     return decider.find_uncovered_batched(cset, target, cache)
@@ -241,11 +262,14 @@ def find_uncovered_sat(
 def in_fd_fragment(
     constraints: Constraints, target: DifferentialConstraint
 ) -> bool:
-    """Whether premises and conclusion all have exactly one family member."""
+    """Whether premises and conclusion all have exactly one family member.
+
+    The set side is cached on the (immutable) :class:`ConstraintSet`,
+    so the per-query auto dispatch costs two attribute checks once a
+    set has been asked before.
+    """
     cset = _as_constraint_set(constraints, target)
-    return target.has_singleton_family() and all(
-        c.has_singleton_family() for c in cset
-    )
+    return target.has_singleton_family() and cset.all_singleton_families()
 
 
 def fd_closure(ground_size_mask: int, start: int, fds: List[Tuple[int, int]]) -> int:

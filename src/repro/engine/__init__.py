@@ -15,6 +15,12 @@ replaces three scalar hot paths with table-at-a-time computation:
   fingerprints;
 * :mod:`repro.engine.context` -- :class:`EvalContext`, the single
   handle (backend + cache) threaded through the CLI and library;
+* :mod:`repro.engine.plan` -- the unified planner: :class:`EngineConfig`
+  (one configuration object: tier request, backend, shards, workers,
+  durability, cache budgets), :class:`Planner` (the explicit cost model
+  mapping workload shape and host CPUs to a :class:`Plan`), and
+  :func:`build_context`, the single factory every consumer constructs
+  evaluation contexts through;
 * :mod:`repro.engine.incremental` -- :class:`IncrementalEvalContext`,
   delta-maintained density/support/differential tables (``O(2^n)`` per
   row delta instead of ``O(n * 2^n)`` rebuilds) with per-delta
@@ -67,6 +73,15 @@ from repro.engine.batch import (
     superset_indicator,
 )
 from repro.engine.context import EvalContext, default_context
+from repro.engine.plan import (
+    EngineConfig,
+    Plan,
+    Planner,
+    Workload,
+    build_context,
+    default_planner,
+    plan_of_context,
+)
 from repro.engine.incremental import (
     IncrementalEvalContext,
     add_on_subsets,
@@ -137,6 +152,13 @@ __all__ = [
     "superset_indicator",
     "EvalContext",
     "default_context",
+    "EngineConfig",
+    "Plan",
+    "Planner",
+    "Workload",
+    "build_context",
+    "default_planner",
+    "plan_of_context",
     "IncrementalEvalContext",
     "add_on_subsets",
     "iter_subset_masks",

@@ -12,7 +12,9 @@ probes read the live tables.  Endpoints:
 path            method  body -> response
 ==============  ======  ====================================================
 ``/healthz``    GET     -> ``{"status", "transactions", "violated", ...}``
-``/stats``      GET     -> microbatching counters + session state
+``/stats``      GET     -> microbatching counters + session state + the
+                        resolved engine plan (tier/backend/shards/
+                        workers, online promotions)
 ``/implies``    POST    ``{"constraint": "A -> B, CD"}`` -> ``{"implied"}``
 ``/check``      POST    ``{"constraint": ...}`` -> ``{"satisfied"}``
 ``/delta``      POST    ``{"ops": ["+ AB 3", "- C"]}`` (one transaction,
@@ -142,6 +144,12 @@ class ReproService:
     on_ready:
         ``(host, port) -> None`` called once the socket is bound (the
         CLI prints the listening line from it).
+    config:
+        The :class:`repro.engine.EngineConfig` the service boots from:
+        with no ``session`` it is planned into the live session (via
+        the single :func:`repro.engine.plan.build_context` factory) and
+        it supplies the microbatcher's cache budgets; the resolved plan
+        is stamped into ``/stats`` under ``"engine"``.
     """
 
     def __init__(
@@ -154,18 +162,24 @@ class ReproService:
         queue_size: int = 128,
         max_batch: int = 64,
         max_delay: float = 0.002,
-        cache_size: int = 4096,
+        cache_size: Optional[int] = None,
         on_ready: Optional[Callable[[str, int], None]] = None,
+        config=None,
     ):
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
         self._cset = constraints
         if session is None:
+            # the service boots from exactly one EngineConfig: the
+            # planner resolves it and the session constructs its
+            # context through the single build_context factory
             session = StreamSession(
                 constraints.ground,
                 constraints=getattr(constraints, "constraints", ()),
+                config=config,
             )
         self._session = session
+        self._config = config if config is not None else session.config
         if parse_constraint is None:
             parse_constraint = getattr(constraints, "parse", None)
         if parse_constraint is None:
@@ -183,6 +197,7 @@ class ReproService:
             max_batch=max_batch,
             max_delay=max_delay,
             cache_size=cache_size,
+            config=config,
         )
         self._on_ready = on_ready
         self._inflight = 0
@@ -335,6 +350,10 @@ class ReproService:
             stats = dict(self._batcher.stats.as_dict())
             stats["refused"] = self._refused
             stats["inflight"] = self._inflight
+            # the resolved engine plan the service is running (changes
+            # tier if the live auto session promotes online)
+            stats["engine"] = self._session.plan.as_dict()
+            stats["engine"]["promotions"] = self._session.promotions
             return 200, stats
         if method != "POST":
             return 405, {"error": f"{method} not allowed on {path}"}
@@ -405,6 +424,10 @@ class ReproService:
             )
         async with self._write_lock:
             report = self._session.apply_ops(transactions[0])
+            if self._batcher.instance is not self._session.context:
+                # the live auto session promoted its tier: point the
+                # microbatcher at the new context
+                self._batcher.set_instance(self._session.context)
         fmt = repr
         return 200, {
             "tx": report.tx,

@@ -1,0 +1,567 @@
+"""The engine planner: one :class:`EngineConfig`, one cost model, one factory.
+
+Four PRs grew five evaluation tiers -- scalar deciders, the batched
+:class:`~repro.engine.context.EvalContext`, the delta-maintained
+:class:`~repro.engine.incremental.IncrementalEvalContext`, the
+horizontally partitioned :class:`~repro.engine.shard.ShardedEvalContext`
+(optionally fanned out over a
+:class:`~repro.engine.parallel.ParallelExecutor`), and the durable
+:class:`~repro.engine.net.ReproService` -- and tier choice used to be
+hand-plumbed per call site through ``backend=``/``shards=``/``workers=``
+kwargs chains.  This module inverts that layering: policy lives in one
+place and flows *down*.
+
+* :class:`EngineConfig` is the single user-facing configuration object:
+  a tier request (``engine="auto"`` or a pinned tier) plus optional
+  pinned knobs (backend, shards, workers, durability, cache budgets).
+  Everything left ``None`` is resolved by the planner.
+* :class:`Workload` describes the job: ground-set size ``n``, constraint
+  count, expected delta rate, live-density size, query count, and the
+  host CPU budget.
+* :class:`Planner` maps ``(Workload, EngineConfig)`` to a :class:`Plan`
+  through an explicit, documented cost model (thresholds are instance
+  attributes, overridable for tests and unusual hosts).
+* :func:`build_context` is the **only** place evaluation contexts are
+  constructed from a plan; every consumer (CLI, stream sessions, basket
+  databases, FD checkers, the network service) routes through it.
+
+The cost model
+--------------
+
+Tier (cheapest adequate tier wins; ``engine=`` pins it):
+
+========== ==========================================================
+scalar      ``n > DENSE_LIMIT`` (dense ``2^n`` tables impossible) or a
+            degenerate ground set (``n <= SCALAR_MAX_N``: at most two
+            subsets, table machinery cannot pay for itself).
+batched     One-shot questions (no deltas expected): build tables once
+            through the batched engine, memoize by fingerprint.
+incremental Streaming instances (``streaming`` or a nonzero
+            ``delta_rate``): ``O(2^n)`` per delta beats ``O(n * 2^n)``
+            rebuilds as soon as anything changes twice.
+sharded     Streaming *and* worth fanning out: at least
+            ``SHARD_MIN_CPUS`` CPUs, per-shard table work big enough to
+            amortize the fan-out (``n >= SHARD_MIN_N``), and a live
+            instance that is actually loaded (``density_size >=
+            SHARD_MIN_DENSITY`` or ``delta_rate >=
+            SHARD_MIN_DELTA_RATE``).
+========== ==========================================================
+
+Backend (``backend=`` pins it): ``exact`` for small tables (``n <
+FLOAT_MIN_N`` -- python-number columns are cheap and lossless) and
+whenever ``tol == 0`` demands exact zero tests; ``float`` once ``n >=
+FLOAT_MIN_N``, where numpy's vectorized butterflies win and the default
+tolerance absorbs representation error.
+
+Shards/workers (``shards=``/``workers=`` pin them): ``shards =
+min(cpus, MAX_SHARDS)`` and ``workers = min(cpus, shards)`` -- workers
+beyond the shard count idle, shards beyond the CPU count just queue.
+
+Implication methods reuse the same brain: :meth:`Planner.decide_method`
+resolves ``method="auto"`` for :func:`repro.core.implication.decide`
+(``fd`` fragment -> attribute closure, dense-capable -> batched engine,
+otherwise -> SAT refutation), so the decider and the context factory can
+never disagree about the dense limit again.
+
+Like the rest of the engine this module imports nothing from
+:mod:`repro.core`; ground sets are duck-typed (``.size``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.engine.context import EvalContext
+from repro.engine.incremental import DEFAULT_TOLERANCE
+from repro.errors import EngineDeprecationWarning, PlanError
+
+__all__ = [
+    "EngineConfig",
+    "Workload",
+    "Plan",
+    "Planner",
+    "TIERS",
+    "build_context",
+    "default_planner",
+    "plan_of_context",
+    "warn_deprecated_kwargs",
+]
+
+#: The tiers, cheapest first.  ``auto`` is a request, not a tier.
+TIERS = ("scalar", "batched", "incremental", "sharded")
+
+#: Tiers that own live delta-maintained state (accept density/constraints).
+LIVE_TIERS = ("incremental", "sharded")
+
+#: Mirrors ``repro.core.ground.MAX_DENSE_SIZE`` (engine layering keeps
+#: this module from importing core; the test suite asserts agreement).
+DENSE_LIMIT = 22
+
+_UNSET = object()
+
+
+def warn_deprecated_kwargs(names, where: str, stacklevel: int = 3) -> None:
+    """Emit the engine-kwargs deprecation warning, attributed to the
+    caller of the deprecated API (so the test suite's gate fires on
+    internal repro callers but merely warns external ones)."""
+    joined = ", ".join(f"{name}=" for name in names)
+    warnings.warn(
+        f"{where}: the {joined} kwarg(s) are deprecated; pass "
+        f"config=EngineConfig(...) and let the planner resolve the tier "
+        f"(see repro.engine.plan)",
+        EngineDeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One configuration object for the whole engine stack.
+
+    ``engine`` requests a tier (``"auto"`` lets the planner choose);
+    every other evaluation knob is either pinned here or left ``None``
+    for the planner to resolve.  Durability (``durable`` /
+    ``snapshot_every`` / ``fsync``) and cache budgets ride along so a
+    service boots from exactly one object.
+    """
+
+    engine: str = "auto"
+    backend: Optional[str] = None
+    shards: Optional[int] = None
+    workers: Optional[int] = None
+    durable: Optional[str] = None
+    snapshot_every: Optional[int] = None
+    fsync: str = "always"
+    tol: float = DEFAULT_TOLERANCE
+    #: LRU budget for memoized server answers (ConstraintServer).
+    cache_size: int = 4096
+    #: Use a private ImplicationCache instead of the process-wide one.
+    private_cache: bool = False
+
+    def __post_init__(self):
+        if self.engine not in ("auto",) + TIERS:
+            raise PlanError(
+                f"unknown engine tier {self.engine!r}; expected 'auto' "
+                f"or one of {', '.join(TIERS)}"
+            )
+        if self.backend is not None and self.backend not in ("exact", "float"):
+            raise PlanError(
+                f"unknown backend {self.backend!r}; expected 'exact' or 'float'"
+            )
+        if self.shards is not None and self.shards < 1:
+            raise PlanError(f"shards must be >= 1, got {self.shards}")
+        if self.workers is not None and self.workers < 1:
+            raise PlanError(f"workers must be >= 1, got {self.workers}")
+        if self.fsync not in ("always", "never"):
+            raise PlanError(
+                f"unknown fsync policy {self.fsync!r}; "
+                "expected 'always' or 'never'"
+            )
+        if self.snapshot_every is not None and self.snapshot_every < 1:
+            raise PlanError(
+                f"snapshot_every must be >= 1, got {self.snapshot_every}"
+            )
+        if self.cache_size < 1:
+            raise PlanError(f"cache_size must be >= 1, got {self.cache_size}")
+
+    def replace(self, **changes) -> "EngineConfig":
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_legacy(
+        cls,
+        backend=None,
+        shards=None,
+        workers=None,
+        durable=None,
+        **extra,
+    ) -> "EngineConfig":
+        """The deprecation shim's translation: pre-planner kwargs become
+        a fully pinned config reproducing the historic behavior exactly
+        (``shards > 1`` forced the sharded tier, anything else the plain
+        incremental one; an unset ``backend`` meant exact)."""
+        shards = 1 if shards is None else shards
+        return cls(
+            engine="sharded" if shards > 1 else "incremental",
+            backend=backend or "exact",
+            shards=shards,
+            workers=workers,
+            durable=durable,
+            **extra,
+        )
+
+
+@dataclass(frozen=True)
+class Workload:
+    """What the planner knows about the job.
+
+    ``delta_rate`` is the expected density deltas per committed
+    transaction (live sessions measure it online and re-plan);
+    ``density_size`` the number of distinct nonzero density masks;
+    ``queries`` the expected implication/check query volume.  ``cpus``
+    defaults to the host CPU count.
+    """
+
+    n: int
+    constraints: int = 0
+    delta_rate: float = 0.0
+    density_size: int = 0
+    queries: int = 0
+    streaming: bool = False
+    cpus: Optional[int] = None
+
+    def __post_init__(self):
+        if self.n < 0:
+            raise PlanError(f"ground-set size must be >= 0, got {self.n}")
+        if self.cpus is not None and self.cpus < 1:
+            raise PlanError(f"cpus must be >= 1, got {self.cpus}")
+
+    @property
+    def host_cpus(self) -> int:
+        return self.cpus if self.cpus is not None else (os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A fully resolved evaluation plan (every knob concrete except
+    ``workers``, whose ``None`` means "inline until fanned out" --
+    :func:`build_context` then defers executor creation).
+    """
+
+    tier: str
+    backend: str
+    shards: int
+    workers: Optional[int]
+    config: EngineConfig
+    reasons: Tuple[str, ...] = ()
+
+    @property
+    def effective_workers(self) -> int:
+        """The worker count the plan will actually run with (``None``
+        workers fall back to single-process inline execution)."""
+        return self.workers if self.workers is not None else 1
+
+    def stamp(self) -> str:
+        """The one-line configuration stamp (CLI output, /stats)."""
+        return (
+            f"tier={self.tier}, backend={self.backend}, "
+            f"shards={self.shards}, workers={self.effective_workers}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (the service's ``/stats`` block)."""
+        return {
+            "tier": self.tier,
+            "backend": self.backend,
+            "shards": self.shards,
+            "workers": self.effective_workers,
+            "durable": bool(self.config.durable),
+        }
+
+    def explain(self) -> str:
+        """Multi-line cost-model reasoning (``repro plan --explain``)."""
+        lines = [f"plan: {self.stamp()}"]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+
+class Planner:
+    """The cost model.  Thresholds are instance attributes so tests (and
+    unusual deployments) can move every boundary; the defaults encode
+    the measured crossovers from the E5/E16/E17 benchmarks.
+    """
+
+    #: Ground sets this small have at most two subsets: stay scalar.
+    SCALAR_MAX_N = 1
+    #: From here up, numpy's vectorized butterflies beat python numbers.
+    FLOAT_MIN_N = 14
+    #: Fanning out needs parallel hardware...
+    SHARD_MIN_CPUS = 4
+    #: ...and per-shard tables big enough to amortize the fan-out...
+    SHARD_MIN_N = 12
+    #: ...and an instance that is actually loaded:
+    SHARD_MIN_DENSITY = 50_000
+    SHARD_MIN_DELTA_RATE = 2_000.0
+    #: Shards beyond this just queue behind the worker pools.
+    MAX_SHARDS = 8
+    #: Live auto sessions re-consult the planner this often (in
+    #: committed transactions).
+    REPLAN_EVERY = 64
+
+    def __init__(self, **overrides):
+        for name, value in overrides.items():
+            if not hasattr(type(self), name) or name.startswith("_"):
+                raise PlanError(f"unknown planner threshold {name!r}")
+            setattr(self, name, value)
+
+    # ------------------------------------------------------------------
+    def plan(self, workload: Workload, config: Optional[EngineConfig] = None) -> Plan:
+        """Resolve a :class:`Plan` for ``workload`` under ``config``."""
+        if config is None:
+            config = EngineConfig()
+        n = workload.n
+        cpus = workload.host_cpus
+        reasons = []
+
+        backend = config.backend
+        if backend is not None:
+            reasons.append(f"backend={backend}: pinned by config")
+        elif config.tol == 0:
+            backend = "exact"
+            reasons.append("backend=exact: tol=0 demands exact zero tests")
+        elif n >= self.FLOAT_MIN_N:
+            backend = "float"
+            reasons.append(
+                f"backend=float: |S|={n} >= {self.FLOAT_MIN_N}, vectorized "
+                f"2^n tables win and tol={config.tol:g} absorbs fp error"
+            )
+        else:
+            backend = "exact"
+            reasons.append(
+                f"backend=exact: |S|={n} < {self.FLOAT_MIN_N}, python "
+                "numbers are cheap and lossless at this size"
+            )
+
+        tier = self._resolve_tier(workload, config, cpus, reasons)
+        self._check_tier(tier, workload, config)
+
+        if tier == "sharded":
+            shards = config.shards
+            if shards is None:
+                shards = max(2, min(cpus, self.MAX_SHARDS))
+                reasons.append(
+                    f"shards={shards}: min(cpus={cpus}, "
+                    f"max_shards={self.MAX_SHARDS})"
+                )
+            else:
+                reasons.append(f"shards={shards}: pinned by config")
+            workers = config.workers
+            if workers is None and config.shards is None:
+                # a planner-chosen fan-out resolves its worker pool too
+                workers = min(cpus, shards)
+                reasons.append(f"workers={workers}: min(cpus={cpus}, shards)")
+            elif workers is None:
+                reasons.append(
+                    "workers=inline: unpinned on a pinned shard count -- "
+                    "single-process until an executor is attached"
+                )
+            else:
+                workers = min(workers, max(1, shards))
+                reasons.append(
+                    f"workers={workers}: pinned by config, capped by shards"
+                )
+        else:
+            shards, workers = 1, 1
+            reasons.append(f"shards=1, workers=1: {tier} tier is unsharded")
+
+        return Plan(
+            tier=tier,
+            backend=backend,
+            shards=shards,
+            workers=workers,
+            config=config,
+            reasons=tuple(reasons),
+        )
+
+    def _resolve_tier(self, workload, config, cpus, reasons) -> str:
+        n = workload.n
+        if config.engine != "auto":
+            reasons.append(f"tier={config.engine}: pinned by config")
+            return config.engine
+        live = workload.streaming or workload.delta_rate > 0
+        if n > DENSE_LIMIT:
+            reasons.append(
+                f"tier=scalar: |S|={n} > dense limit {DENSE_LIMIT}, "
+                "2^n tables are impossible (scalar/SAT paths only)"
+            )
+            return "scalar"
+        if not live:
+            if n <= self.SCALAR_MAX_N:
+                reasons.append(
+                    f"tier=scalar: |S|={n} <= {self.SCALAR_MAX_N}, the "
+                    "table machinery cannot pay for itself"
+                )
+                return "scalar"
+            reasons.append(
+                "tier=batched: one-shot workload (no deltas expected); "
+                "build tables once, memoize by fingerprint"
+            )
+            return "batched"
+        loaded = (
+            workload.density_size >= self.SHARD_MIN_DENSITY
+            or workload.delta_rate >= self.SHARD_MIN_DELTA_RATE
+        )
+        if cpus >= self.SHARD_MIN_CPUS and n >= self.SHARD_MIN_N and loaded:
+            reasons.append(
+                f"tier=sharded: streaming with cpus={cpus} >= "
+                f"{self.SHARD_MIN_CPUS}, |S|={n} >= {self.SHARD_MIN_N} and "
+                f"load (density={workload.density_size}, "
+                f"delta_rate={workload.delta_rate:g}) past the fan-out bar"
+            )
+            return "sharded"
+        reasons.append(
+            "tier=incremental: streaming workload below the fan-out bar "
+            f"(cpus={cpus}, |S|={n}, density={workload.density_size}, "
+            f"delta_rate={workload.delta_rate:g})"
+        )
+        return "incremental"
+
+    @staticmethod
+    def _check_tier(tier, workload, config) -> None:
+        if tier in ("batched",) + tuple(LIVE_TIERS) and workload.n > DENSE_LIMIT:
+            raise PlanError(
+                f"tier {tier!r} builds dense 2^|S| tables; |S| = "
+                f"{workload.n} exceeds the dense limit {DENSE_LIMIT} "
+                "(use engine='scalar' / method='sat')"
+            )
+        if tier != "sharded" and config.shards is not None and config.shards > 1:
+            raise PlanError(
+                f"shards={config.shards} pinned on the unsharded tier "
+                f"{tier!r}; pin engine='sharded' (or leave it auto)"
+            )
+
+    # ------------------------------------------------------------------
+    def decide_method(
+        self, n: int, fd_fragment: bool = False
+    ) -> Tuple[str, str]:
+        """Resolve ``method="auto"`` for the implication decider.
+
+        Returns ``(method, reason)``.  One brain for the whole stack:
+        the dense cutoff here is the same :data:`DENSE_LIMIT` the tier
+        model uses, so the decider and the context factory cannot
+        disagree.
+        """
+        if fd_fragment:
+            return (
+                "fd",
+                "every family is a singleton: the P-time FD fragment "
+                "(attribute closure)",
+            )
+        if n <= DENSE_LIMIT:
+            return (
+                "engine",
+                f"|S|={n} <= dense limit {DENSE_LIMIT}: batched "
+                "fingerprint-memoized table containment",
+            )
+        return (
+            "sat",
+            f"|S|={n} > dense limit {DENSE_LIMIT}: DPLL refutation "
+            "(Prop 5.4) scales past dense tables",
+        )
+
+    def replan_due(self, transactions: int) -> bool:
+        """Whether a live auto session should re-consult the planner."""
+        return transactions > 0 and transactions % self.REPLAN_EVERY == 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Planner(float>={self.FLOAT_MIN_N}, "
+            f"shard>=({self.SHARD_MIN_CPUS}cpu,{self.SHARD_MIN_N}n,"
+            f"{self.SHARD_MIN_DENSITY}nnz|{self.SHARD_MIN_DELTA_RATE:g}/tx))"
+        )
+
+
+_DEFAULT_PLANNER = Planner()
+
+
+def default_planner() -> Planner:
+    """The process-wide planner with the stock cost model."""
+    return _DEFAULT_PLANNER
+
+
+def build_context(
+    plan: Plan,
+    ground,
+    density=None,
+    constraints=(),
+    cache=None,
+    executor=None,
+    shard_plan=None,
+):
+    """The one context factory: a resolved :class:`Plan` becomes the
+    matching evaluation context.  Nothing else in the library (CLI,
+    sessions, databases, checkers, services) constructs contexts.
+
+    ``scalar``/``batched`` plans yield a stateless
+    :class:`~repro.engine.context.EvalContext` (scalar plans force no
+    backend so operands keep their own storage); live plans yield an
+    :class:`~repro.engine.incremental.IncrementalEvalContext` or
+    :class:`~repro.engine.shard.ShardedEvalContext` seeded with
+    ``density``/``constraints``.  ``shard_plan`` passes a custom
+    :class:`~repro.engine.shard.ShardPlan` (mask routing) through;
+    ``executor`` a shared :class:`~repro.engine.parallel.ParallelExecutor`.
+    """
+    config = plan.config
+    if plan.tier not in TIERS:
+        raise PlanError(f"unknown plan tier {plan.tier!r}")
+    if plan.tier not in LIVE_TIERS:
+        if density or tuple(constraints):
+            raise PlanError(
+                f"plan tier {plan.tier!r} builds a stateless context; "
+                "live density/constraints need the incremental or "
+                "sharded tier"
+            )
+        return EvalContext(
+            backend=None if plan.tier == "scalar" else plan.backend,
+            cache=cache,
+            private_cache=config.private_cache,
+        )
+    common = dict(
+        density=density,
+        constraints=constraints,
+        backend=plan.backend,
+        tol=config.tol,
+        cache=cache,
+        private_cache=config.private_cache,
+    )
+    if plan.tier == "sharded":
+        from repro.engine.shard import ShardedEvalContext
+
+        return ShardedEvalContext(
+            ground,
+            shards=plan.shards,
+            plan=shard_plan,
+            workers=plan.workers,
+            executor=executor,
+            **common,
+        )
+    from repro.engine.incremental import IncrementalEvalContext
+
+    return IncrementalEvalContext(ground, **common)
+
+
+def plan_of_context(context, config: Optional[EngineConfig] = None) -> Plan:
+    """Describe an existing context as a :class:`Plan` (for stamping and
+    ``/stats`` on sessions built through the legacy kwargs shims)."""
+    from repro.engine.incremental import IncrementalEvalContext
+    from repro.engine.shard import ShardedEvalContext
+
+    backend = context.backend.name if context.backend is not None else "inherit"
+    if isinstance(context, ShardedEvalContext):
+        executor = context.executor
+        workers = executor.workers if executor is not None else None
+        tier, shards = "sharded", context.shards
+    elif isinstance(context, IncrementalEvalContext):
+        tier, shards, workers = "incremental", 1, 1
+    else:
+        tier = "batched" if context.backend is not None else "scalar"
+        shards, workers = 1, 1
+    if config is None:
+        config = EngineConfig(
+            engine=tier,
+            backend=None if backend == "inherit" else backend,
+            shards=shards,
+            workers=workers,
+        )
+    return Plan(
+        tier=tier,
+        backend=backend,
+        shards=shards,
+        workers=workers,
+        config=config,
+        reasons=(f"described from a live {type(context).__name__}",),
+    )

@@ -93,10 +93,15 @@ class ConstraintServer:
         Microbatch bounds: a batch closes at ``max_batch`` requests or
         after ``max_delay`` seconds past the first arrival.
     cache_size:
-        LRU bound on memoized answers.
+        LRU bound on memoized answers (default: the config's budget
+        when one is supplied, else 4096).
     cache:
         The :class:`ImplicationCache` handed to the decider (the
         process-wide shared one by default).
+    config:
+        An optional :class:`repro.engine.EngineConfig`: supplies the
+        answer-LRU budget (``cache_size``) and the private-cache flag,
+        so one config object configures the whole serving stack.
     """
 
     def __init__(
@@ -105,9 +110,17 @@ class ConstraintServer:
         instance=None,
         max_batch: int = 64,
         max_delay: float = 0.002,
-        cache_size: int = 4096,
+        cache_size: Optional[int] = None,
         cache: Optional[ImplicationCache] = None,
+        config=None,
     ):
+        if cache_size is None:
+            # one EngineConfig supplies the cache budgets for the whole
+            # serving stack (see repro.engine.plan); an explicit
+            # cache_size always wins over the config's budget
+            cache_size = config.cache_size if config is not None else 4096
+        if config is not None and cache is None and config.private_cache:
+            cache = ImplicationCache()
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self._cset = constraints
@@ -120,6 +133,21 @@ class ConstraintServer:
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self.stats = ServerStats()
+
+    @property
+    def instance(self):
+        """The live instance ``check`` queries run against."""
+        return self._instance
+
+    def set_instance(self, instance) -> None:
+        """Rebind the live instance (the tier-promotion handoff).
+
+        Memoized ``check`` answers stay coherent because they are keyed
+        by the instance's ``zero_version`` and a promotion hands that
+        counter over exactly; computation is synchronous on the event
+        loop, so a rebind can never race a batch mid-flight.
+        """
+        self._instance = instance
 
     # ------------------------------------------------------------------
     # lifecycle

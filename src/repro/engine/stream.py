@@ -45,6 +45,15 @@ from repro.engine.incremental import (
     IncrementalEvalContext,
     Number,
 )
+from repro.engine.plan import (
+    EngineConfig,
+    Plan,
+    Planner,
+    Workload,
+    build_context,
+    default_planner,
+    warn_deprecated_kwargs,
+)
 from repro.engine.persist import (
     DurableStore,
     decode_density,
@@ -55,9 +64,81 @@ from repro.engine.persist import (
     snapshot_state,
     verify_recovered,
 )
-from repro.errors import PersistenceError
+from repro.errors import PersistenceError, PlanError
 
 __all__ = ["StreamReport", "StreamSession", "parse_transaction_log"]
+
+_UNSET = object()
+
+
+def _resolve_session_config(
+    config: Optional[EngineConfig],
+    backend,
+    shards,
+    workers,
+    durable,
+    shard_plan,
+    where: str,
+    tol: float,
+    snapshot_every,
+    fsync: str,
+    private_cache: bool,
+    stacklevel: int = 4,
+) -> EngineConfig:
+    """Merge the deprecated kwargs shim and ``config=`` into one
+    :class:`EngineConfig` (shared by :class:`StreamSession` and the
+    high-level wrappers that front it)."""
+    legacy = {
+        name: value
+        for name, value in (
+            ("backend", backend),
+            ("shards", shards),
+            ("workers", workers),
+            ("durable", durable),
+        )
+        if value is not _UNSET
+    }
+    if legacy:
+        if config is not None:
+            raise ValueError(
+                f"{where}: pass config=EngineConfig(...) or the "
+                f"deprecated {', '.join(sorted(legacy))} kwargs, not both"
+            )
+        warn_deprecated_kwargs(
+            sorted(legacy), where, stacklevel=stacklevel
+        )
+    if config is None:
+        if "backend" in legacy and not isinstance(
+            legacy["backend"], (str, type(None))
+        ):
+            legacy["backend"] = legacy["backend"].name
+        config = EngineConfig.from_legacy(
+            **legacy,
+            tol=tol,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+            private_cache=private_cache,
+        )
+        if shard_plan is not None and config.engine != "sharded":
+            # a custom ShardPlan forces the sharded tier; its own shard
+            # count rules (mirrors the pre-planner behavior)
+            config = config.replace(
+                engine="sharded", shards=shard_plan.shards
+            )
+    else:
+        # explicit non-default kwargs refine the config they ride with
+        overrides = {}
+        if tol != DEFAULT_TOLERANCE and tol != config.tol:
+            overrides["tol"] = tol
+        if snapshot_every is not None:
+            overrides["snapshot_every"] = snapshot_every
+        if fsync != "always":
+            overrides["fsync"] = fsync
+        if private_cache:
+            overrides["private_cache"] = private_cache
+        if overrides:
+            config = config.replace(**overrides)
+    return config
 
 #: One parsed log operation: ``("delta", mask, amount)`` adds ``amount``
 #: rows with itemset ``mask``; ``("set", mask, value)`` pins the
@@ -101,13 +182,29 @@ class StreamReport:
 class StreamSession:
     """Transactional deltas against one incremental evaluation context.
 
-    Parameters mirror :class:`IncrementalEvalContext`; ``density`` seeds
-    the instance (e.g. a basket database's multiset counts) without
-    counting as a transaction.  ``shards > 1`` routes the session
-    through a :class:`~repro.engine.shard.ShardedEvalContext` (same
-    semantics, horizontally partitioned density; ``workers``/``plan``/
-    ``executor`` pass through); ``shards = 1`` stays on the plain
-    single-process incremental context.
+    ``density`` seeds the instance (e.g. a basket database's multiset
+    counts) without counting as a transaction.  Engine policy comes in
+    as one :class:`~repro.engine.plan.EngineConfig` (``config=``): the
+    planner resolves it to a :class:`~repro.engine.plan.Plan` and the
+    live context is built through the single
+    :func:`~repro.engine.plan.build_context` factory.  With
+    ``config.engine == "auto"`` the session *re-plans online*: every
+    ``planner.REPLAN_EVERY`` committed transactions it re-consults the
+    cost model with the measured delta rate and live density size, and
+    **promotes** the tier (incremental -> sharded) with an exact state
+    handoff -- same density entries, same constraint statuses, version
+    counters carried over -- when the workload grows past the fan-out
+    bar.  The backend is pinned at construction and never changes
+    across a promotion.
+
+    The pre-planner kwargs (``backend=``, ``shards=``, ``workers=``,
+    ``durable=``) still work but are **deprecated**: they warn with
+    :class:`~repro.errors.EngineDeprecationWarning` and are translated
+    to a fully pinned config via
+    :meth:`~repro.engine.plan.EngineConfig.from_legacy` (``shards > 1``
+    forces the sharded tier, exactly the historic behavior).
+    ``shard_plan``/``executor`` pass a custom mask routing /  a shared
+    executor through to the sharded tier.
 
     ``durable`` (a data-directory path or a
     :class:`~repro.engine.persist.DurableStore`) makes the session
@@ -127,59 +224,102 @@ class StreamSession:
         ground,
         constraints: Iterable = (),
         density=None,
-        backend: Union[str, Backend] = "exact",
+        backend: Union[str, Backend] = _UNSET,
         tol: float = DEFAULT_TOLERANCE,
         cache: Optional[ImplicationCache] = None,
         private_cache: bool = False,
-        shards: int = 1,
+        shards: int = _UNSET,
         plan=None,
-        workers: Optional[int] = None,
+        workers: Optional[int] = _UNSET,
         executor=None,
-        durable=None,
+        durable=_UNSET,
         snapshot_every: Optional[int] = None,
         fsync: str = "always",
         retain: int = 2,
+        config: Optional[EngineConfig] = None,
+        planner: Optional[Planner] = None,
+        _depth: int = 0,
     ):
-        if snapshot_every is not None and snapshot_every < 1:
+        config = _resolve_session_config(
+            config,
+            backend=backend,
+            shards=shards,
+            workers=workers,
+            durable=durable,
+            shard_plan=plan,
+            where="StreamSession",
+            tol=tol,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+            private_cache=private_cache,
+            # +_depth hops the warning over wrapper frames (basket
+            # databases, constraint sets, FD checkers) so the
+            # deprecation is attributed to the end caller
+            stacklevel=4 + _depth,
+        )
+        self._config = config
+        self._planner = planner if planner is not None else default_planner()
+        constraints = tuple(constraints)
+        if config.snapshot_every is not None and config.snapshot_every < 1:
             raise ValueError(
-                f"snapshot_every must be >= 1, got {snapshot_every}"
+                f"snapshot_every must be >= 1, got {config.snapshot_every}"
             )
-        self._snapshot_every = snapshot_every
+        self._snapshot_every = config.snapshot_every
         self._wedged = False
+        self._deltas = 0
+        self._promotions = 0
         self._store: Optional[DurableStore] = None
-        if durable is not None:
+        if config.durable is not None:
             self._store = (
-                durable
-                if isinstance(durable, DurableStore)
-                else DurableStore(durable, fsync=fsync, retain=retain)
+                config.durable
+                if isinstance(config.durable, DurableStore)
+                else DurableStore(
+                    config.durable, fsync=config.fsync, retain=retain
+                )
+            )
+        if (
+            self._store is not None
+            and not self._store.is_empty()
+            and config.backend is None
+        ):
+            # an auto reopen inherits the directory's recorded backend
+            # instead of racing the cost model against history
+            meta = self._store.meta or {}
+            if meta.get("backend") in ("exact", "float"):
+                config = config.replace(backend=meta["backend"])
+                # session.config must describe the session as it runs:
+                # consumers forward it to build sibling components
+                self._config = config
+        self._plan = self._planner.plan(
+            Workload(
+                n=ground.size,
+                constraints=len(constraints),
+                density_size=len(density) if density else 0,
+                streaming=True,
+            ),
+            config,
+        )
+        if self._plan.tier not in ("incremental", "sharded"):
+            raise PlanError(
+                f"stream sessions need a live tier, but the planner "
+                f"resolved {self._plan.tier!r} for |S| = {ground.size}; "
+                "live 2^n tables are required"
             )
         recovered = None
         if self._store is not None and not self._store.is_empty():
             recovered = self._store.recover()
             density = self._check_reopen(
-                ground, backend, tol, density, recovered
+                ground, self._plan.backend, config.tol, density, recovered
             )
-        common = dict(
+        self._context = build_context(
+            self._plan,
+            ground,
             density=density,
             constraints=constraints,
-            backend=backend,
-            tol=tol,
             cache=cache,
-            private_cache=private_cache,
+            executor=executor,
+            shard_plan=plan,
         )
-        if shards > 1 or plan is not None:
-            from repro.engine.shard import ShardedEvalContext
-
-            self._context = ShardedEvalContext(
-                ground,
-                shards=shards,
-                plan=plan,
-                workers=workers,
-                executor=executor,
-                **common,
-            )
-        else:
-            self._context = IncrementalEvalContext(ground, **common)
         self._tx = 0
         if self._store is not None:
             if recovered is None:
@@ -328,6 +468,86 @@ class StreamSession:
         return self._context
 
     @property
+    def config(self) -> EngineConfig:
+        """The engine configuration this session was planned from."""
+        return self._config
+
+    @property
+    def plan(self) -> Plan:
+        """The currently active plan (changes across promotions)."""
+        return self._plan
+
+    @property
+    def planner(self) -> Planner:
+        return self._planner
+
+    @property
+    def promotions(self) -> int:
+        """How many online tier promotions this session has performed."""
+        return self._promotions
+
+    # ------------------------------------------------------------------
+    # online re-planning (config.engine == "auto")
+    # ------------------------------------------------------------------
+    def _measured_workload(self) -> Workload:
+        return Workload(
+            n=self._context.ground.size,
+            constraints=len(self._context.constraints),
+            delta_rate=self._deltas / max(1, self._tx),
+            density_size=self._context.support_size(),
+            streaming=True,
+        )
+
+    def _maybe_replan(self) -> None:
+        if self._config.engine != "auto" or self._plan.tier == "sharded":
+            return
+        if not self._planner.replan_due(self._tx):
+            return
+        self.replan()
+
+    def replan(self) -> Plan:
+        """Re-consult the planner with the measured workload; promote the
+        tier if the plan escalated.  Called automatically every
+        ``planner.REPLAN_EVERY`` transactions on auto sessions; callable
+        directly to force an immediate decision.
+
+        The backend is pinned to the running one -- a promotion changes
+        the tier, never the numeric representation, so the state
+        handoff is exact.
+        """
+        pinned = self._config.replace(backend=self._plan.backend)
+        new_plan = self._planner.plan(self._measured_workload(), pinned)
+        if new_plan.tier == "sharded" and self._plan.tier != "sharded":
+            self._promote(new_plan)
+        return self._plan
+
+    def _promote(self, new_plan: Plan) -> None:
+        """Exact state handoff onto a higher tier: same density entries,
+        same constraint statuses, version counters carried over (so
+        fingerprint-keyed downstream caches stay monotonic)."""
+        old = self._context
+        new = build_context(
+            new_plan,
+            old.ground,
+            density=dict(old.density_items()),
+            constraints=old.constraints,
+            cache=old.cache,
+        )
+        if (
+            new.violated_constraints() != old.violated_constraints()
+            or new.support_size() != old.support_size()
+        ):
+            raise PlanError(
+                "tier promotion produced divergent state (this is a "
+                "bug): violated/support mismatch after handoff"
+            )
+        new._theory_version = old.theory_version
+        new._zero_version = old.zero_version
+        self._context = new
+        self._plan = new_plan
+        self._promotions += 1
+
+    @property
     def ground(self):
         return self._context.ground
 
@@ -403,15 +623,18 @@ class StreamSession:
         else:
             newly, restored = self._context.apply_batch(deltas)
             self._tx += 1
+        self._deltas += len(deltas)
         if (
             self._snapshot_every is not None
             and self._store is not None
             and self._tx % self._snapshot_every == 0
         ):
             self.snapshot()
-        return StreamReport(
+        report = StreamReport(
             self._tx, newly, restored, self._context.violated_constraints()
         )
+        self._maybe_replan()
+        return report
 
     def apply_ops(self, ops: Iterable[Op]) -> StreamReport:
         """Commit a batch of parsed log operations."""

@@ -20,6 +20,8 @@ __all__ = [
     "CorruptWalError",
     "CorruptSnapshotError",
     "WalGapError",
+    "PlanError",
+    "EngineDeprecationWarning",
 ]
 
 
@@ -88,6 +90,27 @@ class WalGapError(PersistenceError):
     sequence numbers must continue contiguously from the snapshot's
     coverage point.  A snapshot *ahead* of the log (records already
     compacted away) is fine; a gap means lost commits."""
+
+
+class PlanError(ReproError, ValueError):
+    """Raised by the engine planner when a requested configuration is
+    unsatisfiable (e.g. a forced live tier over a ground set too large
+    for dense tables, or contradictory pinned knobs)."""
+
+
+class EngineDeprecationWarning(DeprecationWarning):
+    """Category for the engine-configuration deprecation shims.
+
+    The pre-planner kwargs (``backend=``, ``shards=``, ``workers=``,
+    ``durable=`` on the high-level entry points, and the CLI's
+    ``--backend/--shards/--workers`` flags) keep working but warn with
+    this category; the canonical path is one
+    :class:`repro.engine.EngineConfig` handed to the planner.  The test
+    suite escalates this warning to an error *when it originates from
+    inside repro itself* (see ``[tool.pytest.ini_options]``), so internal
+    code can never regress onto the deprecated plumbing while external
+    callers only see a warning.
+    """
 
 
 class NotImpliedError(ReproError):

@@ -46,32 +46,59 @@ __all__ = [
 AnySetFunction = Union[SetFunction, SparseDensityFunction]
 
 
-def _as_function(source):
+def _as_function(source, config=None):
     """Unwrap mining sources: stream sessions expose their live context
     (which itself implements the set-function protocol).  Incremental
     and sharded contexts (:class:`repro.engine.ShardedEvalContext`)
     pass through directly -- discovery over a partitioned instance
     reads the merged live state, so ``db.sharded_context()`` mines
-    without materializing an unsharded copy."""
+    without materializing an unsharded copy.
+
+    ``config`` (an :class:`repro.engine.EngineConfig`) routes a basket
+    database through the engine planner instead of the plain sparse
+    support function: the planner picks the tier for the database's
+    size and the mining runs over the resulting live context (with
+    cached, delta-invalidated zero sets) -- the single
+    :func:`repro.engine.plan.build_context` factory is the only place
+    the context is constructed.
+    """
     from repro.engine.stream import StreamSession
 
     if isinstance(source, StreamSession):
         return source.context
     if isinstance(source, BasketDatabase):
+        if config is not None:
+            from repro.engine.plan import (
+                Workload,
+                build_context,
+                default_planner,
+            )
+
+            counts = source.multiset_counts()
+            plan = default_planner().plan(
+                Workload(
+                    n=source.ground.size,
+                    density_size=len(counts),
+                    streaming=True,
+                ),
+                config,
+            )
+            return build_context(plan, source.ground, density=counts)
         return source.support_function()
     return source
 
 
-def zero_set(f, tol: float = DEFAULT_TOLERANCE) -> Set[int]:
+def zero_set(f, tol: float = DEFAULT_TOLERANCE, config=None) -> Set[int]:
     """``Z(f)``: the subsets where the density vanishes.
 
     Accepts set functions, basket databases, stream sessions, and
     incremental contexts.  Incremental state answers from its cached
     zero set -- invalidated only when a density entry actually crosses
     zero, so discovery over a growing instance reuses work across
-    deltas instead of rescanning per query.
+    deltas instead of rescanning per query.  ``config`` routes a basket
+    database through the engine planner (see :func:`_as_function`).
     """
-    f = _as_function(f)
+    f = _as_function(f, config)
     cached = getattr(f, "zero_set", None)
     if cached is not None:
         return set(cached(tol))
@@ -82,14 +109,14 @@ def zero_set(f, tol: float = DEFAULT_TOLERANCE) -> Set[int]:
     return {mask for mask in ground.all_masks() if mask not in nonzero}
 
 
-def theory_of(f, tol: float = DEFAULT_TOLERANCE) -> ConstraintSet:
+def theory_of(f, tol: float = DEFAULT_TOLERANCE, config=None) -> ConstraintSet:
     """The atomic axiomatization of all constraints ``f`` satisfies.
 
     Returns ``{atom(U) | U in Z(f)}``; a constraint is satisfied by ``f``
     iff this set implies it (tested property).  Accepts the same sources
-    as :func:`zero_set`.
+    (and the same planner ``config`` routing) as :func:`zero_set`.
     """
-    f = _as_function(f)
+    f = _as_function(f, config)
     ground = f.ground
     return ConstraintSet(
         ground, (atom(ground, u) for u in sorted(zero_set(f, tol)))
@@ -99,11 +126,14 @@ def theory_of(f, tol: float = DEFAULT_TOLERANCE) -> ConstraintSet:
 def discover_cover(
     source: Union[AnySetFunction, BasketDatabase],
     tol: float = DEFAULT_TOLERANCE,
+    config=None,
 ) -> ConstraintSet:
     """A compact cover of the source's differential theory.
 
     Accepts a set function, a basket database (whose support function is
-    used), or a stream session / incremental context (whose live density
+    used -- or, with a planner ``config``, a live context built through
+    :func:`repro.engine.plan.build_context`), or a stream session /
+    incremental context (whose live density
     state is read in place).  Atoms are pairwise irredundant (each covers exactly one
     zero), so compression requires *growing* constraints instead of
     pruning them: starting from the atom of an uncovered zero, the
@@ -114,7 +144,7 @@ def discover_cover(
     pruning, yields a set equivalent to the full theory (tested) that is
     typically far smaller than the atomic axiomatization.
     """
-    f = _as_function(source)
+    f = _as_function(source, config)
     ground = f.ground
     zeros = zero_set(f, tol)
     remaining = set(zeros)

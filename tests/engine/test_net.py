@@ -49,6 +49,26 @@ class TestWireProtocol:
         assert health["tracked"] == 2 and health["durable"] is False
         stats = client.stats()
         assert stats["refused"] == 0
+        # the resolved engine plan is stamped into /stats
+        assert stats["engine"]["tier"] == "incremental"
+        assert stats["engine"]["backend"] == "exact"
+        assert stats["engine"]["shards"] == 1
+        assert stats["engine"]["durable"] is False
+        assert stats["engine"]["promotions"] == 0
+
+    def test_boot_from_one_engine_config(self, cset):
+        from repro.engine import EngineConfig
+
+        handle = ReproService(
+            cset,
+            config=EngineConfig(engine="incremental", backend="float"),
+        ).start_in_thread()
+        try:
+            stats = handle.client().stats()
+            assert stats["engine"]["tier"] == "incremental"
+            assert stats["engine"]["backend"] == "float"
+        finally:
+            handle.stop()
 
     def test_implies_matches_direct_decision(self, service, cset):
         client = service.client()

@@ -1,0 +1,184 @@
+"""Property suite: every tier the planner can pick is the same engine.
+
+The planner chooses *how* to evaluate, never *what* the answer is: for
+any workload, any tier it can resolve (incremental, sharded at any
+shard count it would pick) must produce byte-identical density /
+support / differential tables and identical constraint verdicts on both
+backends.  Integer-valued deltas keep float64 sums exact, so equality
+is literal ``==`` on both backends, never approximate.
+
+The suite also drives the **online promotion** path: an auto session
+with a promotion-happy planner is streamed transaction by transaction
+next to a pinned incremental oracle, and after every commit (including
+the one that promotes mid-stream) tables, verdicts, zero sets and
+support values must agree exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core import DifferentialConstraint, GroundSet, SetFamily
+from repro.engine import (
+    EngineConfig,
+    Planner,
+    StreamSession,
+    Workload,
+    build_context,
+    default_planner,
+)
+from repro.engine.plan import LIVE_TIERS
+
+GROUNDS = [GroundSet("ABCDE"[:n]) for n in range(6)]  # |S| = 0..5
+
+BACKENDS = ["exact", "float"]
+
+
+def tables_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(
+            np.asarray(a, dtype=np.float64), np.asarray(b, dtype=np.float64)
+        )
+    return list(a) == list(b)
+
+
+@st.composite
+def instances(draw):
+    """Ground set, constraints, and an integer transaction stream."""
+    ground = draw(st.sampled_from(GROUNDS))
+    universe = ground.universe_mask
+    masks = st.integers(min_value=0, max_value=universe)
+    constraints = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        lhs = draw(masks)
+        members = draw(st.lists(masks, min_size=0, max_size=3))
+        constraints.append(
+            DifferentialConstraint(ground, lhs, SetFamily(ground, members))
+        )
+    transactions = draw(
+        st.lists(
+            st.lists(
+                st.tuples(masks, st.integers(min_value=-3, max_value=3)),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    return ground, constraints, transactions
+
+
+def _live_plans(n, config_backend):
+    """Every live plan the stock planner can resolve for some workload:
+    the incremental tier plus the sharded tier at each shard count a
+    host in ``cpus in {2, 4, 8, 64}`` would be assigned."""
+    planner = default_planner()
+    plans = [
+        planner.plan(
+            Workload(n=n, streaming=True),
+            EngineConfig(engine="incremental", backend=config_backend),
+        )
+    ]
+    seen = set()
+    for cpus in (2, 4, 8, 64):
+        plan = planner.plan(
+            Workload(
+                n=n,
+                streaming=True,
+                cpus=cpus,
+                density_size=planner.SHARD_MIN_DENSITY,
+            ),
+            EngineConfig(
+                engine="sharded", backend=config_backend, workers=1
+            ),
+        )
+        if plan.shards not in seen:
+            seen.add(plan.shards)
+            plans.append(plan)
+    return plans
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@settings(max_examples=120)
+@given(data=instances())
+def test_every_plannable_tier_is_byte_identical(backend_name, data):
+    ground, constraints, transactions = data
+    deltas = [d for tx in transactions for d in tx]
+    contexts = [
+        build_context(plan, ground, constraints=constraints)
+        for plan in _live_plans(ground.size, backend_name)
+    ]
+    assert len(contexts) >= 2  # incremental + at least one sharded plan
+    for ctx in contexts:
+        ctx.support_table()  # materialize: must be delta-maintained
+        for c in constraints:
+            ctx.differential_table(c.family)
+        for mask, delta in deltas:
+            ctx.apply_delta(mask, delta)
+    oracle, rest = contexts[0], contexts[1:]
+    for ctx in rest:
+        assert tables_equal(ctx.density_table(), oracle.density_table())
+        assert tables_equal(ctx.support_table(), oracle.support_table())
+        for c in constraints:
+            assert tables_equal(
+                ctx.differential_table(c.family),
+                oracle.differential_table(c.family),
+            )
+        assert ctx.zero_set() == oracle.zero_set()
+        assert ctx.violated_constraints() == oracle.violated_constraints()
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@settings(max_examples=120)
+@given(data=instances())
+def test_online_promotion_is_byte_identical_mid_stream(backend_name, data):
+    """An auto session that promotes mid-stream never diverges from a
+    pinned incremental oracle -- checked after *every* transaction, so
+    the commit that crosses the promotion boundary is covered."""
+    ground, constraints, transactions = data
+    promoting = StreamSession(
+        ground,
+        constraints,
+        config=EngineConfig(engine="auto", backend=backend_name),
+        planner=Planner(
+            SHARD_MIN_CPUS=1,
+            SHARD_MIN_N=0,
+            SHARD_MIN_DENSITY=1,
+            REPLAN_EVERY=1,
+        ),
+    )
+    oracle = StreamSession(
+        ground,
+        constraints,
+        config=EngineConfig(engine="incremental", backend=backend_name),
+    )
+    for tx in transactions:
+        r1 = promoting.apply(tx)
+        r2 = oracle.apply(tx)
+        assert r1.newly_violated == r2.newly_violated
+        assert r1.restored == r2.restored
+        assert r1.violated == r2.violated
+        assert tables_equal(
+            promoting.context.density_table(), oracle.context.density_table()
+        )
+        assert tables_equal(
+            promoting.context.support_table(), oracle.context.support_table()
+        )
+        for c in constraints:
+            assert tables_equal(
+                promoting.context.differential_table(c.family),
+                oracle.context.differential_table(c.family),
+            )
+        assert promoting.context.zero_set() == oracle.context.zero_set()
+    if transactions and promoting.context.support_size():
+        # replan fires after every transaction and any nonzero density
+        # clears every bar, so a stream that ends loaded must have
+        # crossed tiers exactly once
+        assert promoting.promotions == 1
+        assert promoting.plan.tier == "sharded"
+    if promoting.promotions:
+        assert promoting.plan.tier == "sharded"

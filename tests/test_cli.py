@@ -110,6 +110,46 @@ class TestImplies:
         assert "error:" in text
 
 
+class TestPlan:
+    def test_one_shot_plan(self, constraint_file):
+        code, text = _run(["plan", constraint_file])
+        assert code == 0
+        assert "plan: tier=batched, backend=exact, shards=1, workers=1" in text
+
+    def test_streaming_plan_with_baskets(self, constraint_file, basket_file):
+        code, text = _run(["plan", constraint_file, "--baskets", basket_file])
+        assert code == 0
+        assert "tier=incremental" in text
+
+    def test_explain_prints_the_cost_model(self, constraint_file):
+        code, text = _run(["plan", constraint_file, "--explain"])
+        assert code == 0
+        assert "tier=batched" in text
+        assert "one-shot workload" in text
+        # the implication brain is the same planner
+        assert "implies method=" in text
+
+    def test_pinned_engine_flag(self, constraint_file):
+        code, text = _run(["plan", constraint_file, "--engine", "sharded"])
+        assert code == 0
+        assert "tier=sharded" in text
+
+    def test_deprecated_aliases_still_pin(self, constraint_file, capsys):
+        code, text = _run(["plan", constraint_file, "--backend", "float"])
+        assert code == 0
+        assert "backend=float" in text
+        # the deprecation notice goes to stderr, not the report
+        assert "deprecated" not in text
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_unsatisfiable_pinning_is_loud(self, constraint_file):
+        code, text = _run(
+            ["plan", constraint_file, "--engine", "batched", "--shards", "2"]
+        )
+        assert code == 2
+        assert "unsharded tier" in text
+
+
 class TestDerive:
     def test_derivation_printed(self, constraint_file):
         code, text = _run(["derive", constraint_file, "A -> C"])
@@ -210,12 +250,18 @@ def log_file(tmp_path):
 class TestStream:
     def test_output_stamped_with_engine_config(self, constraint_file, log_file):
         code, text = _run(["stream", constraint_file, log_file])
-        assert "# engine: backend=exact, shards=1, workers=1" in text
+        assert (
+            "# engine: tier=incremental, backend=exact, shards=1, workers=1"
+            in text
+        )
         _, text = _run(
             ["stream", constraint_file, log_file, "--backend", "float",
              "--shards", "2", "--workers", "1"]
         )
-        assert "# engine: backend=float, shards=2, workers=1" in text
+        assert (
+            "# engine: tier=sharded, backend=float, shards=2, workers=1"
+            in text
+        )
 
     def test_sharded_replay_matches_unsharded(self, constraint_file, log_file):
         code_plain, plain = _run(["stream", constraint_file, log_file])
@@ -319,8 +365,24 @@ class TestServe:
             ["serve", constraint_file, query_file, "--baskets", basket_file,
              "--shards", "2", "--workers", "1"]
         )
-        assert "# engine: backend=exact, shards=2, workers=1" in text
+        assert (
+            "# engine: tier=sharded, backend=exact, shards=2, workers=1"
+            in text
+        )
         assert text.count("IMPLIED: A -> {C}") == 2
+
+    def test_engine_sharded_lets_the_planner_resolve_shards(
+        self, constraint_file, query_file, basket_file
+    ):
+        code, text = _run(
+            ["serve", constraint_file, query_file, "--baskets", basket_file,
+             "--engine", "sharded"]
+        )
+        assert code in (0, 1)
+        # the planner resolves at least two shards for a pinned sharded
+        # tier (it is not silently pinned back to one)
+        stamp = next(l for l in text.splitlines() if l.startswith("# engine"))
+        assert "tier=sharded" in stamp and "shards=1" not in stamp
         assert "NOT IMPLIED: C -> {A}" in text
         # the AB baskets violate B -> C; A -> B holds on the instance
         assert "SATISFIED: A -> {B}" in text
