@@ -6,17 +6,45 @@ table, each experiment emits a human-readable table through
 :func:`report`, which both prints it (visible with ``pytest -s`` and in
 piped logs) and persists it under ``benchmarks/results/<experiment>.txt``
 so EXPERIMENTS.md can cite stable artifacts.
+
+Each report is *also* persisted as machine-readable JSON
+(``benchmarks/results/BENCH_<experiment>.json``, one schema for every
+experiment) -- the first step of the machine-readable perf trajectory:
+rows keyed by their workload identity with parsed measurement cells, so
+tooling can diff numbers across commits without scraping aligned text.
+``benchmarks/check_drift.py`` enforces that the JSON structure stays in
+lockstep with the committed files, like the text tables.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import platform
+import re
 from typing import Iterable, List, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-__all__ = ["report", "format_table"]
+__all__ = ["report", "format_table", "parse_report", "BENCH_SCHEMA"]
+
+#: Version stamp of the JSON result schema.
+BENCH_SCHEMA = 1
+
+#: A *measurement* cell: a decimal/scientific float, or a unit-suffixed
+#: number (``61.5x``, ``12ms``).  Mirrors ``check_drift.py``: bare
+#: integers are workload parameters, part of the row's identity.
+_MEASUREMENT = re.compile(
+    r"^-?(\d+\.\d+(e-?\d+)?|\d+(\.\d+)?(x|ms|s|%))$", re.IGNORECASE
+)
+_UNIT = re.compile(r"^(-?\d+(?:\.\d+)?(?:e-?\d+)?)(x|ms|s|%)$", re.IGNORECASE)
+_INT = re.compile(r"^-?\d+$")
+_FLOAT = re.compile(r"^-?\d+\.\d+(e-?\d+)?$", re.IGNORECASE)
+
+#: Post-table annotation lines ("workload: ...", "acceptance floor
+#: (...): ...") -- prose keyed by a colon inside the first cell, never a
+#: workload row identity.  Mirrors ``check_drift.py``.
+_ANNOTATION = re.compile(r"^[^\s].*?\S: ")
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> List[str]:
@@ -59,10 +87,95 @@ def _host_stamp() -> str:
     )
 
 
+def _cells(line: str) -> List[str]:
+    """Split an aligned table row on 2+ space runs (the writer's idiom)."""
+    return [cell for cell in re.split(r"\s{2,}", line.strip()) if cell]
+
+
+def _parse_cell(cell: str):
+    """A table cell as data: ints/floats as numbers, unit-suffixed
+    measurements as ``{"value": ..., "unit": ...}``, anything else as
+    the raw string."""
+    if _INT.match(cell):
+        return int(cell)
+    if _FLOAT.match(cell):
+        return float(cell)
+    unit = _UNIT.match(cell)
+    if unit:
+        return {"value": float(unit.group(1)), "unit": unit.group(2)}
+    return cell
+
+
+def parse_report(experiment: str, title: str, lines: Sequence[str]) -> dict:
+    """The one JSON schema every experiment's report is emitted in.
+
+    ``rows`` carry a ``key`` (the leading identity cells, before the
+    first measurement -- the same row identity ``check_drift.py``
+    compares) and a ``cells`` mapping of column name to parsed value;
+    trailing non-table lines land in ``annotations``.
+    """
+    lines = [line for line in lines if line.strip()]
+    columns: List[str] = []
+    rows: List[dict] = []
+    annotations: List[str] = []
+    in_table = False
+    table_done = False
+    for line in lines:
+        cells = _cells(line)
+        if not in_table:
+            if cells and all(set(c) == {"-"} for c in cells):
+                in_table = True
+                continue
+            if columns:
+                annotations.append(line)  # no table followed after all
+            else:
+                columns = cells
+            continue
+        if table_done or not cells or _ANNOTATION.match(line.strip()):
+            table_done = table_done or bool(_ANNOTATION.match(line.strip()))
+            annotations.append(line)
+            continue
+        key = []
+        for cell in cells:
+            if _MEASUREMENT.match(cell):
+                break
+            key.append(cell)
+        if not key:
+            # annotation/stamp region: prose, not a workload row
+            table_done = True
+            annotations.append(line)
+            continue
+        rows.append(
+            {
+                "key": key,
+                "cells": {
+                    col: _parse_cell(cell)
+                    for col, cell in zip(columns, cells)
+                },
+            }
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "experiment": experiment,
+        "title": title,
+        "columns": columns,
+        "rows": rows,
+        "annotations": annotations,
+        "engine": _engine_stamp(),
+        "host": _host_stamp(),
+    }
+
+
 def report(experiment: str, title: str, lines: Iterable[str]) -> None:
     """Print and persist one experiment's table (stamped with the engine
-    backend and host so result files record how they were produced)."""
+    backend and host so result files record how they were produced).
+
+    Persists twice: the human-readable aligned table as
+    ``<experiment>.txt`` and the same content as machine-readable
+    ``BENCH_<experiment>.json`` (see :func:`parse_report`).
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
+    lines = list(lines)
     body = [f"== {experiment}: {title} =="]
     body.extend(lines)
     body.append(_engine_stamp())
@@ -72,3 +185,7 @@ def report(experiment: str, title: str, lines: Iterable[str]) -> None:
     path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
     with open(path, "w") as fh:
         fh.write(text + "\n")
+    json_path = os.path.join(RESULTS_DIR, f"BENCH_{experiment}.json")
+    with open(json_path, "w") as fh:
+        json.dump(parse_report(experiment, title, lines), fh, indent=1)
+        fh.write("\n")

@@ -23,12 +23,19 @@ Annotation lines after the table (host stamps, acceptance notes) are
 host-dependent and ignored.  A results file deleted from the working
 tree, or an experiment whose structure changed, fails the check.
 
+Committed ``benchmarks/results/BENCH_*.json`` files (the machine-readable
+twins emitted by ``_harness.report``) are enforced the same way: their
+``experiment`` / ``title`` / ``columns`` and the ordered row ``key``
+lists must match the regenerated working-tree JSON -- measurement
+values and the engine/host stamps are free to vary.
+
 Run:  python benchmarks/check_drift.py          (compares vs git HEAD)
       python benchmarks/check_drift.py --list   (prints the structures)
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import subprocess
@@ -104,6 +111,27 @@ def structure(text: str) -> Optional[dict]:
     }
 
 
+def json_structure(text: str) -> Optional[dict]:
+    """Parse one BENCH_*.json file into the same comparable structure.
+
+    Same fields as :func:`structure` so :func:`compare` diffs both file
+    kinds with one code path: row identity is each row's ``key`` list,
+    the header is the ``columns`` list.
+    """
+    try:
+        data = json.loads(text)
+    except ValueError:
+        return None
+    if not isinstance(data, dict) or "experiment" not in data:
+        return None
+    return {
+        "experiment": data.get("experiment"),
+        "title": data.get("title"),
+        "header": tuple(data.get("columns") or ()),
+        "rows": [tuple(row.get("key") or ()) for row in data.get("rows") or ()],
+    }
+
+
 def committed_files() -> List[str]:
     out = subprocess.run(
         ["git", "ls-tree", "-r", "--name-only", "HEAD", RESULTS],
@@ -112,7 +140,12 @@ def committed_files() -> List[str]:
         text=True,
         check=True,
     )
-    return [path for path in out.stdout.splitlines() if path.endswith(".txt")]
+    return [
+        path
+        for path in out.stdout.splitlines()
+        if path.endswith(".txt")
+        or (os.path.basename(path).startswith("BENCH_") and path.endswith(".json"))
+    ]
 
 
 def committed_text(path: str) -> str:
@@ -130,13 +163,19 @@ def compare(path: str) -> List[str]:
     work_path = os.path.join(ROOT, path)
     if not os.path.exists(work_path):
         return [f"{path}: regenerated file is missing from the working tree"]
-    baseline = structure(committed_text(path))
+    parse = json_structure if path.endswith(".json") else structure
+    baseline = parse(committed_text(path))
     with open(work_path) as fh:
-        regenerated = structure(fh.read())
+        regenerated = parse(fh.read())
     if baseline is None:
         return []  # unstructured committed file: nothing to enforce
     if regenerated is None:
-        return [f"{path}: regenerated file lost its '== Exx: title ==' shape"]
+        shape = (
+            "its BENCH json shape"
+            if path.endswith(".json")
+            else "its '== Exx: title ==' shape"
+        )
+        return [f"{path}: regenerated file lost {shape}"]
     for field in ("experiment", "title", "header"):
         if baseline[field] != regenerated[field]:
             problems.append(
@@ -160,7 +199,8 @@ def main(argv: List[str]) -> int:
         return 1
     if "--list" in argv:
         for path in paths:
-            print(path, structure(committed_text(path)))
+            parse = json_structure if path.endswith(".json") else structure
+            print(path, parse(committed_text(path)))
         return 0
     failures: List[str] = []
     for path in paths:

@@ -728,7 +728,7 @@ def _add_engine_flags(p: argparse.ArgumentParser) -> None:
     grp.add_argument(
         "--backend",
         default=None,
-        choices=["exact", "float"],
+        choices=["exact", "exact-vec", "float"],
         help="[deprecated alias] pin the numeric backend",
     )
     grp.add_argument(

@@ -4,9 +4,11 @@ exact/float backends, and a memoizing implication decider.
 The engine is the performance layer under :mod:`repro.core`.  It
 replaces three scalar hot paths with table-at-a-time computation:
 
-* :mod:`repro.engine.backends` -- the exact (python numbers) vs float
-  (numpy) storage split as first-class :class:`Backend` objects owning
-  the zeta/Moebius butterflies;
+* :mod:`repro.engine.backends` -- the storage split as first-class
+  :class:`Backend` objects owning the zeta/Moebius butterflies: exact
+  (python lists), vectorized exact (int64 ndarrays with
+  overflow-checked promotion to object dtype) and float (numpy
+  float64);
 * :mod:`repro.engine.batch` -- ``D_f^Y(X)`` for *all* ``X`` in one
   ``O(n * 2^n)`` pass (Proposition 2.9 as a masked zeta transform), and
   boolean lattice tables for ``L(X, Y)`` / ``L(C)``;
@@ -57,9 +59,12 @@ paper-facing API is unchanged.
 from repro.engine.backends import (
     EXACT,
     FLOAT,
+    VEC_EXACT,
     Backend,
     ExactBackend,
     FloatBackend,
+    VecExactBackend,
+    VecTable,
     backend_by_name,
     backend_for_table,
 )
@@ -138,8 +143,11 @@ from repro.engine.decider import (
 __all__ = [
     "Backend",
     "ExactBackend",
+    "VecExactBackend",
     "FloatBackend",
+    "VecTable",
     "EXACT",
+    "VEC_EXACT",
     "FLOAT",
     "backend_by_name",
     "backend_for_table",

@@ -49,7 +49,16 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 import numpy as np
 
 from repro.engine import batch
-from repro.engine.backends import Backend, Table, backend_by_name, EXACT, FLOAT
+from repro.engine.backends import (
+    Backend,
+    Table,
+    backend_by_name,
+    backend_for_table,
+    dense_delta,
+    iter_subset_masks,
+    subset_index_array,
+    subset_indicator,
+)
 from repro.engine.context import EvalContext
 from repro.engine.decider import ImplicationCache
 
@@ -82,20 +91,9 @@ def _affects(constraint, mask: int) -> bool:
     return constraint.lattice_contains(mask)
 
 
-def iter_subset_masks(mask: int) -> Iterator[int]:
-    """Iterate all ``2^|mask|`` subsets of ``mask`` (descending order)."""
-    sub = mask
-    while True:
-        yield sub
-        if sub == 0:
-            return
-        sub = (sub - 1) & mask
-
-
-def _subset_indicator(n: int, mask: int) -> np.ndarray:
-    """Boolean table ``T[X] = [X subseteq mask]`` over all ``2^n`` masks."""
-    masks = np.arange(1 << n, dtype=np.int64)
-    return (masks | mask) == mask
+# re-exported for compatibility: the subset walk lives with the
+# backends now (it is the scalar half of ``add_on_subsets_inplace``)
+_subset_indicator = subset_indicator
 
 
 def add_on_subsets(
@@ -111,17 +109,13 @@ def add_on_subsets(
     (unblocked) differential tables are sums of the density over masks
     *above* each position, so one density delta touches exactly the
     subset positions of its mask.  ``where`` may pass a precomputed
-    subset indicator (float backend) to share it across several tables.
+    subset indicator (vectorized backends) to share it across several
+    tables.  Delegates to
+    :meth:`~repro.engine.backends.Backend.add_on_subsets_inplace`.
     """
     if backend is None:
-        backend = FLOAT if isinstance(table, np.ndarray) else EXACT
-    if backend.exact:
-        for sub in iter_subset_masks(mask):
-            table[sub] = table[sub] + delta
-    else:
-        if where is None:
-            where = _subset_indicator(len(table).bit_length() - 1, mask)
-        np.add(table, delta, out=table, where=where)
+        backend = backend_for_table(table)
+    backend.add_on_subsets_inplace(table, mask, delta, where=where)
 
 
 def recompute_tables(
@@ -162,8 +156,9 @@ class IncrementalEvalContext(EvalContext):
         Differential constraints to monitor; more can be added with
         :meth:`track`.
     backend:
-        ``"exact"`` (default -- streaming counts are integers) or
-        ``"float"``.
+        ``"exact"`` (default -- streaming counts are integers),
+        ``"exact-vec"`` (exact on int64/object ndarrays, vectorized
+        per-delta updates) or ``"float"``.
     tol:
         Absolute tolerance deciding ``d_f(U) == 0``.
 
@@ -501,15 +496,21 @@ class IncrementalEvalContext(EvalContext):
                 targets.append(table)
         if not targets:
             return
-        if self.exact:
-            subs = list(iter_subset_masks(mask))
-            for table in targets:
-                for sub in subs:
-                    table[sub] = table[sub] + delta
-        else:
-            where = _subset_indicator(self._n, mask)
-            for table in targets:
-                np.add(table, float(delta), out=table, where=where)
+        # vectorized backends turn dense deltas into one masked slice
+        # add and sparse deltas -- the streaming common case -- into a
+        # 2^|mask| gather/scatter; either way the indicator/index array
+        # is computed once here and shared across all the tables
+        where = None
+        if self.backend.vectorized:
+            where = (
+                subset_indicator(self._n, mask)
+                if dense_delta(self._n, mask)
+                else subset_index_array(mask)
+            )
+        for table in targets:
+            self.backend.add_on_subsets_inplace(
+                table, mask, delta, where=where
+            )
 
     def __repr__(self) -> str:
         return (

@@ -47,11 +47,21 @@ sharded     Streaming *and* worth fanning out: at least
             SHARD_MIN_DELTA_RATE``).
 ========== ==========================================================
 
-Backend (``backend=`` pins it): ``exact`` for small tables (``n <
-FLOAT_MIN_N`` -- python-number columns are cheap and lossless) and
-whenever ``tol == 0`` demands exact zero tests; ``float`` once ``n >=
-FLOAT_MIN_N``, where numpy's vectorized butterflies win and the default
-tolerance absorbs representation error.
+Backend (``backend=`` pins it) -- a three-rung ladder: ``exact``
+(python lists) for tiny tables (``n < VEC_MIN_N`` -- python numbers
+are cheap at this size and numpy call overhead is not); ``exact-vec``
+(int64 ndarrays with overflow-checked promotion to object dtype) from
+``VEC_MIN_N`` up, where the vectorized butterflies win *without*
+giving up exactness -- it is also what ``tol == 0`` resolves to at
+those sizes, since its zero tests are exact; ``float`` once ``n >=
+FLOAT_MIN_N`` with a nonzero tolerance, where float64 butterflies are
+marginally leaner (no promotion checks) and the default tolerance
+absorbs representation error.  The bar is tier-aware: the incremental
+tier is per-delta dominated (``2^|mask|`` subset gather/scatters,
+where python lists beat numpy call overhead), so its vectorization
+bar is the higher ``VEC_STREAM_MIN_N``; batched and sharded work is
+rebuild-dominated, where the butterflies win from ``VEC_MIN_N`` up
+(E20 measures both crossovers).
 
 Shards/workers (``shards=``/``workers=`` pin them): ``shards =
 min(cpus, MAX_SHARDS)`` and ``workers = min(cpus, shards)`` -- workers
@@ -148,9 +158,14 @@ class EngineConfig:
                 f"unknown engine tier {self.engine!r}; expected 'auto' "
                 f"or one of {', '.join(TIERS)}"
             )
-        if self.backend is not None and self.backend not in ("exact", "float"):
+        if self.backend is not None and self.backend not in (
+            "exact",
+            "exact-vec",
+            "float",
+        ):
             raise PlanError(
-                f"unknown backend {self.backend!r}; expected 'exact' or 'float'"
+                f"unknown backend {self.backend!r}; expected 'exact', "
+                "'exact-vec' or 'float'"
             )
         if self.shards is not None and self.shards < 1:
             raise PlanError(f"shards must be >= 1, got {self.shards}")
@@ -277,7 +292,16 @@ class Planner:
 
     #: Ground sets this small have at most two subsets: stay scalar.
     SCALAR_MAX_N = 1
-    #: From here up, numpy's vectorized butterflies beat python numbers.
+    #: From here up, the vectorized exact backend's int64 butterflies
+    #: beat python-list loops (below, numpy call overhead dominates).
+    VEC_MIN_N = 8
+    #: The incremental tier's higher vectorization bar: per-delta
+    #: maintenance is 2^|mask| gather/scatter-dominated, where python
+    #: lists stay ahead until tables reach this size (the E20 per-delta
+    #: rows measure the crossover at |S| = 16: ~1.1x for exact-vec).
+    VEC_STREAM_MIN_N = 14
+    #: From here up, float64 tables edge out int64+promotion checks
+    #: whenever a nonzero tolerance licenses lossy storage.
     FLOAT_MIN_N = 14
     #: Fanning out needs parallel hardware...
     SHARD_MIN_CPUS = 4
@@ -307,27 +331,57 @@ class Planner:
         cpus = workload.host_cpus
         reasons = []
 
+        tier = self._resolve_tier(workload, config, cpus, reasons)
+        self._check_tier(tier, workload, config)
+
+        # the vectorization bar is tier-aware: incremental sessions are
+        # per-delta dominated (2^|mask| gather/scatters, where python
+        # lists beat numpy call overhead), so their bar sits higher than
+        # the rebuild-dominated batched/sharded tiers'
+        vec_min = (
+            self.VEC_STREAM_MIN_N if tier == "incremental" else self.VEC_MIN_N
+        )
+        bar = (
+            f"the incremental tier's per-delta vectorization bar {vec_min}"
+            if tier == "incremental"
+            else f"the vectorization bar {vec_min}"
+        )
         backend = config.backend
         if backend is not None:
             reasons.append(f"backend={backend}: pinned by config")
         elif config.tol == 0:
-            backend = "exact"
-            reasons.append("backend=exact: tol=0 demands exact zero tests")
+            if n >= vec_min:
+                backend = "exact-vec"
+                reasons.append(
+                    "backend=exact-vec: tol=0 demands exact zero tests; "
+                    f"|S|={n} >= {vec_min}, int64 butterflies with "
+                    "overflow-checked promotion keep them exact and fast"
+                )
+            else:
+                backend = "exact"
+                reasons.append(
+                    "backend=exact: tol=0 demands exact zero tests and "
+                    f"|S|={n} is below {bar}"
+                )
         elif n >= self.FLOAT_MIN_N:
             backend = "float"
             reasons.append(
                 f"backend=float: |S|={n} >= {self.FLOAT_MIN_N}, vectorized "
                 f"2^n tables win and tol={config.tol:g} absorbs fp error"
             )
+        elif n >= vec_min:
+            backend = "exact-vec"
+            reasons.append(
+                f"backend=exact-vec: {vec_min} <= |S|={n} < "
+                f"{self.FLOAT_MIN_N}, vectorized int64 butterflies win "
+                "while staying exact (object-dtype promotion on overflow)"
+            )
         else:
             backend = "exact"
             reasons.append(
-                f"backend=exact: |S|={n} < {self.FLOAT_MIN_N}, python "
-                "numbers are cheap and lossless at this size"
+                f"backend=exact: |S|={n} is below {bar}; python numbers "
+                "are cheap and lossless at this size"
             )
-
-        tier = self._resolve_tier(workload, config, cpus, reasons)
-        self._check_tier(tier, workload, config)
 
         if tier == "sharded":
             shards = config.shards
@@ -459,7 +513,9 @@ class Planner:
 
     def __repr__(self) -> str:
         return (
-            f"Planner(float>={self.FLOAT_MIN_N}, "
+            f"Planner(vec>={self.VEC_MIN_N} "
+            f"(stream>={self.VEC_STREAM_MIN_N}), "
+            f"float>={self.FLOAT_MIN_N}, "
             f"shard>=({self.SHARD_MIN_CPUS}cpu,{self.SHARD_MIN_N}n,"
             f"{self.SHARD_MIN_DENSITY}nnz|{self.SHARD_MIN_DELTA_RATE:g}/tx))"
         )

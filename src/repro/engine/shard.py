@@ -50,8 +50,6 @@ from typing import (
     Union,
 )
 
-import numpy as np
-
 from repro.engine import batch
 from repro.engine.backends import Backend, Table
 from repro.engine.decider import ImplicationCache
@@ -143,24 +141,14 @@ class ShardPlan:
 def sum_tables(tables: Sequence[Table], backend: Backend) -> Table:
     """Elementwise sum of same-length tables -- the shard merge.
 
-    Vectorized left-to-right on the float backend (deterministic
-    addition order, so integer-valued float tables merge bit-exactly);
-    elementwise python sums on the exact backend.
+    Delegates to :meth:`~repro.engine.backends.Backend.sum_tables`:
+    vectorized left-to-right on the float backend (deterministic
+    addition order, so integer-valued float tables merge bit-exactly),
+    overflow-checked int64 adds with object-dtype promotion on the
+    vectorized exact backend, elementwise python sums on the list-exact
+    backend.
     """
-    tables = list(tables)
-    if not tables:
-        raise ValueError("sum_tables needs at least one table")
-    if backend.exact:
-        merged = backend.copy(tables[0])
-        for table in tables[1:]:
-            for i, v in enumerate(table):
-                if v != 0:
-                    merged[i] = merged[i] + v
-        return merged
-    merged = backend.copy(tables[0])
-    for table in tables[1:]:
-        np.add(merged, table, out=merged)
-    return merged
+    return backend.sum_tables(tables)
 
 
 class ShardedEvaluation:

@@ -285,7 +285,7 @@ class StreamSession:
             # an auto reopen inherits the directory's recorded backend
             # instead of racing the cost model against history
             meta = self._store.meta or {}
-            if meta.get("backend") in ("exact", "float"):
+            if meta.get("backend") in ("exact", "exact-vec", "float"):
                 config = config.replace(backend=meta["backend"])
                 # session.config must describe the session as it runs:
                 # consumers forward it to build sibling components

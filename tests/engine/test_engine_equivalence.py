@@ -178,10 +178,48 @@ class TestEngineDecider:
 
 class TestBackends:
     def test_backend_by_name(self):
+        from repro.engine import VEC_EXACT
+
         assert backend_by_name("exact") is EXACT
+        assert backend_by_name("exact-vec") is VEC_EXACT
         assert backend_by_name("float") is FLOAT
         with pytest.raises(ValueError):
             backend_by_name("decimal")
+
+    def test_exact_copy_semantics(self):
+        """Copy never aliases its source and preserves exact values.
+
+        Pins the cleaned-up ndarray round trip: ``.tolist()`` hands
+        back python scalars directly (no second list comprehension).
+        """
+        from fractions import Fraction
+
+        src = [1, Fraction(2, 3), -5, 0]
+        copied = EXACT.copy(src)
+        assert copied == src and copied is not src
+        copied[0] = 99
+        assert src[0] == 1  # no aliasing
+        assert copied[1] is src[1]  # Fractions carried through, not coerced
+        assert type(copied[1]) is Fraction
+
+        arr = np.array([1.0, -2.0, 0.5, 0.0])
+        from_arr = EXACT.copy(arr)
+        assert isinstance(from_arr, list)
+        assert from_arr == [1.0, -2.0, 0.5, 0.0]
+        assert all(type(v) is float for v in from_arr)
+        from_arr[0] = 7.0
+        assert arr[0] == 1.0  # fresh storage, not a view
+
+    def test_exact_masked_helpers_return_python_ints(self):
+        """Pins the flatnonzero cleanup: indices come back as python
+        ints (one ``.tolist()``), not boxed numpy scalars."""
+        values = [0, 3, 0, -2]
+        where = np.array([True, True, True, True])
+        hit = EXACT.first_nonzero_where(values, where, 0.0)
+        assert hit == 1 and type(hit) is int
+        assert EXACT.any_nonzero_where(values, where, 0.0) is True
+        EXACT.zero_where(values, np.array([False, True, False, False]))
+        assert values == [0, 0, 0, -2]
 
     def test_exact_scatter_preserves_ints(self):
         table = EXACT.scatter(8, [(3, 2), (3, 1), (5, -4)])

@@ -69,13 +69,47 @@ class TestCostModelBoundaries:
 
     def test_backend_crossover(self):
         planner = default_planner()
-        at = planner.FLOAT_MIN_N
-        assert plan_for(n=at - 1, queries=1).backend == "exact"
-        assert plan_for(n=at, queries=1).backend == "float"
+        vec, flt = planner.VEC_MIN_N, planner.FLOAT_MIN_N
+        assert plan_for(n=vec - 1, queries=1).backend == "exact"
+        assert plan_for(n=vec, queries=1).backend == "exact-vec"
+        assert plan_for(n=flt - 1, queries=1).backend == "exact-vec"
+        assert plan_for(n=flt, queries=1).backend == "float"
+
+    def test_incremental_tier_raises_the_vectorization_bar(self):
+        planner = default_planner()
+        vec, stream_vec = planner.VEC_MIN_N, planner.VEC_STREAM_MIN_N
+        # per-delta maintenance keeps python lists ahead of numpy
+        # gather/scatter until tables are much larger (E20)
+        assert plan_for(n=vec, streaming=True).backend == "exact"
+        # with a nonzero tol the float bar takes over at the same size
+        assert plan_for(n=stream_vec, streaming=True).backend == "float"
+        # tol=0 streaming at scale gets vectorized exactness
+        plan = plan_for(
+            n=stream_vec, streaming=True, config=EngineConfig(tol=0.0)
+        )
+        assert plan.tier == "incremental" and plan.backend == "exact-vec"
+        # the sharded tier is rebuild-dominated: low bar applies
+        plan = plan_for(
+            n=planner.SHARD_MIN_N,
+            streaming=True,
+            density_size=planner.SHARD_MIN_DENSITY,
+            cpus=planner.SHARD_MIN_CPUS,
+        )
+        assert plan.tier == "sharded" and plan.backend == "exact-vec"
 
     def test_zero_tolerance_forces_exact(self):
+        planner = default_planner()
+        # past the float bar, tol=0 still demands exactness: the
+        # vectorized exact backend keeps both
         plan = plan_for(
-            n=default_planner().FLOAT_MIN_N + 2,
+            n=planner.FLOAT_MIN_N + 2,
+            queries=1,
+            config=EngineConfig(tol=0.0),
+        )
+        assert plan.backend == "exact-vec"
+        # below the vectorization bar it stays on plain python lists
+        plan = plan_for(
+            n=planner.VEC_MIN_N - 1,
             queries=1,
             config=EngineConfig(tol=0.0),
         )
@@ -183,6 +217,8 @@ class TestForcedTiersAndValidation:
             EngineConfig(engine="warp")
         with pytest.raises(PlanError):
             EngineConfig(backend="decimal")
+        for ok in ("exact", "exact-vec", "float"):
+            assert EngineConfig(backend=ok).backend == ok
         with pytest.raises(PlanError):
             EngineConfig(shards=0)
         with pytest.raises(PlanError):
