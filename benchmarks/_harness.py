@@ -73,16 +73,31 @@ def _engine_stamp() -> str:
         return "engine: unavailable"
 
 
+def _effective_cpus() -> int:
+    """The CPU budget of *this process* (affinity/quota-aware), matching
+    ``repro.engine.calibrate.effective_cpus`` without requiring repro on
+    the path (the drift checker imports this module standalone)."""
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = 0
+    return affinity or os.cpu_count() or 1
+
+
 def _host_stamp() -> str:
     """One line recording the hardware/python the numbers came from.
 
     Parallel experiments (E17's worker scaling in particular) are only
     interpretable relative to the CPU budget of the machine that ran
-    them, so every result file records it.
+    them, so every result file records it -- the *effective* budget
+    (CPU affinity, container quotas), not the raw core count, since
+    that is what the planner and the worker pools get to use.
     """
-    cpus = os.cpu_count() or 1
+    effective = _effective_cpus()
+    online = os.cpu_count() or 1
     return (
-        f"host: {cpus} CPU(s), python {platform.python_version()}, "
+        f"host: {effective} effective CPU(s) of {online} online, "
+        f"python {platform.python_version()}, "
         f"{platform.machine() or 'unknown-arch'}"
     )
 

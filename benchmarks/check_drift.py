@@ -29,8 +29,22 @@ twins emitted by ``_harness.report``) are enforced the same way: their
 lists must match the regenerated working-tree JSON -- measurement
 values and the engine/host stamps are free to vary.
 
+Timing-gate mode (``--timing``) additionally compares the *measurement*
+cells of the committed ``BENCH_*.json`` files against the regenerated
+ones, matched by row key and column, with a noise-tolerant ratio band
+(default 3x, ``--timing-ratio``): speedup/agreement cells (``x``/``%``
+units) must not fall below ``committed / ratio``, timing and
+slowdown/overhead cells must not rise above ``committed * ratio``.
+Deterministic cells (ints, non-timing stats) stay under the structure
+check only.  Because sub-4-CPU hosts time too noisily to enforce
+against numbers committed from another machine, the gate is
+informational there (warnings, exit 0) and enforcing where the
+effective CPU count is >= 4 -- ``--enforce-timing`` forces enforcement
+anywhere.
+
 Run:  python benchmarks/check_drift.py          (compares vs git HEAD)
       python benchmarks/check_drift.py --list   (prints the structures)
+      python benchmarks/check_drift.py --timing (structure + timing gate)
 """
 
 from __future__ import annotations
@@ -192,6 +206,87 @@ def compare(path: str) -> List[str]:
     return problems
 
 
+#: Measurement columns/rows where *smaller* is better even though the
+#: cell carries a ratio unit (E18's service slowdown, E19's auto/best
+#: ratio rows): gate them with a ceiling, not a floor.
+_LOWER_BETTER = ("slowdown", "overhead", "ratio", "latency")
+
+
+def _effective_cpus() -> int:
+    """Affinity/quota-aware CPU budget (mirrors
+    ``repro.engine.calibrate.effective_cpus``; duplicated so the checker
+    keeps working without repro on ``sys.path``)."""
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = 0
+    return affinity or os.cpu_count() or 1
+
+
+def timing_cells(text: str) -> dict:
+    """The gateable measurement cells of one BENCH json:
+    ``{(row_key, column): (value, unit)}``.  Unit-suffixed cells carry
+    their unit; bare floats are gated only when the column names a
+    timing (contains ``ms``) -- deterministic float stats are not
+    timings and belong to the structure check."""
+    try:
+        data = json.loads(text)
+    except ValueError:
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    out: dict = {}
+    for row in data.get("rows") or ():
+        key = tuple(row.get("key") or ())
+        for col, val in (row.get("cells") or {}).items():
+            if isinstance(val, dict) and "value" in val:
+                out[(key, col)] = (float(val["value"]), str(val.get("unit", "")))
+            elif isinstance(val, float) and "ms" in col.lower():
+                out[(key, col)] = (val, "ms")
+    return out
+
+
+def compare_timing(path: str, ratio: float) -> List[str]:
+    """Ratio-band regressions of ``path``'s regenerated measurement
+    cells against the committed ones (missing cells are structure
+    drift, not timing drift -- the structure check owns those)."""
+    work_path = os.path.join(ROOT, path)
+    if not os.path.exists(work_path):
+        return []
+    baseline = timing_cells(committed_text(path))
+    with open(work_path) as fh:
+        regenerated = timing_cells(fh.read())
+    problems: List[str] = []
+    for (key, col), (value, unit) in sorted(baseline.items()):
+        cell = regenerated.get((key, col))
+        if cell is None or value <= 0:
+            continue
+        new_value, new_unit = cell
+        if new_unit != unit:
+            continue
+        where = f"{path}: {'/'.join(key)} [{col}]"
+        lower_better = unit == "ms" or any(
+            word in f"{' '.join(key)} {col}".lower() for word in _LOWER_BETTER
+        )
+        if lower_better:
+            ceiling = value * ratio
+            if new_value > ceiling:
+                problems.append(
+                    f"{where}: {new_value:g}{unit} rose above the noise "
+                    f"ceiling {ceiling:g}{unit} (committed {value:g}{unit}, "
+                    f"ratio {ratio:g})"
+                )
+        else:
+            floor = value / ratio
+            if new_value < floor:
+                problems.append(
+                    f"{where}: {new_value:g}{unit} fell below the noise "
+                    f"floor {floor:g}{unit} (committed {value:g}{unit}, "
+                    f"ratio {ratio:g})"
+                )
+    return problems
+
+
 def main(argv: List[str]) -> int:
     paths = committed_files()
     if not paths:
@@ -202,6 +297,12 @@ def main(argv: List[str]) -> int:
             parse = json_structure if path.endswith(".json") else structure
             print(path, parse(committed_text(path)))
         return 0
+    ratio = 3.0
+    if "--timing-ratio" in argv:
+        ratio = float(argv[argv.index("--timing-ratio") + 1])
+    if ratio <= 1:
+        print(f"--timing-ratio must be > 1, got {ratio:g}")
+        return 2
     failures: List[str] = []
     for path in paths:
         failures.extend(compare(path))
@@ -215,7 +316,34 @@ def main(argv: List[str]) -> int:
         )
         return 1
     print(f"benchmark structure clean: {len(paths)} result file(s) match HEAD")
-    return 0
+    if "--timing" not in argv:
+        return 0
+    regressions: List[str] = []
+    json_paths = [path for path in paths if path.endswith(".json")]
+    for path in json_paths:
+        regressions.extend(compare_timing(path, ratio))
+    cpus = _effective_cpus()
+    enforcing = cpus >= 4 or "--enforce-timing" in argv
+    if not regressions:
+        print(
+            f"benchmark timing clean: {len(json_paths)} BENCH file(s) "
+            f"within {ratio:g}x of HEAD"
+        )
+        return 0
+    print(f"\nbenchmark timing drift in {len(regressions)} cell(s):\n")
+    for regression in regressions:
+        print(regression)
+    if not enforcing:
+        print(
+            f"\nWARNING only: {cpus} effective CPU(s) time too noisily to "
+            "enforce (the gate enforces at >= 4, or with --enforce-timing)."
+        )
+        return 0
+    print(
+        "\nIf the slowdown is intended (or the host legitimately differs), "
+        "regenerate and commit the BENCH_*.json files in the same change."
+    )
+    return 1
 
 
 if __name__ == "__main__":

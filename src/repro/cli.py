@@ -79,6 +79,7 @@ from repro.core import (
 from repro.engine.plan import (
     EngineConfig,
     Plan,
+    Planner,
     TIERS,
     Workload,
     build_context,
@@ -238,6 +239,16 @@ def _cmd_plan(args, out: TextIO) -> int:
         queries=0 if streaming else 1,
     )
     planner = default_planner()
+    if args.calibrate or args.recalibrate:
+        from repro.engine.calibrate import ensure_profile
+
+        profile = ensure_profile(recalibrate=args.recalibrate)
+        planner = Planner.calibrated(profile)
+        print(
+            f"# calibration: host profile at {profile.path} "
+            f"(measured {profile.created}, {profile.cpus} effective CPU(s))",
+            file=out,
+        )
     plan = planner.plan(workload, config)
     if args.explain:
         print(plan.explain(), file=out)
@@ -573,6 +584,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="print the planner's reasoning, one line per decision",
+    )
+    p.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="plan with measured host thresholds: load the per-host "
+        "profile (micro-benchmarking this machine on first use; "
+        "persisted under ~/.cache/repro/ or $REPRO_CALIBRATION)",
+    )
+    p.add_argument(
+        "--recalibrate",
+        action="store_true",
+        help="force a fresh host measurement even if a valid profile "
+        "exists (implies --calibrate)",
     )
     _add_engine_flags(p)
     p.set_defaults(run=_cmd_plan)

@@ -17,6 +17,11 @@ replaces three scalar hot paths with table-at-a-time computation:
   fingerprints;
 * :mod:`repro.engine.context` -- :class:`EvalContext`, the single
   handle (backend + cache) threaded through the CLI and library;
+* :mod:`repro.engine.calibrate` -- the host calibrator: affinity-aware
+  :func:`effective_cpus`, micro-benchmarked butterfly/process-pool
+  costs persisted as a versioned per-host :class:`HostProfile`, and
+  the measured planner thresholds derived from them (opt-in via
+  ``REPRO_CALIBRATION``; disabled keeps plans deterministic);
 * :mod:`repro.engine.plan` -- the unified planner: :class:`EngineConfig`
   (one configuration object: tier request, backend, shards, workers,
   durability, cache budgets), :class:`Planner` (the explicit cost model
@@ -76,6 +81,14 @@ from repro.engine.batch import (
     joint_lattice_table,
     lattice_table,
     superset_indicator,
+)
+from repro.engine.calibrate import (
+    HostProfile,
+    calibration_mode,
+    effective_cpus,
+    ensure_profile,
+    load_profile,
+    measure_profile,
 )
 from repro.engine.context import EvalContext, default_context
 from repro.engine.plan import (
@@ -158,6 +171,12 @@ __all__ = [
     "joint_lattice_table",
     "lattice_table",
     "superset_indicator",
+    "HostProfile",
+    "calibration_mode",
+    "effective_cpus",
+    "ensure_profile",
+    "load_profile",
+    "measure_profile",
     "EvalContext",
     "default_context",
     "EngineConfig",

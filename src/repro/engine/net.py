@@ -56,9 +56,11 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
 import signal
 import socket
 import threading
+import time
 from fractions import Fraction
 from typing import Callable, Optional, Tuple
 
@@ -354,6 +356,7 @@ class ReproService:
             # tier if the live auto session promotes online)
             stats["engine"] = self._session.plan.as_dict()
             stats["engine"]["promotions"] = self._session.promotions
+            stats["engine"]["calibration"] = self._session.calibration
             return 200, stats
         if method != "POST":
             return 405, {"error": f"{method} not allowed on {path}"}
@@ -516,9 +519,12 @@ class ReproService:
         """Blocking entry point (the CLI's ``repro serve --port``)."""
         asyncio.run(self.run())
 
-    def start_in_thread(self) -> "ServiceHandle":
+    def start_in_thread(self, timeout: float = 30.0) -> "ServiceHandle":
         """Run the service on a daemon thread; returns a handle with the
-        bound port.  Used by tests, docs and the benchmark harness."""
+        bound port.  Used by tests, docs and the benchmark harness.
+        Raises :class:`ServiceError` if the service has not bound its
+        port within ``timeout`` seconds (measured on a monotonic clock,
+        not inferred from wait quanta)."""
         ready = threading.Event()
         previous_on_ready = self._on_ready
 
@@ -546,16 +552,19 @@ class ReproService:
             target=_run, name="repro-service", daemon=True
         )
         thread.start()
-        deadline = 30.0
+        started = time.monotonic()
         while not ready.wait(timeout=0.05):
-            deadline -= 0.05
             if not thread.is_alive() or "error" in holder:
                 thread.join(timeout=5)
                 raise ServiceError(
                     f"service failed to start: {holder.get('error')!r}"
                 ) from holder.get("error")
-            if deadline <= 0:
-                raise ServiceError("service failed to become ready in 30s")
+            elapsed = time.monotonic() - started
+            if elapsed >= timeout:
+                raise ServiceError(
+                    f"service failed to become ready after {elapsed:.2f}s "
+                    f"(timeout {timeout:g}s)"
+                )
         return ServiceHandle(self, thread, holder["loop"])
 
 
@@ -598,15 +607,58 @@ class ReproClient:
 
     One connection per request (the protocol closes connections), so a
     client object is cheap, stateless and safe to share across threads.
+
+    The server's bounded admission queue refuses excess load with
+    ``503 "server overloaded, retry"``; the client honors that hint
+    with up to ``retries`` jittered-backoff retries -- but **only for
+    idempotent requests** (every GET, plus the read-only POSTs:
+    ``/implies``, ``/check``, ``/probe``).  A ``/delta`` is never
+    retried automatically: the refusal races the commit on the wire,
+    and replaying a transaction that might have been applied would
+    double-commit it.  Non-503 failures always surface immediately.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 80,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, retries: int = 4,
+                 backoff: float = 0.05, max_backoff: float = 1.0,
+                 rng: Optional[random.Random] = None):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._retries = retries
+        self._backoff = backoff
+        self._max_backoff = max_backoff
+        self._rng = rng if rng is not None else random.Random()
 
-    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        idempotent: Optional[bool] = None,
+    ) -> dict:
+        if idempotent is None:
+            idempotent = method == "GET"
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceError as err:
+                if (
+                    err.status != 503
+                    or not idempotent
+                    or attempt >= self._retries
+                ):
+                    raise
+            # exponential backoff with full jitter: refused peers must
+            # not reconverge on the queue in lockstep
+            delay = min(self._max_backoff, self._backoff * (1 << attempt))
+            time.sleep(delay * (0.5 + self._rng.random()))
+            attempt += 1
+
+    def _request_once(self, method: str, path: str, body: Optional[dict] = None) -> dict:
         conn = http.client.HTTPConnection(
             self._host, self._port, timeout=self._timeout
         )
@@ -648,13 +700,13 @@ class ReproClient:
     def implies(self, constraint: str) -> bool:
         """``C |= constraint`` through the microbatching server."""
         return self._request(
-            "POST", "/implies", {"constraint": constraint}
+            "POST", "/implies", {"constraint": constraint}, idempotent=True
         )["implied"]
 
     def check(self, constraint: str) -> bool:
         """Whether the live instance satisfies ``constraint``."""
         return self._request(
-            "POST", "/check", {"constraint": constraint}
+            "POST", "/check", {"constraint": constraint}, idempotent=True
         )["satisfied"]
 
     def delta(self, ops) -> dict:
@@ -666,7 +718,9 @@ class ReproClient:
     def probe(self, subset: str):
         """The live support of ``subset`` (exact values round-trip)."""
         return _parse_scalar(
-            self._request("POST", "/probe", {"subset": subset})["support"]
+            self._request(
+                "POST", "/probe", {"subset": subset}, idempotent=True
+            )["support"]
         )
 
     def snapshot(self) -> dict:
@@ -680,8 +734,6 @@ class ReproClient:
     def wait_ready(self, timeout: float = 30.0, interval: float = 0.05) -> dict:
         """Poll ``/healthz`` until the service answers (for freshly
         spawned processes); raises :class:`ServiceError` on timeout."""
-        import time
-
         deadline = time.monotonic() + timeout
         last: Optional[Exception] = None
         while time.monotonic() < deadline:

@@ -34,6 +34,7 @@ from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.engine import batch
 from repro.engine.backends import Table, backend_by_name
+from repro.engine.calibrate import effective_cpus
 
 __all__ = [
     "EvalRequest",
@@ -44,8 +45,11 @@ __all__ = [
 
 
 def default_workers(shards: Optional[int] = None) -> int:
-    """A sane worker default: the CPU count, capped by the shard count."""
-    cpus = os.cpu_count() or 1
+    """A sane worker default: the *effective* CPU count (affinity- and
+    quota-aware, see :func:`~repro.engine.calibrate.effective_cpus`),
+    capped by the shard count.  Raw ``os.cpu_count()`` would spawn
+    pools the cgroup quota then timeslices into overhead."""
+    cpus = effective_cpus()
     if shards is not None:
         cpus = min(cpus, shards)
     return max(1, cpus)

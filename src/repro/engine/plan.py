@@ -80,11 +80,11 @@ Like the rest of the engine this module imports nothing from
 from __future__ import annotations
 
 import dataclasses
-import os
 import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.engine.calibrate import effective_cpus
 from repro.engine.context import EvalContext
 from repro.engine.incremental import DEFAULT_TOLERANCE
 from repro.errors import EngineDeprecationWarning, PlanError
@@ -237,7 +237,12 @@ class Workload:
 
     @property
     def host_cpus(self) -> int:
-        return self.cpus if self.cpus is not None else (os.cpu_count() or 1)
+        """The CPU budget the cost model sees: an explicit ``cpus`` pin,
+        else the affinity-aware :func:`~repro.engine.calibrate.effective_cpus`
+        (``os.cpu_count()`` overstates parallelism under CPU pinning and
+        container quotas, which used to route constrained hosts onto the
+        strictly-slower sharded tier)."""
+        return self.cpus if self.cpus is not None else effective_cpus()
 
 
 @dataclass(frozen=True)
@@ -316,11 +321,24 @@ class Planner:
     #: committed transactions).
     REPLAN_EVERY = 64
 
-    def __init__(self, **overrides):
+    def __init__(self, profile=None, **overrides):
+        #: The measured :class:`~repro.engine.calibrate.HostProfile`
+        #: behind this planner's thresholds, or ``None`` for the stock
+        #: (assumed) cost model.  Plans built with a profile carry
+        #: measured-vs-assumed reason lines; without one the output is
+        #: byte-identical to the uncalibrated planner's.
+        self.profile = profile
         for name, value in overrides.items():
             if not hasattr(type(self), name) or name.startswith("_"):
                 raise PlanError(f"unknown planner threshold {name!r}")
             setattr(self, name, value)
+
+    @classmethod
+    def calibrated(cls, profile) -> "Planner":
+        """A planner whose thresholds come from a measured
+        :class:`~repro.engine.calibrate.HostProfile` (bars the profile
+        cannot derive keep the class defaults)."""
+        return cls(profile=profile, **profile.thresholds())
 
     # ------------------------------------------------------------------
     def plan(self, workload: Workload, config: Optional[EngineConfig] = None) -> Plan:
@@ -412,6 +430,9 @@ class Planner:
             shards, workers = 1, 1
             reasons.append(f"shards=1, workers=1: {tier} tier is unsharded")
 
+        if self.profile is not None:
+            reasons.extend(self._calibration_reasons())
+
         return Plan(
             tier=tier,
             backend=backend,
@@ -420,6 +441,29 @@ class Planner:
             config=config,
             reasons=tuple(reasons),
         )
+
+    def _calibration_reasons(self):
+        """The measured-vs-assumed lines ``plan --explain`` prints when
+        the planner runs on a :class:`~repro.engine.calibrate.HostProfile`:
+        which bars the host measurement moved (and from where), which
+        still ride on the stock constants."""
+        defaults = type(self)
+        measured = set(self.profile.thresholds())
+
+        def bar(name: str) -> str:
+            value = getattr(self, name)
+            if name in measured:
+                return (
+                    f"{name.lower()}={value} measured "
+                    f"(assumed {getattr(defaults, name)})"
+                )
+            return f"{name.lower()}={value} assumed"
+
+        names = ("VEC_MIN_N", "VEC_STREAM_MIN_N", "FLOAT_MIN_N", "SHARD_MIN_N")
+        return [
+            f"calibration: {self.profile.describe()}",
+            "calibration: " + ", ".join(bar(name) for name in names),
+        ]
 
     def _resolve_tier(self, workload, config, cpus, reasons) -> str:
         n = workload.n
@@ -523,10 +567,35 @@ class Planner:
 
 _DEFAULT_PLANNER = Planner()
 
+#: Calibrated planners cached per resolved profile path, so flipping
+#: ``REPRO_CALIBRATION`` between values (hermetic tests do) cannot
+#: leak one host profile into another's planner.
+_CALIBRATED_PLANNERS: dict = {}
+
 
 def default_planner() -> Planner:
-    """The process-wide planner with the stock cost model."""
-    return _DEFAULT_PLANNER
+    """The process-wide planner.
+
+    With calibration disabled (``REPRO_CALIBRATION`` unset/off -- the
+    default, and what CI runs with) this is the stock cost model and
+    plans are fully deterministic.  With it enabled, the per-host
+    profile is loaded (measured on first use) and the returned planner
+    carries thresholds fitted to this machine; a failed calibration
+    warns and falls back to the stock planner.
+    """
+    from repro.engine import calibrate
+
+    key = calibrate.calibration_mode()
+    if key is None:
+        return _DEFAULT_PLANNER
+    planner = _CALIBRATED_PLANNERS.get(key)
+    if planner is None:
+        profile = calibrate.active_profile()
+        planner = (
+            _DEFAULT_PLANNER if profile is None else Planner.calibrated(profile)
+        )
+        _CALIBRATED_PLANNERS[key] = planner
+    return planner
 
 
 def build_context(

@@ -486,6 +486,18 @@ class StreamSession:
         """How many online tier promotions this session has performed."""
         return self._promotions
 
+    @property
+    def calibration(self) -> dict:
+        """The host calibration behind this session's planner (surfaced
+        in the service's ``/stats`` engine block): ``{"enabled": False}``
+        for the stock cost model, else the measured profile's digest."""
+        profile = getattr(self._planner, "profile", None)
+        if profile is None:
+            return {"enabled": False}
+        summary = profile.summary()
+        summary["enabled"] = True
+        return summary
+
     # ------------------------------------------------------------------
     # online re-planning (config.engine == "auto")
     # ------------------------------------------------------------------

@@ -308,3 +308,92 @@ class TestStartupAndProtocolEdges:
 
         recovered = DurableStore(data).recover()
         assert recovered.tx == 2  # the logged record survived the drain
+
+
+class TestStartupTimeout:
+    def test_timeout_reports_actual_elapsed_time(self, cset, monkeypatch):
+        import asyncio
+        import time
+
+        async def never_ready(self, install_signal_handlers=True):
+            await asyncio.sleep(5)
+
+        monkeypatch.setattr(ReproService, "run", never_ready)
+        started = time.monotonic()
+        with pytest.raises(
+            ServiceError, match=r"ready after \d+\.\d+s \(timeout 0\.3s\)"
+        ) as err:
+            ReproService(cset).start_in_thread(timeout=0.3)
+        elapsed = time.monotonic() - started
+        assert elapsed < 3  # honored the 0.3s deadline, not the 30s default
+        # the message reports measured wall time, not the wait-quantum sum
+        import re
+
+        reported = float(re.search(r"after (\d+\.\d+)s", str(err.value)).group(1))
+        assert 0.3 <= reported <= elapsed + 0.01
+
+
+class TestOverloadRetry:
+    """The client's bounded-retry contract against the server's own
+    503 backpressure refusals: idempotent requests (GET and the
+    read-only POSTs) retry with jittered backoff; a /delta never does.
+    The queue is forced full by pinning the admission counter -- the
+    refusal path never touches it, so unpinning it is race-free."""
+
+    def _wedge(self, handle):
+        service = handle.service
+        service._inflight = service._queue_size
+        return service
+
+    def test_idempotent_request_retries_until_admitted(self, service):
+        import random
+        import threading
+
+        wedged = self._wedge(service)
+        timer = threading.Timer(
+            0.15, lambda: setattr(wedged, "_inflight", 0)
+        )
+        timer.start()
+        try:
+            client = service.client(
+                retries=8, backoff=0.05, rng=random.Random(7)
+            )
+            assert client.probe("AB") == 0  # succeeded after refusals
+        finally:
+            timer.cancel()
+            wedged._inflight = 0
+        assert wedged._refused > 0  # it really was refused first
+
+    def test_exhausted_retries_surface_the_503(self, service):
+        import random
+
+        wedged = self._wedge(service)
+        before = wedged._refused
+        try:
+            client = service.client(
+                retries=2, backoff=0.01, rng=random.Random(7)
+            )
+            with pytest.raises(ServiceError) as err:
+                client.implies("A -> B")
+            assert err.value.status == 503
+        finally:
+            wedged._inflight = 0
+        assert wedged._refused == before + 3  # one try + two retries
+
+    def test_delta_is_never_retried(self, service):
+        wedged = self._wedge(service)
+        before = wedged._refused
+        try:
+            client = service.client(retries=8, backoff=0.01)
+            with pytest.raises(ServiceError) as err:
+                client.delta(["+ AB"])
+            assert err.value.status == 503
+        finally:
+            wedged._inflight = 0
+        # exactly one wire attempt: replaying a transaction that might
+        # have been applied would double-commit it
+        assert wedged._refused == before + 1
+
+    def test_stats_surface_the_calibration_state(self, service):
+        stats = service.client().stats()
+        assert stats["engine"]["calibration"] == {"enabled": False}

@@ -462,3 +462,62 @@ class TestOnlinePromotion:
         session.replan()
         assert session.promotions == 1
         assert session.plan.tier == "sharded"
+
+
+class TestAffinityAwareCpuDetection:
+    """The host-CPU probe must see what the *process* may use, not what
+    the box has: ``os.cpu_count()`` overstates parallelism under CPU
+    pinning and container quotas, which used to route constrained hosts
+    onto the strictly-slower sharded tier (PR 6's 0.33x cold case)."""
+
+    LOADED = dict(
+        n=14, streaming=True, density_size=10**6, delta_rate=5000.0
+    )
+
+    def test_effective_cpus_prefers_affinity(self, monkeypatch):
+        from repro.engine import calibrate
+
+        monkeypatch.setattr(
+            calibrate.os, "sched_getaffinity", lambda pid: {0, 1},
+            raising=False,
+        )
+        monkeypatch.setattr(calibrate.os, "cpu_count", lambda: 16)
+        assert calibrate.effective_cpus() == 2
+
+    def test_effective_cpus_falls_back_to_cpu_count(self, monkeypatch):
+        from repro.engine import calibrate
+
+        def unavailable(pid):
+            raise OSError("no affinity syscall on this platform")
+
+        monkeypatch.setattr(
+            calibrate.os, "sched_getaffinity", unavailable, raising=False
+        )
+        monkeypatch.setattr(calibrate.os, "cpu_count", lambda: 3)
+        assert calibrate.effective_cpus() == 3
+
+    def test_constrained_host_never_shards(self, monkeypatch):
+        # a 16-core box pinned to 2 CPUs must plan like a 2-CPU box:
+        # the loaded workload stays incremental and the default worker
+        # pool matches the quota, not the core count
+        from repro.engine import calibrate
+        from repro.engine.parallel import default_workers
+
+        monkeypatch.setattr(
+            calibrate.os, "sched_getaffinity", lambda pid: {0, 1},
+            raising=False,
+        )
+        monkeypatch.setattr(calibrate.os, "cpu_count", lambda: 16)
+        workload = Workload(**self.LOADED)
+        assert workload.host_cpus == 2
+        assert default_planner().plan(workload).tier == "incremental"
+        assert default_workers() == 2
+        assert default_workers(shards=8) == 2
+
+    def test_cpus_pinned_below_the_bar_never_shard(self):
+        # the acceptance bar: with cpus pinned below SHARD_MIN_CPUS, no
+        # workload -- even maximally loaded -- resolves to sharded
+        for cpus in (1, 2, 3):
+            plan = plan_for(cpus=cpus, **self.LOADED)
+            assert plan.tier == "incremental"
+        assert plan_for(cpus=4, **self.LOADED).tier == "sharded"
