@@ -1,0 +1,220 @@
+"""E21 -- fleet mode: routed multi-worker throughput and latency.
+
+Fleet mode multiplies the serve path across processes: a
+:class:`FleetRouter` consistent-hashes tenants onto N supervised
+``repro serve`` workers, each a separate python process with its own
+GIL.  The regenerated table drives the same concurrent implication
+workload -- ``THREADS`` client threads, one tenant each, every query a
+*distinct* constraint so the decider's memo cannot answer for the wire
+-- against fleets of 1, 2 and 4 workers, and records per-request p50 /
+p99 latency plus saturation throughput.
+
+Worker processes only help when the host can actually run them side by
+side, so the scaling acceptance (4-worker throughput >= 2x 1-worker) is
+asserted only where it is meaningful -- hosts with >= 4 effective CPUs
+-- and is informational on smaller hosts, same policy as the
+``check_drift.py --timing`` band that gates the committed numbers.
+
+Latency columns ("p50 ms", "p99 ms") are ceiling-gated by the timing
+band; the "speedup" column is floor-gated; raw req/s floats are
+recorded ungated (they restate the speedup ratio).
+"""
+
+import os
+import statistics
+import sys
+import threading
+import time
+
+from repro.engine import FleetService, effective_cpus
+
+from _harness import format_table, report
+
+FLEETS = (1, 2, 4)
+THREADS = 8
+REQUESTS_PER_THREAD = 24
+
+#: Asserted on hosts with >= 4 effective CPUs: a 4-worker fleet must
+#: at least double 1-worker saturation throughput.
+MIN_SPEEDUP_4W = 2.0
+
+N = 10
+LETTERS = "ABCDEFGHIJ"
+CONSTRAINTS = "ABCDEFGHIJ\nA -> B\nBC -> DE\nF -> GH\n"
+
+
+def _queries():
+    """A distinct implication per (thread, request): memoization inside
+    one worker never answers twice, so every request pays the full
+    routed round trip."""
+    queries = []
+    for t in range(THREADS):
+        row = []
+        for i in range(REQUESTS_PER_THREAD):
+            k = t * REQUESTS_PER_THREAD + i
+            lhs = LETTERS[k % N]
+            rhs = LETTERS[(k // N) % N] + LETTERS[(k * 7 + 3) % N]
+            row.append(f"{lhs} -> {rhs}")
+        queries.append(row)
+    return queries
+
+
+def worker_command(constraint_path):
+    return [
+        sys.executable, "-m", "repro", "serve", str(constraint_path),
+        "--port", "0", "--host", "127.0.0.1", "--queue-size", "128",
+    ]
+
+
+def fleet_env():
+    """Worker subprocesses need ``repro`` importable regardless of cwd."""
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _drive(handle, queries):
+    """All threads hammer the router at once; per-request wall times."""
+    latencies = [[] for _ in range(THREADS)]
+    barrier = threading.Barrier(THREADS + 1)
+
+    def run(index):
+        client = handle.client(tenant=f"tenant-{index}", timeout=60)
+        barrier.wait()
+        for constraint in queries[index]:
+            t0 = time.perf_counter()
+            client.implies(constraint)
+            latencies[index].append(time.perf_counter() - t0)
+
+    threads = [
+        threading.Thread(target=run, args=(i,), daemon=True)
+        for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    flat = sorted(lat for row in latencies for lat in row)
+    return elapsed, flat
+
+
+def _percentile(sorted_values, q):
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+class TestFleetScaling:
+    def test_routed_fleet_throughput(self, benchmark, tmp_path):
+        constraint_path = tmp_path / "constraints.txt"
+        constraint_path.write_text(CONSTRAINTS)
+        queries = _queries()
+        total = THREADS * REQUESTS_PER_THREAD
+
+        rows = []
+        rates = {}
+        for workers in FLEETS:
+            service = FleetService(
+                [worker_command(constraint_path) for _ in range(workers)],
+                env=fleet_env(),
+            )
+            with service.start_in_thread(timeout=120) as handle:
+                _drive(handle, queries)  # warm each worker's tables
+                elapsed, latencies = _drive(handle, queries)
+                stats = handle.client().stats()
+                assert stats["relayed"] >= 2 * total
+                routed = [w["routed"] for w in stats["workers"]]
+                assert sum(routed) >= 2 * total
+            rate = total / elapsed
+            rates[workers] = rate
+            rows.append(
+                (
+                    workers,
+                    THREADS,
+                    total,
+                    f"{_percentile(latencies, 0.50) * 1e3:.1f}",
+                    f"{_percentile(latencies, 0.99) * 1e3:.1f}",
+                    f"{rate:.1f}",
+                    f"{rate / rates[FLEETS[0]]:.2f}x",
+                )
+            )
+
+        cpus = effective_cpus()
+        report(
+            "E21_fleet",
+            "routed fleet saturation: concurrent implies across 1/2/4 "
+            f"workers (acceptance: >= {MIN_SPEEDUP_4W:.0f}x at 4 workers, "
+            f"asserted only on hosts with >= 4 effective CPUs; "
+            f"this host: {cpus})",
+            format_table(
+                [
+                    "workers",
+                    "threads",
+                    "requests",
+                    "p50 ms",
+                    "p99 ms",
+                    "req/s",
+                    "speedup",
+                ],
+                rows,
+            )
+            + [
+                "workload: one distinct implication per request "
+                "(memoization never short-circuits the wire)",
+                f"acceptance floor (>= 4 CPUs): 4-worker >= "
+                f"{MIN_SPEEDUP_4W:.0f}x 1-worker throughput",
+            ],
+        )
+        assert statistics.median(rates.values()) > 0
+        if cpus >= 4:
+            assert rates[4] >= MIN_SPEEDUP_4W * rates[1], (
+                f"4-worker fleet only {rates[4] / rates[1]:.2f}x of "
+                f"1-worker on a {cpus}-CPU host"
+            )
+
+        # pytest-benchmark row: one routed implies round trip through a
+        # single-worker fleet (router relay + worker decide, no memo)
+        service = FleetService(
+            [worker_command(constraint_path)], env=fleet_env()
+        )
+        with service.start_in_thread(timeout=120) as handle:
+            client = handle.client(tenant="bench", timeout=60)
+            state = {"i": 0}
+            flat = [q for row in queries for q in row]
+
+            def one_routed_implies():
+                state["i"] += 1
+                client.implies(flat[state["i"] % len(flat)])
+
+            benchmark(one_routed_implies)
+
+    def test_quota_throttling_is_a_429_not_a_503(self, tmp_path):
+        """The quota layer the operator turns on for a fleet refuses
+        with 429 (never client-retried) while saturation stays 503."""
+        from repro.engine import QuotaPolicy
+        from repro.engine.net import ServiceError
+
+        constraint_path = tmp_path / "constraints.txt"
+        constraint_path.write_text(CONSTRAINTS)
+        service = FleetService(
+            [worker_command(constraint_path)],
+            quota=QuotaPolicy(rate=1.0, burst=2.0),
+            env=fleet_env(),
+        )
+        with service.start_in_thread(timeout=120) as handle:
+            client = handle.client(tenant="greedy", timeout=60)
+            statuses = []
+            for i in range(6):
+                try:
+                    client.implies(f"A -> {LETTERS[i % N]}B")
+                    statuses.append(200)
+                except ServiceError as exc:
+                    statuses.append(exc.status)
+            assert 429 in statuses and 503 not in statuses
+            stats = handle.client().stats()
+            assert stats["throttled"] >= statuses.count(429)

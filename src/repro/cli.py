@@ -502,6 +502,18 @@ def _serve_network(args, ground, cset, out: TextIO) -> int:
     from repro.engine.stream import StreamSession
 
     config = engine_config_from_args(args, err=sys.stderr)
+    ship_to = getattr(args, "ship_to", None)
+    if ship_to:
+        if not args.data_dir:
+            raise ValueError(
+                "--ship-to mirrors a durable store: pass --data-dir too"
+            )
+        from repro.engine.fleet import ShippingStore
+
+        config = config.replace(
+            durable=ShippingStore(args.data_dir, ship_to, fsync=config.fsync)
+        )
+        print(f"# shipping WAL to standby {ship_to}", file=out)
     density = None
     if args.baskets:
         basket_ground, db = parse_basket_file(_read(args.baskets))
@@ -542,6 +554,84 @@ def _serve_network(args, ground, cset, out: TextIO) -> int:
         f"# drained after {session.transactions} transaction(s)",
         file=out,
     )
+    return 0
+
+
+def _cmd_fleet(args, out: TextIO) -> int:
+    """``repro fleet``: N supervised workers behind the tenant router."""
+    from repro.engine.fleet import FleetService, worker_dirs
+    from repro.engine.plan import default_fleet_workers
+    from repro.engine.quota import QuotaPolicy
+
+    # parse the constraint file up front so a bad file fails here, not
+    # N times inside the workers
+    parse_constraint_file(_read(args.file))
+    count = args.workers if args.workers is not None else default_fleet_workers()
+    if count < 1:
+        raise ValueError(f"--workers must be >= 1, got {count}")
+    data_root, standby_root = args.data_root, args.standby_root
+    if standby_root and not data_root:
+        raise ValueError(
+            "--standby-root mirrors durable stores: pass --data-root too"
+        )
+    if args.takeover:
+        if not (data_root and standby_root):
+            raise ValueError(
+                "--takeover swaps the roots: pass both --data-root and "
+                "--standby-root"
+            )
+        # recovery boot: the standby copies become the live stores, and
+        # shipping re-seeds the old (possibly damaged) primaries
+        data_root, standby_root = standby_root, data_root
+        print(f"# takeover: recovering from {data_root}", file=out)
+    data_dirs = (
+        worker_dirs(data_root, count) if data_root else [None] * count
+    )
+    ship_dirs = (
+        worker_dirs(standby_root, count) if standby_root else [None] * count
+    )
+
+    def worker_command(index: int) -> list:
+        cmd = [
+            sys.executable, "-m", "repro", "serve", args.file,
+            "--port", "0", "--host", args.host,
+            "--queue-size", str(args.queue_size),
+            "--engine", args.engine,
+        ]
+        if data_dirs[index]:
+            cmd += ["--data-dir", data_dirs[index], "--fsync", args.fsync]
+        if ship_dirs[index]:
+            cmd += ["--ship-to", ship_dirs[index]]
+        if args.snapshot_every is not None:
+            cmd += ["--snapshot-every", str(args.snapshot_every)]
+        return cmd
+
+    quota = None
+    if args.quota_rate is not None:
+        quota = QuotaPolicy(rate=args.quota_rate, burst=args.quota_burst)
+        print(f"# per-tenant quota: {quota!r}", file=out)
+
+    def _ready(host: str, port: int) -> None:
+        # supervisors/drivers parse this line (note: distinct from the
+        # workers' own '# listening on' lines, echoed below)
+        print(
+            f"# fleet listening on {host}:{port} ({count} workers)",
+            file=out, flush=True,
+        )
+
+    def _worker_line(index: int, line: str) -> None:
+        print(f"# [worker {index}] {line}", file=out, flush=True)
+
+    service = FleetService(
+        [worker_command(i) for i in range(count)],
+        host=args.host,
+        port=args.port,
+        quota=quota,
+        on_ready=_ready,
+        on_line=_worker_line,
+    )
+    service.serve_forever()
+    print("# fleet drained", file=out)
     return 0
 
 
@@ -707,7 +797,96 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(p)
     _add_durability_flags(p)
+    p.add_argument(
+        "--ship-to",
+        default=None,
+        help="ship the WAL synchronously to this warm-standby directory "
+        "(requires --data-dir); 'repro fleet --takeover' boots from it",
+    )
     p.set_defaults(run=_cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="run N supervised 'repro serve' workers behind a "
+        "consistent-hash tenant router (restart-on-crash, per-tenant "
+        "quotas, WAL shipping to a standby root)",
+    )
+    p.add_argument("file", help="constraint file served by every worker")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-process count (default: effective CPUs, capped at "
+        "the planner's FLEET_MAX_WORKERS)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="router port (0 = OS-assigned; prints "
+        "'# fleet listening on HOST:PORT')",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for the router and workers (default 127.0.0.1)",
+    )
+    p.add_argument(
+        "--data-root",
+        default=None,
+        help="root directory for per-worker durable stores "
+        "(worker-NN/ subdirectories; omit for in-memory workers)",
+    )
+    p.add_argument(
+        "--standby-root",
+        default=None,
+        help="warm-standby root each worker ships its WAL to "
+        "(requires --data-root)",
+    )
+    p.add_argument(
+        "--takeover",
+        action="store_true",
+        help="recovery boot: swap the roots -- workers recover from "
+        "--standby-root and ship back toward --data-root",
+    )
+    p.add_argument(
+        "--engine",
+        default="auto",
+        choices=("auto",) + TIERS,
+        help="evaluation tier passed to every worker (default auto)",
+    )
+    p.add_argument(
+        "--queue-size",
+        type=int,
+        default=128,
+        help="per-worker backpressure bound (worker answers 503 past it)",
+    )
+    p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        help="per-worker auto-snapshot cadence (transactions)",
+    )
+    p.add_argument(
+        "--fsync",
+        default="always",
+        choices=["always", "never"],
+        help="per-worker WAL sync policy (default always)",
+    )
+    p.add_argument(
+        "--quota-rate",
+        type=float,
+        default=None,
+        help="per-tenant admission rate in requests/second (router "
+        "answers 429 past it; default: unmetered)",
+    )
+    p.add_argument(
+        "--quota-burst",
+        type=float,
+        default=None,
+        help="per-tenant burst capacity (default: one second of rate)",
+    )
+    p.set_defaults(run=_cmd_fleet)
     return parser
 
 

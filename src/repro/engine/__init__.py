@@ -54,7 +54,16 @@ replaces three scalar hot paths with table-at-a-time computation:
   :class:`ReproClient`, the asyncio HTTP/JSON wire protocol in front of
   the constraint server and a durable stream session (``repro serve
   --port``): microbatching preserved, bounded-queue backpressure,
-  graceful drain on SIGTERM.
+  graceful drain on SIGTERM;
+* :mod:`repro.engine.quota` -- :class:`TenantQuotas`, per-tenant
+  token-bucket admission control (quota ``429`` distinct from
+  saturation ``503``);
+* :mod:`repro.engine.fleet` -- :class:`FleetService` /
+  :class:`FleetRouter`, fleet mode (``repro fleet``): consistent-hash
+  tenant routing across N supervised ``repro serve`` worker processes
+  with restart-on-crash backoff, SIGTERM fan-out drain, and
+  :class:`ShippingStore` WAL shipping to a warm standby directory
+  (``repro fleet --takeover`` recovers from it).
 
 Layering: engine modules never import :mod:`repro.core`; the scalar
 entry points in core remain as thin wrappers over this package, so the
@@ -97,6 +106,7 @@ from repro.engine.plan import (
     Planner,
     Workload,
     build_context,
+    default_fleet_workers,
     default_planner,
     plan_of_context,
 )
@@ -144,6 +154,19 @@ from repro.engine.net import (
     ServiceError,
     ServiceHandle,
 )
+from repro.engine.quota import (
+    QuotaPolicy,
+    TenantQuotas,
+    TokenBucket,
+)
+from repro.engine.fleet import (
+    FleetRouter,
+    FleetService,
+    FleetSupervisor,
+    FleetWorker,
+    HashRing,
+    ShippingStore,
+)
 from repro.engine.decider import (
     ImplicationCache,
     constraint_fingerprint,
@@ -184,6 +207,7 @@ __all__ = [
     "Planner",
     "Workload",
     "build_context",
+    "default_fleet_workers",
     "default_planner",
     "plan_of_context",
     "IncrementalEvalContext",
@@ -216,6 +240,15 @@ __all__ = [
     "ReproService",
     "ServiceError",
     "ServiceHandle",
+    "QuotaPolicy",
+    "TenantQuotas",
+    "TokenBucket",
+    "FleetRouter",
+    "FleetService",
+    "FleetSupervisor",
+    "FleetWorker",
+    "HashRing",
+    "ShippingStore",
     "ImplicationCache",
     "constraint_fingerprint",
     "constraint_set_fingerprint",

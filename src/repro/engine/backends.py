@@ -196,6 +196,7 @@ class VecTable:
         return iter(self.arr.tolist())
 
     def tolist(self) -> list:
+        """The table as a plain python list (ints stay exact)."""
         return self.arr.tolist()
 
     def __eq__(self, other) -> bool:
@@ -222,6 +223,7 @@ class Backend:
 
     # -- allocation ----------------------------------------------------
     def zeros(self, size: int) -> Table:
+        """A zero-filled table of ``size`` entries."""
         raise NotImplementedError
 
     def full(self, size: int, value) -> Table:
@@ -250,15 +252,19 @@ class Backend:
 
     # -- butterflies ---------------------------------------------------
     def superset_zeta_inplace(self, values: Table) -> None:
+        """In place: ``values[X] <- sum of values[Y] for Y superseteq X``."""
         raise NotImplementedError
 
     def superset_mobius_inplace(self, values: Table) -> None:
+        """In place: invert :meth:`superset_zeta_inplace` (Moebius)."""
         raise NotImplementedError
 
     def subset_zeta_inplace(self, values: Table) -> None:
+        """In place: ``values[X] <- sum of values[Y] for Y subseteq X``."""
         raise NotImplementedError
 
     def subset_mobius_inplace(self, values: Table) -> None:
+        """In place: invert :meth:`subset_zeta_inplace` (Moebius)."""
         raise NotImplementedError
 
     # -- maintenance / merge -------------------------------------------
@@ -308,6 +314,7 @@ class Backend:
         raise NotImplementedError
 
     def all_nonnegative(self, values: Table, tol: float) -> bool:
+        """Whether every entry is ``>= -tol`` (density admissibility)."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -174,6 +174,7 @@ class HostProfile:
 
     # -- persistence ---------------------------------------------------
     def as_json(self) -> dict:
+        """The profile as the versioned JSON payload it persists as."""
         return {
             "schema": PROFILE_SCHEMA,
             "cpus": self.cpus,
@@ -253,10 +254,12 @@ class HostProfile:
         return a, b
 
     def predict_list_s(self, n: int) -> float:
+        """Fitted seconds for one list-exact butterfly pass at ``|S| = n``."""
         a, b = self._fit(self.list_butterfly_s)
         return a * (n * (1 << n)) + b
 
     def predict_vec_s(self, n: int) -> float:
+        """Fitted seconds for one vectorized butterfly pass at ``|S| = n``."""
         a, b = self._fit(self.vec_butterfly_s)
         return a * (n * (1 << n)) + b
 

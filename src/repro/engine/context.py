@@ -68,6 +68,7 @@ class EvalContext:
 
     @property
     def cache(self) -> ImplicationCache:
+        """The fingerprint-keyed table cache this context memoizes into."""
         return self._cache
 
     @property
@@ -91,4 +92,5 @@ _DEFAULT = EvalContext()
 
 
 def default_context() -> EvalContext:
+    """The process-wide shared context (shared implication cache)."""
     return _DEFAULT

@@ -100,6 +100,7 @@ class _Lru:
             self._bytes -= getattr(evicted, "nbytes", 0)
 
     def clear(self) -> None:
+        """Drop every memoized answer and reset the hit/miss counters."""
         self._data.clear()
         self._bytes = 0
         self.hits = 0
@@ -122,6 +123,7 @@ class ImplicationCache:
 
     # -- per-family ----------------------------------------------------
     def blocked_table(self, ground, members: Tuple[int, ...]) -> np.ndarray:
+        """Memoized ``blocked_table`` for one witness family (by masks)."""
         key = (ground, tuple(members))
         table = self._blocked_tables.get(key)
         if table is None:
@@ -132,6 +134,7 @@ class ImplicationCache:
 
     # -- per-constraint ------------------------------------------------
     def lattice_table(self, constraint) -> np.ndarray:
+        """Memoized ``L(X, Y)`` indicator for one constraint."""
         key = constraint_fingerprint(constraint)
         table = self._constraint_tables.get(key)
         if table is None:
@@ -145,6 +148,7 @@ class ImplicationCache:
 
     # -- per-set: the atomic closure L(C) ------------------------------
     def joint_lattice_table(self, cset) -> np.ndarray:
+        """Memoized ``L(C)`` union indicator for a whole constraint set."""
         key = constraint_set_fingerprint(cset)
         table = self._set_tables.get(key)
         if table is None:
@@ -157,11 +161,13 @@ class ImplicationCache:
 
     # -- bookkeeping ---------------------------------------------------
     def clear(self) -> None:
+        """Drop every memoized lattice table."""
         self._constraint_tables.clear()
         self._set_tables.clear()
         self._blocked_tables.clear()
 
     def stats(self) -> dict:
+        """Table counts per memo family, for diagnostics and tests."""
         return {
             "constraint_tables": len(self._constraint_tables),
             "set_tables": len(self._set_tables),
@@ -185,6 +191,7 @@ _SHARED = ImplicationCache()
 
 
 def shared_cache() -> ImplicationCache:
+    """The process-wide cache behind :func:`default_context`."""
     return _SHARED
 
 

@@ -238,14 +238,17 @@ class IncrementalEvalContext(EvalContext):
     # ------------------------------------------------------------------
     @property
     def ground(self):
+        """The ground set the tables are indexed by."""
         return self._ground
 
     @property
     def exact(self) -> bool:
+        """Whether the backend keeps exact numbers (no float rounding)."""
         return self.backend.exact
 
     @property
     def tol(self) -> float:
+        """Comparison tolerance (``0.0`` on exact backends)."""
         return self._tol
 
     def _check_mask(self, mask: int) -> None:
@@ -271,6 +274,7 @@ class IncrementalEvalContext(EvalContext):
         return self.value(self._ground.parse(subset))
 
     def density_value(self, mask: int) -> Number:
+        """The maintained density at one subset ``mask``."""
         self._check_mask(mask)
         v = self._density[mask]
         return v if self.exact else float(v)
@@ -291,6 +295,7 @@ class IncrementalEvalContext(EvalContext):
         return len(self._support_nnz)
 
     def is_nonnegative_density(self, tol: Optional[float] = None) -> bool:
+        """Whether the maintained density is everywhere ``>= -tol``."""
         tol = self._tol if tol is None else tol
         return all(self._density[u] >= -tol for u in self._support_nnz)
 
@@ -342,6 +347,7 @@ class IncrementalEvalContext(EvalContext):
 
     @property
     def constraints(self) -> Tuple:
+        """The watched constraints, in registration order."""
         return tuple(self._constraints)
 
     def is_violated(self, constraint) -> bool:

@@ -68,7 +68,14 @@ from repro.engine.server import ConstraintServer
 from repro.engine.stream import StreamSession, parse_transaction_log
 from repro.errors import PersistenceError
 
-__all__ = ["ReproClient", "ReproService", "ServiceError", "ServiceHandle"]
+__all__ = [
+    "ReproClient",
+    "ReproService",
+    "ServiceError",
+    "ServiceHandle",
+    "read_http_request",
+    "write_http_response",
+]
 
 _MAX_BODY = 8 << 20  # refuse absurd request bodies rather than buffer them
 
@@ -100,9 +107,90 @@ _REASONS = {
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
     503: "Service Unavailable",
 }
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, dict, dict]]:
+    """Parse one HTTP/1.1 request from ``reader``.
+
+    Returns ``(method, path, headers, body)`` -- headers lower-cased,
+    body the decoded JSON object (``{}`` when there is none) -- or
+    ``None`` if the peer closed before sending a request line.
+
+    Raises
+    ------
+    _HttpError
+        With status 400 for malformed framing/JSON and 413 for bodies
+        over the 8 MiB cap.
+
+    Shared by :class:`ReproService` and the fleet router
+    (:class:`repro.engine.fleet.FleetRouter`), so both speak exactly
+    the same dialect.
+    """
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise _HttpError(400, "malformed request line")
+    method, path, _version = parts
+    headers: dict = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", 0))
+    except ValueError:
+        raise _HttpError(400, "bad Content-Length")
+    if length > _MAX_BODY:
+        raise _HttpError(413, f"body over {_MAX_BODY} bytes")
+    body: dict = {}
+    if length:
+        try:
+            raw = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise _HttpError(
+                400, "connection closed before Content-Length bytes"
+            )
+        try:
+            body = json.loads(raw)
+        except ValueError as err:
+            raise _HttpError(400, f"request body is not JSON: {err}")
+        if not isinstance(body, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+    return method, path, headers, body
+
+
+def write_http_response(
+    writer: asyncio.StreamWriter, status: int, payload: dict,
+    extra_headers: Tuple[Tuple[str, str], ...] = (),
+) -> None:
+    """Serialize one ``Connection: close`` JSON response onto ``writer``.
+
+    Shared by :class:`ReproService` and the fleet router; does not
+    flush -- the caller drains/closes the writer.
+    """
+    body = json.dumps(payload).encode()
+    headers = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    headers.extend(f"{k}: {v}" for k, v in extra_headers)
+    writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
 
 
 def _json_value(value):
@@ -212,6 +300,7 @@ class ReproService:
     # ------------------------------------------------------------------
     @property
     def session(self) -> StreamSession:
+        """The durable stream session deltas commit through."""
         return self._session
 
     @property
@@ -221,6 +310,7 @@ class ReproService:
 
     @property
     def host(self) -> str:
+        """The bind address the service listens on."""
         return self._host
 
     def request_stop(self) -> None:
@@ -235,43 +325,12 @@ class ReproService:
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> Optional[Tuple[str, str, dict]]:
-        try:
-            request_line = await reader.readline()
-        except (ConnectionError, asyncio.LimitOverrunError):
+        """One parsed request as ``(method, path, body)`` (or ``None``
+        on a silent close); framing errors raise :class:`_HttpError`."""
+        request = await read_http_request(reader)
+        if request is None:
             return None
-        if not request_line:
-            return None
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise _HttpError(400, "malformed request line")
-        method, path, _version = parts
-        length = 0
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    length = int(value.strip())
-                except ValueError:
-                    raise _HttpError(400, "bad Content-Length")
-        if length > _MAX_BODY:
-            raise _HttpError(413, f"body over {_MAX_BODY} bytes")
-        body: dict = {}
-        if length:
-            try:
-                raw = await reader.readexactly(length)
-            except asyncio.IncompleteReadError:
-                raise _HttpError(
-                    400, "connection closed before Content-Length bytes"
-                )
-            try:
-                body = json.loads(raw)
-            except ValueError as err:
-                raise _HttpError(400, f"request body is not JSON: {err}")
-            if not isinstance(body, dict):
-                raise _HttpError(400, "request body must be a JSON object")
+        method, path, _headers, body = request
         return method, path, body
 
     @staticmethod
@@ -279,15 +338,8 @@ class ReproService:
         writer: asyncio.StreamWriter, status: int, payload: dict,
         extra_headers: Tuple[Tuple[str, str], ...] = (),
     ) -> None:
-        body = json.dumps(payload).encode()
-        headers = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            "Connection: close",
-        ]
-        headers.extend(f"{k}: {v}" for k, v in extra_headers)
-        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode() + body)
+        """Emit one JSON response (see :func:`write_http_response`)."""
+        write_http_response(writer, status, payload, extra_headers)
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -578,13 +630,16 @@ class ServiceHandle:
 
     @property
     def port(self) -> int:
+        """The running service's bound port."""
         return self.service.port
 
     @property
     def host(self) -> str:
+        """The running service's bind address."""
         return self.service.host
 
     def client(self, **kwargs) -> "ReproClient":
+        """A :class:`ReproClient` pointed at this service."""
         return ReproClient(self.host, self.port, **kwargs)
 
     def stop(self, timeout: float = 30.0) -> None:
@@ -615,13 +670,38 @@ class ReproClient:
     ``/implies``, ``/check``, ``/probe``).  A ``/delta`` is never
     retried automatically: the refusal races the commit on the wire,
     and replaying a transaction that might have been applied would
-    double-commit it.  Non-503 failures always surface immediately.
+    double-commit it.  Non-503 failures always surface immediately --
+    in particular a quota ``429`` from the fleet router is **never**
+    retried: a 503 means "the queue is momentarily full, back off and
+    try again", a 429 means "this tenant is over its budget" and
+    hammering the router will not mint new tokens.
+
+    Parameters
+    ----------
+    host / port / timeout:
+        Where to connect and the per-request socket timeout (seconds).
+    retries / backoff / max_backoff:
+        The 503 retry budget: up to ``retries`` attempts with
+        exponential full-jitter backoff starting at ``backoff`` seconds
+        and capped at ``max_backoff``.
+    rng:
+        Jitter source (injectable for deterministic tests).
+    tenant:
+        Optional tenant id sent as ``X-Repro-Tenant`` on every request;
+        the fleet router routes and meters by it.  ``None`` (the
+        default) lets the router fall back to its default tenant.
+
+    Raises
+    ------
+    ValueError
+        If ``retries`` is negative.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 80,
                  timeout: float = 30.0, retries: int = 4,
                  backoff: float = 0.05, max_backoff: float = 1.0,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 tenant: Optional[str] = None):
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self._host = host
@@ -631,6 +711,7 @@ class ReproClient:
         self._backoff = backoff
         self._max_backoff = max_backoff
         self._rng = rng if rng is not None else random.Random()
+        self._tenant = tenant
 
     def _request(
         self,
@@ -665,6 +746,8 @@ class ReproClient:
         try:
             payload = json.dumps(body).encode() if body is not None else None
             headers = {"Content-Type": "application/json"} if payload else {}
+            if self._tenant is not None:
+                headers["X-Repro-Tenant"] = self._tenant
             try:
                 conn.request(method, path, body=payload, headers=headers)
                 response = conn.getresponse()
@@ -692,9 +775,11 @@ class ReproClient:
 
     # ------------------------------------------------------------------
     def health(self) -> dict:
+        """``GET /healthz``: readiness plus instance counters."""
         return self._request("GET", "/healthz")
 
     def stats(self) -> dict:
+        """``GET /stats``: queue depth and request counters."""
         return self._request("GET", "/stats")
 
     def implies(self, constraint: str) -> bool:

@@ -252,6 +252,7 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
     @property
     def workers(self) -> int:
+        """Worker-process count (1 = run inline, no pool)."""
         return self._workers
 
     @property
@@ -352,6 +353,7 @@ class ParallelExecutor:
                 f.result()
 
     def shutdown(self) -> None:
+        """Terminate the worker pools; the executor stays reusable."""
         if self._pools is not None:
             for pool in self._pools:
                 pool.shutdown(wait=True)  # worker state dies with them

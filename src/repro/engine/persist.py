@@ -132,10 +132,12 @@ class WriteAheadLog:
 
     @property
     def path(self) -> str:
+        """The log file's path."""
         return self._path
 
     @property
     def fsync_policy(self) -> str:
+        """``"always"`` (fsync every append) or ``"never"``."""
         return self._fsync
 
     # ------------------------------------------------------------------
@@ -158,6 +160,7 @@ class WriteAheadLog:
             os.fsync(self._fh.fileno())
 
     def close(self) -> None:
+        """Flush, sync and release the log file handle."""
         if self._fh is not None:
             self._fh.flush()
             if self._fsync == "always":
@@ -344,14 +347,17 @@ class DurableStore:
 
     @property
     def path(self) -> str:
+        """The store's data directory."""
         return self._path
 
     @property
     def wal(self) -> WriteAheadLog:
+        """The store's write-ahead log."""
         return self._wal
 
     @property
     def snapshots(self) -> SnapshotStore:
+        """The store's versioned snapshot directory view."""
         return self._snapshots
 
     # ------------------------------------------------------------------
@@ -359,6 +365,7 @@ class DurableStore:
     # ------------------------------------------------------------------
     @property
     def meta(self) -> Optional[dict]:
+        """The identity record (``meta.json``), or None when empty."""
         if self._meta is None:
             meta_path = os.path.join(self._path, self.META)
             if os.path.exists(meta_path):
@@ -376,6 +383,7 @@ class DurableStore:
         return self.meta is None
 
     def write_meta(self, meta: dict) -> None:
+        """Atomically persist the identity record."""
         _atomic_write(
             os.path.join(self._path, self.META),
             json.dumps(meta, separators=(",", ":")).encode(),
@@ -439,7 +447,28 @@ class DurableStore:
         return RecoveredState(snapshot, tail, torn)
 
     def close(self) -> None:
+        """Flush and close the write-ahead log file handle."""
         self._wal.close()
+
+    def reset(self) -> None:
+        """Erase the directory's durable state (meta, WAL, snapshots).
+
+        Used when a directory is being *re-seeded* from another store
+        -- e.g. a WAL-shipping standby whose primary was rebuilt -- so
+        stale state from a previous life cannot shadow the new seed.
+        The directory itself is kept.
+        """
+        self._wal.close()
+        for name in os.listdir(self._path):
+            if (
+                name in (self.META, self.WAL)
+                or name == self.WAL + ".tmp"
+                or name == self.META + ".tmp"
+                or _SNAPSHOT_RE.match(name)
+            ):
+                os.unlink(os.path.join(self._path, name))
+        _fsync_dir(self._path)
+        self._meta = None
 
     def __enter__(self) -> "DurableStore":
         return self

@@ -96,6 +96,7 @@ __all__ = [
     "Planner",
     "TIERS",
     "build_context",
+    "default_fleet_workers",
     "default_planner",
     "plan_of_context",
     "warn_deprecated_kwargs",
@@ -184,6 +185,7 @@ class EngineConfig:
             raise PlanError(f"cache_size must be >= 1, got {self.cache_size}")
 
     def replace(self, **changes) -> "EngineConfig":
+        """A copy of this config with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
 
     @classmethod
@@ -317,6 +319,10 @@ class Planner:
     SHARD_MIN_DELTA_RATE = 2_000.0
     #: Shards beyond this just queue behind the worker pools.
     MAX_SHARDS = 8
+    #: Fleet workers beyond this just multiply idle event loops: each
+    #: worker process pins (at most) one core, so the fleet size is
+    #: CPU-bound the same way the shard worker pool is.
+    FLEET_MAX_WORKERS = 8
     #: Live auto sessions re-consult the planner this often (in
     #: committed transactions).
     REPLAN_EVERY = 64
@@ -596,6 +602,21 @@ def default_planner() -> Planner:
         )
         _CALIBRATED_PLANNERS[key] = planner
     return planner
+
+
+def default_fleet_workers(cpus: Optional[int] = None) -> int:
+    """The worker-process count ``repro fleet`` defaults to.
+
+    One :class:`~repro.engine.net.ReproService` event loop saturates
+    one core, so the natural fleet size is the affinity-aware
+    :func:`~repro.engine.calibrate.effective_cpus` count, capped at
+    :attr:`Planner.FLEET_MAX_WORKERS` (past the cap extra processes
+    only add restart surface and memory).  Pass ``cpus`` to plan for a
+    different host.
+    """
+    if cpus is None:
+        cpus = effective_cpus()
+    return max(1, min(cpus, Planner.FLEET_MAX_WORKERS))
 
 
 def build_context(

@@ -69,6 +69,7 @@ class ServerStats:
         # requests == coalesced + cache_hits + computed always holds
 
     def as_dict(self) -> dict:
+        """The counters as a plain dict (the ``/stats`` server block)."""
         return {name: getattr(self, name) for name in self.__slots__}
 
     def __repr__(self) -> str:
@@ -153,6 +154,7 @@ class ConstraintServer:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "ConstraintServer":
+        """Start the dispatcher task; returns self for chaining."""
         if self._dispatcher is not None:
             raise RuntimeError("server already started")
         self._queue = asyncio.Queue()
@@ -160,6 +162,7 @@ class ConstraintServer:
         return self
 
     async def stop(self) -> None:
+        """Drain the queue and cancel the dispatcher task."""
         if self._dispatcher is None:
             return
         queue = self._queue

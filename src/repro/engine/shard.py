@@ -101,6 +101,7 @@ class ShardPlan:
 
     @property
     def shards(self) -> int:
+        """How many shards the density space is split into."""
         return self._shards
 
     def shard_of(self, mask: int) -> int:
@@ -276,14 +277,17 @@ class ShardedEvalContext(IncrementalEvalContext):
     # ------------------------------------------------------------------
     @property
     def plan(self) -> ShardPlan:
+        """The routing plan (shard count + mask assignment)."""
         return self._plan
 
     @property
     def shards(self) -> int:
+        """How many shards this context fans out over."""
         return self._plan.shards
 
     @property
     def executor(self):
+        """The :class:`ParallelExecutor` evaluations fan out through."""
         return self._executor
 
     @property
@@ -354,6 +358,7 @@ class ShardedEvalContext(IncrementalEvalContext):
     # deltas: route to the owning shard
     # ------------------------------------------------------------------
     def apply_delta(self, mask: int, delta: Number) -> List[Tuple[object, bool]]:
+        """Apply one density delta, dirtying only the owning shard."""
         flips = super().apply_delta(mask, delta)
         if delta != 0:
             k = self._plan.shard_of(mask)

@@ -168,6 +168,7 @@ class StreamReport:
 
     @property
     def changed(self) -> bool:
+        """Whether this transaction flipped any constraint status."""
         return bool(self.newly_violated or self.restored)
 
     def __repr__(self) -> str:
@@ -423,6 +424,7 @@ class StreamSession:
 
     @property
     def durable(self) -> bool:
+        """Whether commits are write-ahead logged to a data directory."""
         return self._store is not None
 
     @property
@@ -479,6 +481,7 @@ class StreamSession:
 
     @property
     def planner(self) -> Planner:
+        """The planner auto sessions re-consult when re-planning."""
         return self._planner
 
     @property
@@ -561,6 +564,7 @@ class StreamSession:
 
     @property
     def ground(self):
+        """The ground set of the live instance."""
         return self._context.ground
 
     @property
@@ -577,9 +581,11 @@ class StreamSession:
         return self._context.value(self.ground.parse(subset))
 
     def violated_constraints(self) -> Tuple:
+        """The watched constraints currently violated."""
         return self._context.violated_constraints()
 
     def satisfied_constraints(self) -> Tuple:
+        """The watched constraints currently satisfied."""
         return self._context.satisfied_constraints()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Docstring coverage gate for the engine's public surface.
+
+A pydocstyle-lite: walks every module under ``src/repro/engine`` (plus
+any extra paths given on the command line) with :mod:`ast` -- no
+imports, so it runs anywhere -- and counts docstrings on the *public*
+surface:
+
+* the module itself;
+* module-level classes and functions not prefixed with ``_``;
+* public methods of public classes (dunders other than ``__init__``
+  are skipped: their contracts are Python's, not ours).
+
+``__init__`` counts as covered when either it or its class carries a
+docstring (the common idiom documents the constructor in the class
+docstring).  An override whose method is documented on a base class
+*in the same module* inherits that docstring (the interface documents
+the contract once; ``help()`` surfaces it for every implementation).
+
+Exit status 1 when coverage falls below the threshold (default 90%),
+listing every undocumented name so the fix is mechanical.
+
+Usage:
+    python tools/check_docstrings.py                # gate src/repro/engine
+    python tools/check_docstrings.py --list         # show missing names
+    python tools/check_docstrings.py --threshold 95 src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_PATHS = (os.path.join("src", "repro", "engine"),)
+DEFAULT_THRESHOLD = 90.0
+
+
+def _public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _iter_py(path: str) -> Iterator[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    for dirpath, _dirnames, filenames in os.walk(path):
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _inherited(classes: dict, bases: List[str], method: str) -> bool:
+    """True when ``method`` is documented on a same-module ancestor."""
+    seen = set()
+    queue = list(bases)
+    while queue:
+        base = queue.pop()
+        if base in seen or base not in classes:
+            continue
+        seen.add(base)
+        documented, parents = classes[base]
+        if documented.get(method):
+            return True
+        queue.extend(parents)
+    return False
+
+
+def _surface(tree: ast.Module, module: str) -> List[Tuple[str, bool]]:
+    """``(qualified name, has docstring)`` for the module's public API."""
+    out = [(module, ast.get_docstring(tree) is not None)]
+    # class name -> ({method: has docstring}, base names), for the
+    # inherited-docstring rule
+    classes: dict = {}
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            classes[node.name] = (
+                {
+                    item.name: ast.get_docstring(item) is not None
+                    for item in node.body
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                },
+                _base_names(node),
+            )
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _public(node.name):
+                out.append(
+                    (f"{module}.{node.name}",
+                     ast.get_docstring(node) is not None)
+                )
+        elif isinstance(node, ast.ClassDef) and _public(node.name):
+            class_doc = ast.get_docstring(node) is not None
+            out.append((f"{module}.{node.name}", class_doc))
+            bases = _base_names(node)
+            for item in node.body:
+                if not isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                name = item.name
+                if name == "__init__":
+                    documented = (
+                        class_doc or ast.get_docstring(item) is not None
+                    )
+                elif _public(name):
+                    documented = (
+                        ast.get_docstring(item) is not None
+                        or _inherited(classes, bases, name)
+                    )
+                else:
+                    continue
+                out.append((f"{module}.{node.name}.{name}", documented))
+    return out
+
+
+def _module_name(path: str) -> str:
+    rel = os.path.relpath(path, ROOT)
+    for prefix in ("src" + os.sep,):
+        if rel.startswith(prefix):
+            rel = rel[len(prefix):]
+    rel = rel[:-3] if rel.endswith(".py") else rel
+    parts = rel.split(os.sep)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def audit(paths) -> Tuple[List[Tuple[str, bool]], List[str]]:
+    surface: List[Tuple[str, bool]] = []
+    errors: List[str] = []
+    for path in paths:
+        full = path if os.path.isabs(path) else os.path.join(ROOT, path)
+        if not os.path.exists(full):
+            errors.append(f"no such path: {path}")
+            continue
+        for py in _iter_py(full):
+            with open(py, "rb") as fh:
+                try:
+                    tree = ast.parse(fh.read(), filename=py)
+                except SyntaxError as err:
+                    errors.append(f"{py}: {err}")
+                    continue
+            surface.extend(_surface(tree, _module_name(py)))
+    return surface, errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="docstring coverage gate for the public surface"
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files or directories to audit (default: src/repro/engine)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="minimum coverage percent (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list every undocumented public name",
+    )
+    args = parser.parse_args(argv)
+
+    surface, errors = audit(args.paths)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    if not surface:
+        print("error: empty public surface", file=sys.stderr)
+        return 1
+
+    missing = [name for name, documented in surface if not documented]
+    coverage = 100.0 * (len(surface) - len(missing)) / len(surface)
+    if args.list or coverage < args.threshold:
+        for name in missing:
+            print(f"undocumented: {name}")
+    print(
+        f"docstring coverage: {coverage:.1f}% "
+        f"({len(surface) - len(missing)}/{len(surface)} public names, "
+        f"threshold {args.threshold:g}%)"
+    )
+    if coverage < args.threshold:
+        print(
+            f"FAIL: coverage below {args.threshold:g}% -- document the "
+            "names listed above",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
