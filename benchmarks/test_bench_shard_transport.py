@@ -1,0 +1,230 @@
+"""E22 -- zero-copy shard transport: delta shipping + shm table returns.
+
+Two transport experiments at ``|S| = 16``, ``K = 4`` shards:
+
+**Delta shipping.**  A streaming loop applies a handful of deltas per
+round to a large-nnz instance and syncs the workers.  Under
+``sync="reship"`` every dirty shard reships its full sparse payload
+(O(nnz) pickled per round) and the worker rebuilds its tables from
+scratch (scatter + zeta); under ``sync="delta"`` only the journalled
+``(mask, delta)`` records travel (O(gap)) and the worker maintains its
+cached tables in place.  Floor: ``>= 10x`` total streaming speedup on
+the vectorized exact backend.
+
+**Shared-memory returns.**  Warm ``return_tables=True`` evaluations on
+a clean instance: with ``shm_tables=False`` every round pickles the
+full ``2^16`` tables across the process boundary; with
+``shm_tables=True`` the workers' published segments are reused and the
+merge attaches ndarray views without copying a byte.  Floor: ``>= 2x``.
+
+A transport speedup needs a real process boundary and parallel
+hardware, so both floors are asserted when the host has at least
+``N_WORKERS`` CPUs (with one clean re-measurement as a noisy-neighbor
+guard); on smaller hosts the numbers are still reported -- the host
+stamp records why the floors were not asserted -- and the answers are
+asserted equal between the transports in every configuration.
+"""
+
+import os
+import random
+import time
+
+from repro.core import GroundSet
+from repro.engine import ParallelExecutor, ShardedEvalContext
+from repro.instances import random_constraint
+
+from _harness import format_table, report
+
+N = 16
+N_SHARDS = 4
+N_WORKERS = 4
+NNZ = 40_000
+N_CONSTRAINTS = 2
+N_PROBES = 4
+
+STREAM_ROUNDS = 20
+DELTAS_PER_ROUND = 8
+SHM_ROUNDS = 6
+
+#: floors asserted on >= N_WORKERS-CPU hosts (exact-vec backend)
+FLOOR_DELTA = 10.0
+FLOOR_SHM = 2.0
+
+
+def _instance():
+    rng = random.Random(2200)
+    ground = GroundSet([f"x{i}" for i in range(N)])
+    constraints = [
+        random_constraint(rng, ground, max_members=2, min_members=1)
+        for _ in range(N_CONSTRAINTS)
+    ]
+    seed = [(rng.randrange(1 << N), rng.choice([1, 2, 3])) for _ in range(NNZ)]
+    stream = [
+        [
+            (rng.randrange(1 << N), rng.choice([-1, 1, 2]))
+            for _ in range(DELTAS_PER_ROUND)
+        ]
+        for _ in range(STREAM_ROUNDS)
+    ]
+    probes = [rng.randrange(1 << N) for _ in range(N_PROBES)]
+    return ground, constraints, seed, stream, probes
+
+
+def _make_ctx(ground, seed, executor, **kwargs):
+    ctx = ShardedEvalContext(
+        ground, shards=N_SHARDS, backend="exact-vec", executor=executor, **kwargs
+    )
+    for mask, delta in seed:
+        ctx.apply_delta(mask, delta)
+    return ctx
+
+
+def _stream(ctx, constraints, stream, probes):
+    """Total sync+evaluate wall time over the streaming rounds."""
+    ctx.evaluate(constraints=constraints, probes=probes)  # baseline load
+    answers = []
+    total = 0.0
+    for batch in stream:
+        for mask, delta in batch:
+            ctx.apply_delta(mask, delta)
+        t0 = time.perf_counter()
+        result = ctx.evaluate(constraints=constraints, probes=probes)
+        total += time.perf_counter() - t0
+        answers.append((result.violated, tuple(sorted(result.support.items()))))
+    return total, answers
+
+
+def _measure_delta_shipping(ground, constraints, seed, stream, probes):
+    with ParallelExecutor(workers=N_WORKERS) as ex_d, ParallelExecutor(
+        workers=N_WORKERS
+    ) as ex_r:
+        delta_ctx = _make_ctx(ground, seed, ex_d, sync="delta")
+        reship_ctx = _make_ctx(ground, seed, ex_r, sync="reship")
+        t_delta, a_delta = _stream(delta_ctx, constraints, stream, probes)
+        t_reship, a_reship = _stream(reship_ctx, constraints, stream, probes)
+        assert a_delta == a_reship  # transport never changes an answer
+        stats = delta_ctx.transport_stats()
+        assert stats["deltas_shipped"] == STREAM_ROUNDS * DELTAS_PER_ROUND
+        assert stats["full_resyncs"] == 0
+        assert reship_ctx.transport_stats()["deltas_shipped"] == 0
+    return t_delta, t_reship
+
+
+def _warm_tables(ctx, constraints, probes, rounds):
+    """Best-of warm wall time for full-table returns (density, support,
+    and one differential table per constraint family)."""
+    families = [c.family for c in constraints]
+    ctx.evaluate(
+        constraints=constraints, probes=probes, families=families,
+        return_tables=True,
+    )
+    times = []
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = ctx.evaluate(
+            constraints=constraints, probes=probes, families=families,
+            return_tables=True,
+        )
+        times.append(time.perf_counter() - t0)
+    return min(times), result
+
+
+def _measure_shm_returns(ground, constraints, seed, probes):
+    with ParallelExecutor(workers=N_WORKERS) as ex_s, ParallelExecutor(
+        workers=N_WORKERS
+    ) as ex_p:
+        shm_ctx = _make_ctx(ground, seed, ex_s, shm_tables=True)
+        pickle_ctx = _make_ctx(ground, seed, ex_p, shm_tables=False)
+        t_shm, r_shm = _warm_tables(shm_ctx, constraints, probes, SHM_ROUNDS)
+        t_pickle, r_pickle = _warm_tables(
+            pickle_ctx, constraints, probes, SHM_ROUNDS
+        )
+        assert list(r_shm.density_table) == list(r_pickle.density_table)
+        assert list(r_shm.support_table) == list(r_pickle.support_table)
+        for members, table in r_shm.differential_tables.items():
+            assert list(table) == list(r_pickle.differential_tables[members])
+        assert r_shm.violated == r_pickle.violated
+        assert shm_ctx.transport_stats()["shm_bytes"] > 0
+        assert pickle_ctx.transport_stats()["shm_bytes"] == 0
+    return t_shm, t_pickle
+
+
+class TestShardTransport:
+    def test_delta_shipping_and_shm_returns(self, benchmark):
+        cpus = os.cpu_count() or 1
+        ground, constraints, seed, stream, probes = _instance()
+
+        t_delta, t_reship = _measure_delta_shipping(
+            ground, constraints, seed, stream, probes
+        )
+        if cpus >= N_WORKERS and t_reship / t_delta < FLOOR_DELTA:
+            # noisy-neighbor guard: one clean re-measurement
+            t_delta, t_reship = _measure_delta_shipping(
+                ground, constraints, seed, stream, probes
+            )
+        delta_speedup = t_reship / t_delta
+
+        t_shm, t_pickle = _measure_shm_returns(ground, constraints, seed, probes)
+        if cpus >= N_WORKERS and t_pickle / t_shm < FLOOR_SHM:
+            t_shm, t_pickle = _measure_shm_returns(
+                ground, constraints, seed, probes
+            )
+        shm_speedup = t_pickle / t_shm
+
+        lines = format_table(
+            ["experiment", "baseline (ms)", "zero-copy (ms)", "speedup"],
+            [
+                (
+                    f"delta shipping ({STREAM_ROUNDS}x{DELTAS_PER_ROUND} deltas)",
+                    f"{t_reship * 1e3:.1f}",
+                    f"{t_delta * 1e3:.1f}",
+                    f"{delta_speedup:.2f}x",
+                ),
+                (
+                    "shm table returns (warm)",
+                    f"{t_pickle * 1e3:.2f}",
+                    f"{t_shm * 1e3:.2f}",
+                    f"{shm_speedup:.2f}x",
+                ),
+            ],
+        )
+        lines.append(
+            f"workload: |S|={N}, K={N_SHARDS} shards, {N_WORKERS} workers, "
+            f"nnz={NNZ}, exact-vec backend; delta rows stream "
+            f"{DELTAS_PER_ROUND} deltas/round vs full payload reship; shm "
+            f"rows return density+support+{N_CONSTRAINTS} differential "
+            "tables warm (published segments reused, nothing recomputed)"
+        )
+        if cpus >= N_WORKERS:
+            lines.append(
+                f"acceptance floors: delta shipping >= {FLOOR_DELTA:.0f}x "
+                f"(measured {delta_speedup:.2f}x), shm returns >= "
+                f"{FLOOR_SHM:.0f}x (measured {shm_speedup:.2f}x)"
+            )
+        else:
+            lines.append(
+                f"acceptance floors (delta >= {FLOOR_DELTA:.0f}x, shm >= "
+                f"{FLOOR_SHM:.0f}x) not asserted: host has {cpus} CPU(s) < "
+                f"{N_WORKERS}; answers still asserted equal across transports"
+            )
+        report(
+            "E22_shard_transport",
+            "zero-copy shard transport: delta shipping + shm returns",
+            lines,
+        )
+        if cpus >= N_WORKERS:
+            assert delta_speedup >= FLOOR_DELTA
+            assert shm_speedup >= FLOOR_SHM
+
+        # pytest-benchmark row: one inline delta-shipped sync+evaluate
+        with ParallelExecutor(workers=1) as ex:
+            ctx = _make_ctx(ground, seed[:4_000], ex, sync="delta")
+            rng = random.Random(2201)
+            ctx.evaluate(constraints=constraints, probes=probes)
+
+            def round_trip():
+                ctx.apply_delta(rng.randrange(1 << N), 1)
+                return ctx.evaluate(constraints=constraints, probes=probes)
+
+            benchmark(round_trip)

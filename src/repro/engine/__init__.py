@@ -122,6 +122,7 @@ from repro.engine.stream import (
     parse_transaction_log,
 )
 from repro.engine.shard import (
+    DEFAULT_JOURNAL_BOUND,
     ShardPlan,
     ShardedEvalContext,
     ShardedEvaluation,
@@ -131,6 +132,9 @@ from repro.engine.parallel import (
     EvalRequest,
     ParallelExecutor,
     ShardAnswer,
+    ShmTable,
+    WorkerCrashError,
+    attach_shm_table,
     default_workers,
 )
 from repro.engine.server import (
@@ -217,6 +221,7 @@ __all__ = [
     "StreamReport",
     "StreamSession",
     "parse_transaction_log",
+    "DEFAULT_JOURNAL_BOUND",
     "ShardPlan",
     "ShardedEvalContext",
     "ShardedEvaluation",
@@ -224,6 +229,9 @@ __all__ = [
     "EvalRequest",
     "ParallelExecutor",
     "ShardAnswer",
+    "ShmTable",
+    "WorkerCrashError",
+    "attach_shm_table",
     "default_workers",
     "ConstraintServer",
     "ServerStats",

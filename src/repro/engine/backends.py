@@ -682,8 +682,13 @@ class FloatBackend(Backend):
         return bool(np.any(np.abs(values[where]) > tol))
 
     def first_nonzero_where(self, values: Table, where: np.ndarray, tol: float):
-        hits = np.flatnonzero(where & (np.abs(values) > tol))
-        return int(hits[0]) if hits.size else None
+        # gather first (matching any_nonzero_where): |.| runs over the
+        # masked entries only, never the full 2^n table
+        idx = np.flatnonzero(where)
+        if not idx.size:
+            return None
+        hits = np.flatnonzero(np.abs(values[idx]) > tol)
+        return int(idx[hits[0]]) if hits.size else None
 
     def all_nonnegative(self, values: Table, tol: float) -> bool:
         return bool(np.all(np.asarray(values) >= -tol))

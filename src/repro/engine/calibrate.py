@@ -99,6 +99,18 @@ DEFAULT_SIZES: Tuple[int, ...] = (8, 12)
 #: [8, 20] (20 nears the dense limit).
 VEC_BAR_RANGE = (4, 14)
 SHARD_BAR_RANGE = (8, 20)
+#: Clamp for the shared-memory table-return bar: below 2^10 entries a
+#: pickle is a few KB and always cheap; past 2^20 the pickle cost is so
+#: dominant the bar saturates.
+SHM_BAR_RANGE = (10, 20)
+
+#: Transport micro-benchmark shapes: the sparse payload item count for
+#: the pickle measurement, the journal batch for the delta-apply
+#: measurement, and the dense table size for the pickle-vs-shm bytes
+#: race (2^16 float64 = 512 KiB, the E22 scale).
+_TRANSPORT_ITEMS = 4096
+_TRANSPORT_RECORDS = 1024
+_TRANSPORT_TABLE_N = 16
 
 
 def effective_cpus() -> int:
@@ -157,9 +169,20 @@ class HostProfile:
     python-list and vectorized exact backends.  ``spawn_s`` is the cost
     of standing up a one-worker process pool (including the first
     task); ``roundtrip_s`` a warm submit+result through it; both are
-    ``None`` when spawn measurement was skipped.  ``path`` records
-    where the profile is (or will be) persisted; ``None`` for purely
-    in-memory profiles.
+    ``None`` when spawn measurement was skipped.
+
+    The transport coefficients (all optional -- pre-transport profiles
+    and ``measure_transport=False`` leave them ``None``) price the
+    ways shard state crosses the process boundary: ``pickle_item_s``
+    per sparse payload item for a full reship, ``delta_record_s`` per
+    journalled ``(mask, delta)`` record for a delta ship (pickle
+    roundtrip plus the worker-side table point update),
+    ``pickle_byte_s`` per dense-table byte for a pickled return, and
+    ``shm_attach_s`` the flat cost of publishing and attaching one
+    shared-memory segment instead.
+
+    ``path`` records where the profile is (or will be) persisted;
+    ``None`` for purely in-memory profiles.
     """
 
     cpus: int
@@ -170,6 +193,10 @@ class HostProfile:
     vec_butterfly_s: Dict[int, float]
     spawn_s: Optional[float] = None
     roundtrip_s: Optional[float] = None
+    pickle_item_s: Optional[float] = None
+    delta_record_s: Optional[float] = None
+    pickle_byte_s: Optional[float] = None
+    shm_attach_s: Optional[float] = None
     path: Optional[str] = field(default=None, compare=False)
 
     # -- persistence ---------------------------------------------------
@@ -190,6 +217,10 @@ class HostProfile:
                 },
                 "spawn_s": self.spawn_s,
                 "roundtrip_s": self.roundtrip_s,
+                "pickle_item_s": self.pickle_item_s,
+                "delta_record_s": self.delta_record_s,
+                "pickle_byte_s": self.pickle_byte_s,
+                "shm_attach_s": self.shm_attach_s,
             },
         }
 
@@ -237,6 +268,10 @@ class HostProfile:
             vec_butterfly_s=timings("vec_butterfly_s"),
             spawn_s=optional("spawn_s"),
             roundtrip_s=optional("roundtrip_s"),
+            pickle_item_s=optional("pickle_item_s"),
+            delta_record_s=optional("delta_record_s"),
+            pickle_byte_s=optional("pickle_byte_s"),
+            shm_attach_s=optional("shm_attach_s"),
             path=path,
         )
 
@@ -294,6 +329,17 @@ class HostProfile:
                     break
             else:
                 out["SHARD_MIN_N"] = hi
+        if self.pickle_byte_s is not None and self.shm_attach_s is not None:
+            lo, hi = SHM_BAR_RANGE
+            for n in range(lo, hi + 1):
+                # 8 bytes per int64/float64 entry: shared memory wins
+                # once pickling the dense table costs more than one
+                # segment publish+attach roundtrip
+                if self.pickle_byte_s * 8 * (1 << n) >= self.shm_attach_s:
+                    out["SHM_MIN_N"] = n
+                    break
+            else:
+                out["SHM_MIN_N"] = hi
         return out
 
     # -- presentation --------------------------------------------------
@@ -330,6 +376,12 @@ class HostProfile:
             "path": self.path,
             "vec_speedup": round(self.vec_speedup(), 3),
             "roundtrip_s": self.roundtrip_s,
+            "transport": {
+                "pickle_item_s": self.pickle_item_s,
+                "delta_record_s": self.delta_record_s,
+                "pickle_byte_s": self.pickle_byte_s,
+                "shm_attach_s": self.shm_attach_s,
+            },
             "thresholds": {
                 name.lower(): bar for name, bar in self.thresholds().items()
             },
@@ -341,10 +393,98 @@ def _pool_probe() -> int:  # pragma: no cover - runs in the pool worker
     return os.getpid()
 
 
+def _measure_transport(repeats: int) -> Dict[str, Optional[float]]:
+    """Best-of-``repeats`` per-unit costs of the three shard transports.
+
+    All measured in-process: what the executor pays is pickling,
+    applying and copying -- the pipe write is the same for every
+    strategy and cancels out of the comparison.  The shared-memory
+    probe is allowed to fail (no ``/dev/shm``, sealed-off tmpfs): it
+    reports ``None`` and the planner simply never picks shm.
+    """
+    import pickle
+
+    import numpy as np
+
+    from repro.engine.backends import VEC_EXACT
+
+    rng_items = [(mask, (mask % 7) + 1) for mask in range(_TRANSPORT_ITEMS)]
+    best_items = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        pickle.loads(pickle.dumps(rng_items, pickle.HIGHEST_PROTOCOL))
+        elapsed = time.perf_counter() - started
+        best_items = elapsed if best_items is None else min(best_items, elapsed)
+    pickle_item_s = max(best_items / _TRANSPORT_ITEMS, 1e-12)
+
+    size = 1 << 12
+    records = [
+        ((i * 2654435761) % size, (i % 5) - 2) for i in range(_TRANSPORT_RECORDS)
+    ]
+    records = [(m, d) for m, d in records if d != 0]
+    best_records = None
+    for _ in range(repeats):
+        table = VEC_EXACT.zeros(size)
+        support = VEC_EXACT.zeros(size)
+        started = time.perf_counter()
+        shipped = pickle.loads(pickle.dumps(records, pickle.HIGHEST_PROTOCOL))
+        for mask, delta in shipped:
+            table[mask] = table[mask] + delta
+            VEC_EXACT.add_on_subsets_inplace(support, mask, delta)
+        elapsed = time.perf_counter() - started
+        best_records = (
+            elapsed if best_records is None else min(best_records, elapsed)
+        )
+    delta_record_s = max(best_records / max(len(records), 1), 1e-12)
+
+    dense = np.arange(1 << _TRANSPORT_TABLE_N, dtype=np.float64)
+    best_bytes = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        pickle.loads(pickle.dumps(dense, pickle.HIGHEST_PROTOCOL))
+        elapsed = time.perf_counter() - started
+        best_bytes = elapsed if best_bytes is None else min(best_bytes, elapsed)
+    pickle_byte_s = max(best_bytes / dense.nbytes, 1e-15)
+
+    shm_attach_s: Optional[float] = None
+    try:
+        from multiprocessing import shared_memory
+
+        best_shm = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            segment = shared_memory.SharedMemory(
+                create=True, size=dense.nbytes
+            )
+            try:
+                view = np.ndarray(
+                    dense.shape, dtype=dense.dtype, buffer=segment.buf
+                )
+                view[:] = dense
+                float(view[-1])  # fault the pages in, like a merge would
+                del view
+            finally:
+                segment.close()
+                segment.unlink()
+            elapsed = time.perf_counter() - started
+            best_shm = elapsed if best_shm is None else min(best_shm, elapsed)
+        shm_attach_s = max(best_shm, 1e-9)
+    except (ImportError, OSError):  # pragma: no cover - host-dependent
+        shm_attach_s = None
+
+    return {
+        "pickle_item_s": pickle_item_s,
+        "delta_record_s": delta_record_s,
+        "pickle_byte_s": pickle_byte_s,
+        "shm_attach_s": shm_attach_s,
+    }
+
+
 def measure_profile(
     sizes: Tuple[int, ...] = DEFAULT_SIZES,
     repeats: int = 3,
     measure_spawn: bool = True,
+    measure_transport: bool = True,
     path: Optional[str] = None,
 ) -> HostProfile:
     """Micro-benchmark this host and return a fresh :class:`HostProfile`.
@@ -354,7 +494,10 @@ def measure_profile(
     state cannot leak between timings).  ``measure_spawn=False`` skips
     the process-pool measurement -- tests and doc examples use it to
     stay fast and fork-free; the resulting profile then derives no
-    shard bar.
+    shard bar.  ``measure_transport=False`` likewise skips the shard
+    transport probes (payload pickle, delta apply, table pickle,
+    shared-memory roundtrip), leaving the planner's sync strategy and
+    journal bound on their assumed defaults.
     """
     from repro.engine.backends import EXACT, VEC_EXACT, calibration_values
 
@@ -388,6 +531,15 @@ def measure_profile(
             pool.submit(_pool_probe).result()
             roundtrip_s = max(time.perf_counter() - started, 1e-9)
 
+    transport: Dict[str, Optional[float]] = {
+        "pickle_item_s": None,
+        "delta_record_s": None,
+        "pickle_byte_s": None,
+        "shm_attach_s": None,
+    }
+    if measure_transport:
+        transport = _measure_transport(repeats)
+
     return HostProfile(
         cpus=effective_cpus(),
         created=time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -397,6 +549,10 @@ def measure_profile(
         vec_butterfly_s=vec_t,
         spawn_s=spawn_s,
         roundtrip_s=roundtrip_s,
+        pickle_item_s=transport["pickle_item_s"],
+        delta_record_s=transport["delta_record_s"],
+        pickle_byte_s=transport["pickle_byte_s"],
+        shm_attach_s=transport["shm_attach_s"],
         path=path,
     )
 
@@ -461,6 +617,7 @@ def ensure_profile(
     sizes: Tuple[int, ...] = DEFAULT_SIZES,
     repeats: int = 3,
     measure_spawn: bool = True,
+    measure_transport: bool = True,
 ) -> HostProfile:
     """The load-or-measure entry point.
 
@@ -479,7 +636,11 @@ def ensure_profile(
         if profile is not None:
             return profile
     profile = measure_profile(
-        sizes=sizes, repeats=repeats, measure_spawn=measure_spawn, path=path
+        sizes=sizes,
+        repeats=repeats,
+        measure_spawn=measure_spawn,
+        measure_transport=measure_transport,
+        path=path,
     )
     try:
         profile = save_profile(profile, path)

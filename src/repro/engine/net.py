@@ -409,6 +409,9 @@ class ReproService:
             stats["engine"] = self._session.plan.as_dict()
             stats["engine"]["promotions"] = self._session.promotions
             stats["engine"]["calibration"] = self._session.calibration
+            # sharded sessions report their transport counters (deltas
+            # shipped vs full resyncs vs shm bytes, per shard)
+            stats["engine"]["transport"] = self._session.transport
             return 200, stats
         if method != "POST":
             return 405, {"error": f"{method} not allowed on {path}"}

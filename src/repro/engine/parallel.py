@@ -8,7 +8,12 @@ shard ``k`` to pool ``k % W``.  Workers therefore accumulate per-shard
 state that survives across calls:
 
 * the shard's payload (raw row masks or sparse density items), shipped
-  once per shard *version* by :meth:`load_rows` / :meth:`load_density`;
+  once per shard *version* by :meth:`load_rows` / :meth:`load_density`
+  -- or advanced in place by :meth:`apply_deltas_many`, which ships only
+  the ``(mask, delta)`` records since the last synced version and
+  applies them to the cached tables (the *delta shipping* fast path:
+  a streaming transaction no longer pays an O(nnz) payload pickle plus
+  an O(n 2^n) table rebuild);
 * the dense density/support tables built from it, cached per version
   (the *per-shard table reuse* fast path: re-evaluating a clean shard
   does no table work at all).
@@ -19,8 +24,22 @@ functions run in the calling process with no pools, no pickling and no
 subprocess spawn, so ``K = 1`` sharding costs nothing over the plain
 incremental engine.
 
-Everything shipped across the process boundary is plain picklable data
-(masks, numbers, name strings); exact tables are python lists of
+Result transport is zero-copy where the storage allows it: when a
+request asks for tables back (``return_tables``) *and* opts into shared
+memory (``shm_tables``), workers publish int64/float64 tables as
+``multiprocessing.shared_memory`` segments and return
+:class:`ShmTable` descriptors (name + dtype + generation) instead of
+pickled arrays; the merge side attaches and reads the ndarray views
+directly.  Segment lifecycle is explicit: a worker owns its published
+segments and unlinks them when it republishes a newer generation or is
+cleared; the executor unlinks everything it has seen on
+:meth:`shutdown` and after a worker crash (and the OS resource tracker
+backstops a SIGKILL'd process tree).  Object-dtype tables (promoted
+exact arithmetic), list-exact tables and inline mode all fall back to
+the plain pickled return path.
+
+Everything else shipped across the process boundary is plain picklable
+data (masks, numbers, name strings); exact tables are python lists of
 ints/Fractions and cross the boundary losslessly.
 """
 
@@ -28,18 +47,36 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor
-from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import shared_memory
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.engine import batch
-from repro.engine.backends import Table, backend_by_name
+from repro.engine.backends import Table, VecTable, backend_by_name
 from repro.engine.calibrate import effective_cpus
 
 __all__ = [
     "EvalRequest",
     "ShardAnswer",
+    "ShmTable",
     "ParallelExecutor",
+    "WorkerCrashError",
+    "attach_shm_table",
     "default_workers",
 ]
 
@@ -53,6 +90,15 @@ def default_workers(shards: Optional[int] = None) -> int:
     if shards is not None:
         cpus = min(cpus, shards)
     return max(1, cpus)
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died mid-call.
+
+    The executor has already respawned fresh pools and advanced its
+    :attr:`~ParallelExecutor.epoch`, so attached contexts resync from
+    scratch on the next fan-out; callers simply retry the evaluation.
+    """
 
 
 class EvalRequest(NamedTuple):
@@ -73,10 +119,34 @@ class EvalRequest(NamedTuple):
     #: Caller-chosen shard-state scope: contexts sharing one executor
     #: use distinct scopes so their shard ids never collide.
     scope: str = ""
+    #: Publish returned tables as shared-memory segments (descriptors
+    #: instead of pickled arrays); int64/float64 storage only, with a
+    #: per-table pickle fallback for everything else.
+    shm_tables: bool = False
+
+
+class ShmTable(NamedTuple):
+    """A table returned by name instead of by value (picklable).
+
+    ``generation`` is the shard version the segment was published at;
+    the merge side refuses any descriptor whose generation does not
+    match the version it asked for, so a respawned or lagging worker
+    can never serve a stale segment silently.
+    """
+
+    name: str
+    dtype: str
+    length: int
+    nbytes: int
+    generation: int
 
 
 class ShardAnswer(NamedTuple):
-    """One shard's contribution, merged by :mod:`repro.engine.shard`."""
+    """One shard's contribution, merged by :mod:`repro.engine.shard`.
+
+    Table fields hold either the raw table (pickle transport) or a
+    :class:`ShmTable` descriptor (shared-memory transport).
+    """
 
     shard_id: int
     version: int
@@ -99,10 +169,36 @@ class ShardAnswer(NamedTuple):
 _SHARD_DATA: Dict[Tuple[str, str, int], Tuple[int, str, object]] = {}
 #: (namespace, scope, shard_id, version, backend) -> (density, support, nnz).
 _TABLE_CACHE: Dict[Tuple[str, str, int, int, str], Tuple[Table, Table, int]] = {}
+#: (namespace, scope, shard_id) -> the shard's live _TABLE_CACHE keys.
+#: Eviction on load walks this owner index -- O(versions of that
+#: shard) -- never the whole cache.
+_TABLE_INDEX: Dict[Tuple[str, str, int], Set[Tuple]] = {}
+#: (namespace, scope, shard_id) -> (version, backend, families,
+#: descriptors, handles): the shard's currently published shared-memory
+#: tables.  Republishing (or clearing) unlinks the previous generation.
+_SHM_PUBLISHED: Dict[Tuple[str, str, int], Tuple] = {}
 #: (n, members) -> blocked boolean table (structural, version-free).
 _BLOCKED_CACHE: Dict[Tuple[int, Tuple[int, ...]], object] = {}
 #: (n, lhs, members) -> lattice boolean table L(X, Y) (structural).
 _LATTICE_CACHE: Dict[Tuple[int, int, Tuple[int, ...]], object] = {}
+
+
+def _cache_store(key: Tuple, value: Tuple) -> None:
+    _TABLE_CACHE[key] = value
+    _TABLE_INDEX.setdefault(key[:3], set()).add(key)
+
+
+def _cache_evict_stale(owner: Tuple[str, str, int], keep_version: int) -> None:
+    """Drop the owner shard's cached tables at any other version."""
+    keys = _TABLE_INDEX.get(owner)
+    if not keys:
+        return
+    stale = [k for k in keys if k[3] != keep_version]
+    for key in stale:
+        keys.discard(key)
+        _TABLE_CACHE.pop(key, None)
+    if not keys:
+        del _TABLE_INDEX[owner]
 
 
 def _w_load(
@@ -110,13 +206,7 @@ def _w_load(
 ) -> int:
     """Install a shard payload; drops caches of older versions."""
     _SHARD_DATA[ns, scope, shard_id] = (version, kind, data)
-    stale = [
-        k
-        for k in _TABLE_CACHE
-        if k[:3] == (ns, scope, shard_id) and k[3] != version
-    ]
-    for key in stale:
-        del _TABLE_CACHE[key]
+    _cache_evict_stale((ns, scope, shard_id), version)
     return shard_id
 
 
@@ -125,10 +215,70 @@ def _w_density_items(ns: str, scope: str, shard_id: int) -> List[Tuple[int, obje
     version, kind, data = _SHARD_DATA[ns, scope, shard_id]
     if kind == "density":
         return list(data)
+    if kind == "densmap":  # mutable dict left behind by delta batches
+        return sorted(data.items())
     counts: Dict[int, int] = {}
     for mask in data:
         counts[mask] = counts.get(mask, 0) + 1
     return sorted(counts.items())
+
+
+def _w_apply_deltas(
+    ns: str,
+    scope: str,
+    shard_id: int,
+    base_version: int,
+    new_version: int,
+    backend_name: str,
+    records: Sequence[Tuple[int, object]],
+) -> bool:
+    """Advance a shard from ``base_version`` by applying delta records.
+
+    Returns ``False`` (instead of raising) when this worker does not
+    hold the shard at ``base_version`` -- a respawned worker, an
+    evicted payload -- so the caller falls back to a full
+    :func:`_w_load` reship.  On success the sparse payload *and* any
+    cached tables are maintained in place: the density table gets point
+    updates, the support table incremental subset adds
+    (:meth:`~repro.engine.backends.Backend.add_on_subsets_inplace`),
+    and the nnz count follows the sparse payload exactly.
+    """
+    have = _SHARD_DATA.get((ns, scope, shard_id))
+    if have is None or have[0] != base_version:
+        return False
+    _version, kind, data = have
+    if kind == "densmap":
+        dens: Dict[int, object] = data  # mutate in place: O(gap), not O(nnz)
+    elif kind == "density":
+        dens = dict(data)
+    else:
+        dens = {}
+        for mask in data:
+            dens[mask] = dens.get(mask, 0) + 1
+    for mask, delta in records:
+        value = dens.get(mask, 0) + delta
+        if value == 0:
+            dens.pop(mask, None)
+        else:
+            dens[mask] = value
+    _SHARD_DATA[ns, scope, shard_id] = (new_version, "densmap", dens)
+    owner = (ns, scope, shard_id)
+    old_key = (ns, scope, shard_id, base_version, backend_name)
+    cached = _TABLE_CACHE.pop(old_key, None)
+    if cached is not None:
+        _TABLE_INDEX.get(owner, set()).discard(old_key)
+        density, support, _nnz = cached
+        backend = backend_by_name(backend_name)
+        for mask, delta in records:
+            density[mask] = density[mask] + delta
+            backend.add_on_subsets_inplace(support, mask, delta)
+        _cache_store(
+            (ns, scope, shard_id, new_version, backend_name),
+            (density, support, len(dens)),
+        )
+    # other backends' (or versions') tables for this shard are stale now
+    _cache_evict_stale(owner, new_version)
+    return True
 
 
 def _w_tables(
@@ -150,7 +300,7 @@ def _w_tables(
         support = backend.copy(density)
         backend.superset_zeta_inplace(support)
         cached = (density, support, len(items))
-        _TABLE_CACHE[key] = cached
+        _cache_store(key, cached)
     return cached
 
 
@@ -174,6 +324,95 @@ def _w_lattice(n: int, lhs: int, members: Tuple[int, ...]):
     return table
 
 
+def _shm_exportable(table) -> Optional[np.ndarray]:
+    """The ndarray behind a table when it can travel by shared memory
+    (int64/float64 storage); ``None`` forces the pickle fallback
+    (python lists, object-dtype promoted exact tables)."""
+    if isinstance(table, VecTable):
+        return None if table.is_object else table.arr
+    if isinstance(table, np.ndarray) and table.dtype in (
+        np.dtype(np.int64),
+        np.dtype(np.float64),
+    ):
+        return table
+    return None
+
+
+def _shm_release(handles) -> None:
+    """Close + unlink published segments, ignoring already-gone ones."""
+    for shm in handles:
+        try:
+            shm.close()
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def _w_publish_tables(
+    ns: str,
+    scope: str,
+    shard_id: int,
+    version: int,
+    backend_name: str,
+    families: Tuple[Tuple[int, ...], ...],
+    tables: List,
+) -> List:
+    """Publish answer tables as shared-memory segments.
+
+    Returns a list aligned with ``tables`` holding :class:`ShmTable`
+    descriptors for exportable entries and the raw table for the rest
+    (per-table pickle fallback).  Published segments are cached per
+    ``(version, backend, families)``: a clean-shard re-evaluate reuses
+    the previous generation's segments without a byte copied, and any
+    republish unlinks the superseded generation (the merge side has
+    long since closed its attachments -- it drops them before the
+    evaluate call returns).
+    """
+    key = (ns, scope, shard_id)
+    prev = _SHM_PUBLISHED.get(key)
+    if prev is not None and prev[0] == (version, backend_name, families):
+        return _merge_published(prev[1], tables)
+    descriptors: List[Optional[ShmTable]] = []
+    handles = []
+    try:
+        for table in tables:
+            arr = _shm_exportable(table)
+            if arr is None:
+                descriptors.append(None)
+                continue
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, arr.nbytes)
+            )
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=segment.buf)
+            view[:] = arr
+            del view
+            handles.append(segment)
+            descriptors.append(
+                ShmTable(
+                    name=segment.name,
+                    dtype=arr.dtype.str,
+                    length=len(arr),
+                    nbytes=arr.nbytes,
+                    generation=version,
+                )
+            )
+    except OSError:
+        # /dev/shm full or unavailable: fall back to pickling wholesale
+        _shm_release(handles)
+        return list(tables)
+    if prev is not None:
+        _shm_release(prev[2])
+    _SHM_PUBLISHED[key] = ((version, backend_name, families), descriptors, handles)
+    return _merge_published(descriptors, tables)
+
+
+def _merge_published(descriptors: List[Optional[ShmTable]], tables: List) -> List:
+    return [
+        desc if desc is not None else table
+        for desc, table in zip(descriptors, tables)
+    ]
+
+
 def _w_evaluate(ns: str, request: EvalRequest) -> ShardAnswer:
     """Answer one :class:`EvalRequest` from this worker's shard state."""
     backend = backend_by_name(request.backend)
@@ -189,19 +428,50 @@ def _w_evaluate(ns: str, request: EvalRequest) -> ShardAnswer:
         )
     probes = tuple(support[mask] for mask in request.probes)
     diffs: List[Table] = []
-    for members in request.families:
-        table = backend.copy(density)
-        batch.differential_table(table, members, backend)
-        diffs.append(table)
+    if request.return_tables and request.shm_tables:
+        published = _SHM_PUBLISHED.get((ns, request.scope, request.shard_id))
+        # reuse only a fully shared publication: a None descriptor means
+        # that table went by pickle last time and must be recomputed
+        fresh = (
+            published is None
+            or published[0]
+            != (request.version, request.backend, request.families)
+            or any(d is None for d in published[1])
+        )
+    else:
+        fresh = True
+    if fresh:
+        for members in request.families:
+            table = backend.copy(density)
+            batch.differential_table(table, members, backend)
+            diffs.append(table)
+    else:
+        # published segments already hold this version's differentials
+        diffs = [None] * len(request.families)
+    out_density: Optional[Table] = density if request.return_tables else None
+    out_support: Optional[Table] = support if request.return_tables else None
+    out_diffs: List[Table] = diffs
+    if request.return_tables and request.shm_tables:
+        published_tables = _w_publish_tables(
+            ns,
+            request.scope,
+            request.shard_id,
+            request.version,
+            request.backend,
+            request.families,
+            [density, support, *diffs],
+        )
+        out_density, out_support = published_tables[0], published_tables[1]
+        out_diffs = published_tables[2:]
     return ShardAnswer(
         shard_id=request.shard_id,
         version=request.version,
         nnz=nnz,
         verdicts=tuple(verdicts),
         probes=probes,
-        density_table=density if request.return_tables else None,
-        support_table=support if request.return_tables else None,
-        differential_tables=tuple(diffs),
+        density_table=out_density,
+        support_table=out_support,
+        differential_tables=tuple(out_diffs),
     )
 
 
@@ -210,12 +480,92 @@ def _w_clear(ns: str) -> None:
 
     Namespace-scoped: other executors sharing this process (inline
     mode) keep their state.  The blocked-table cache is structural and
-    shared, so it stays.
+    shared, so it stays.  Published shared-memory segments are unlinked
+    -- they outlive the worker process otherwise.
     """
     for key in [k for k in _SHARD_DATA if k[0] == ns]:
         del _SHARD_DATA[key]
+    for owner in [k for k in _TABLE_INDEX if k[0] == ns]:
+        for key in _TABLE_INDEX.pop(owner):
+            _TABLE_CACHE.pop(key, None)
     for key in [k for k in _TABLE_CACHE if k[0] == ns]:
         del _TABLE_CACHE[key]
+    for key in [k for k in _SHM_PUBLISHED if k[0] == ns]:
+        _shm_release(_SHM_PUBLISHED.pop(key)[2])
+
+
+# ----------------------------------------------------------------------
+# attach side (the merge reads published segments through this)
+# ----------------------------------------------------------------------
+_TRACKER_LOCK = threading.RLock()
+
+
+@contextmanager
+def _tracker_neutral():
+    """Suppress shared-memory resource-tracker traffic in this block.
+
+    On CPython < 3.13 merely *attaching* to a segment registers it
+    with this process's resource tracker as if we created it
+    (bpo-39959), and ``unlink()`` always unregisters.  The publishing
+    worker owns the segment's lifecycle and talks to *its* tracker;
+    whether that tracker is shared with ours depends on fork timing,
+    so any registration from the attach side either leaks a stale
+    cache entry (private trackers: exit-time "leaked shared_memory
+    objects" warnings for segments the worker already unlinked) or
+    double-unregisters (shared tracker: KeyError noise).  The only
+    sound attach-side policy is silence: no register on attach, no
+    unregister on the orphan-unlink backstop.  Non-shared-memory
+    resources (semaphores) pass through untouched.
+    """
+    from multiprocessing import resource_tracker
+
+    with _TRACKER_LOCK:
+        orig_register = resource_tracker.register
+        orig_unregister = resource_tracker.unregister
+
+        def register(name, rtype):
+            if rtype != "shared_memory":
+                orig_register(name, rtype)
+
+        def unregister(name, rtype):
+            if rtype != "shared_memory":
+                orig_unregister(name, rtype)
+
+        resource_tracker.register = register
+        resource_tracker.unregister = unregister
+        try:
+            yield
+        finally:
+            resource_tracker.register = orig_register
+            resource_tracker.unregister = orig_unregister
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a published segment without adopting its lifecycle
+    (see :func:`_tracker_neutral`)."""
+    with _tracker_neutral():
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach_shm_table(
+    descriptor: ShmTable,
+) -> Tuple[Table, shared_memory.SharedMemory]:
+    """A read-only table view over a published segment.
+
+    Returns ``(table, segment)``: int64 storage comes back wrapped as a
+    :class:`~repro.engine.backends.VecTable`, float64 as the ndarray
+    itself.  The caller must drop every reference to the view before
+    closing the segment.
+    """
+    segment = _attach_segment(descriptor.name)
+    arr = np.ndarray(
+        (descriptor.length,),
+        dtype=np.dtype(descriptor.dtype),
+        buffer=segment.buf,
+    )
+    arr.setflags(write=False)
+    table: Table = VecTable(arr) if arr.dtype == np.int64 else arr
+    return table, segment
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +592,9 @@ class ParallelExecutor:
         self._pools: Optional[List[Executor]] = None
         self._closed = False
         self._epoch = 0
+        # every shared-memory segment name answers have mentioned, per
+        # (scope, shard): the crash/shutdown unlink backstop
+        self._segments: Dict[Tuple[str, int], Tuple[str, ...]] = {}
         # isolates this executor's worker-side state from other
         # executors that share a process (inline mode, forked workers)
         self._ns = f"ex{next(self._ns_counter)}-{os.getpid()}"
@@ -262,8 +615,9 @@ class ParallelExecutor:
 
     @property
     def epoch(self) -> int:
-        """Bumped by :meth:`clear`; consumers that track per-shard sync
-        state (``ShardedEvalContext``) resync everything when it moves."""
+        """Bumped by :meth:`clear` and by a worker-crash respawn;
+        consumers that track per-shard sync state
+        (``ShardedEvalContext``) resync everything when it moves."""
         return self._epoch
 
     def _pool_for(self, shard_id: int) -> Executor:
@@ -281,11 +635,64 @@ class ParallelExecutor:
         """Run ``(shard_id, fn, args)`` calls, in parallel across pools."""
         if self.inline:
             return [fn(*args) for _, fn, args in calls]
-        futures = [
-            self._pool_for(shard_id).submit(fn, *args)
-            for shard_id, fn, args in calls
-        ]
-        return [f.result() for f in futures]
+        try:
+            futures = [
+                self._pool_for(shard_id).submit(fn, *args)
+                for shard_id, fn, args in calls
+            ]
+            return [f.result() for f in futures]
+        except BrokenProcessPool:
+            self._respawn()
+            raise WorkerCrashError(
+                "a worker process died mid-call; the executor respawned "
+                "its pools and advanced the epoch -- resync and retry"
+            ) from None
+
+    def _respawn(self) -> None:
+        """Replace every pool after a worker death.
+
+        Surviving workers' state is discarded along with the dead
+        one's (fresh pools, empty caches) and the epoch advances, so
+        attached contexts reship every shard instead of trusting
+        version records a respawned worker never heard of.  Segments
+        published by the dead workers are unlinked from here -- their
+        processes are gone and can no longer do it themselves.
+        """
+        pools, self._pools = self._pools, None
+        if pools is not None:
+            for pool in pools:
+                pool.shutdown(wait=False, cancel_futures=True)
+        self._epoch += 1
+        self._unlink_known_segments()
+
+    def _unlink_known_segments(self) -> None:
+        segments, self._segments = self._segments, {}
+        with _tracker_neutral():
+            for names in segments.values():
+                for name in names:
+                    try:
+                        shared_memory.SharedMemory(name=name).unlink()
+                    except (FileNotFoundError, OSError):
+                        pass
+
+    def _note_segments(self, scope: str, answers: Sequence[ShardAnswer]) -> None:
+        """Record the latest published segment names per shard (the
+        unlink backstop for crash/shutdown cleanup)."""
+        for answer in answers:
+            names = tuple(
+                t.name
+                for t in (
+                    answer.density_table,
+                    answer.support_table,
+                    *answer.differential_tables,
+                )
+                if isinstance(t, ShmTable)
+            )
+            key = (scope, answer.shard_id)
+            if names:
+                self._segments[key] = names
+            else:
+                self._segments.pop(key, None)
 
     # ------------------------------------------------------------------
     # shard payloads
@@ -327,14 +734,37 @@ class ParallelExecutor:
             ]
         )
 
+    def apply_deltas_many(
+        self,
+        updates: Sequence[Tuple[int, int, int, Sequence[Tuple[int, object]]]],
+        backend: str,
+        scope: str = "",
+    ) -> List[bool]:
+        """Ship ``(shard_id, base_version, new_version, records)`` delta
+        batches to their pinned workers.  Returns per-update success:
+        ``False`` means the worker no longer holds ``base_version``
+        (evicted, respawned) and the caller must fall back to a full
+        :meth:`load_density` reship for that shard.
+        """
+        return self._run(
+            [
+                (shard_id, _w_apply_deltas,
+                 (self._ns, scope, shard_id, base, new, backend, list(records)))
+                for shard_id, base, new, records in updates
+            ]
+        )
+
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
     def evaluate(self, requests: Sequence[EvalRequest]) -> List[ShardAnswer]:
         """Fan :class:`EvalRequest` orders out to their pinned workers."""
-        return self._run(
+        answers = self._run(
             [(r.shard_id, _w_evaluate, (self._ns, r)) for r in requests]
         )
+        if requests and not self.inline:
+            self._note_segments(requests[0].scope, answers)
+        return answers
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
@@ -348,16 +778,33 @@ class ParallelExecutor:
         if self.inline:
             _w_clear(self._ns)
         elif self._pools is not None:
-            futures = [pool.submit(_w_clear, self._ns) for pool in self._pools]
-            for f in futures:
-                f.result()
+            try:
+                futures = [
+                    pool.submit(_w_clear, self._ns) for pool in self._pools
+                ]
+                for f in futures:
+                    f.result()
+            except BrokenProcessPool:
+                self._respawn()
+                return
+        self._unlink_known_segments()
 
     def shutdown(self) -> None:
         """Terminate the worker pools; the executor stays reusable."""
         if self._pools is not None:
+            try:
+                # workers unlink their published segments before dying
+                futures = [
+                    pool.submit(_w_clear, self._ns) for pool in self._pools
+                ]
+                for f in futures:
+                    f.result()
+            except (BrokenProcessPool, RuntimeError):
+                pass
             for pool in self._pools:
                 pool.shutdown(wait=True)  # worker state dies with them
             self._pools = None
+        self._unlink_known_segments()  # backstop for crashed workers
         self._finalizer()  # reclaim any inline state now
         self._closed = True
 

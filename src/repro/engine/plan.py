@@ -260,6 +260,13 @@ class Plan:
     workers: Optional[int]
     config: EngineConfig
     reasons: Tuple[str, ...] = ()
+    #: Sharded-tier transport knobs (``None`` on unsharded plans and on
+    #: plans built before the transport term existed): the executor
+    #: sync strategy (``"delta"``/``"reship"``), the per-shard delta
+    #: journal capacity, and whether table returns ride shared memory.
+    sync: Optional[str] = None
+    journal_bound: Optional[int] = None
+    shm: Optional[bool] = None
 
     @property
     def effective_workers(self) -> int:
@@ -276,13 +283,18 @@ class Plan:
 
     def as_dict(self) -> dict:
         """JSON-friendly form (the service's ``/stats`` block)."""
-        return {
+        out = {
             "tier": self.tier,
             "backend": self.backend,
             "shards": self.shards,
             "workers": self.effective_workers,
             "durable": bool(self.config.durable),
         }
+        if self.sync is not None:
+            out["sync"] = self.sync
+            out["journal_bound"] = self.journal_bound
+            out["shm"] = self.shm
+        return out
 
     def explain(self) -> str:
         """Multi-line cost-model reasoning (``repro plan --explain``)."""
@@ -319,6 +331,16 @@ class Planner:
     SHARD_MIN_DELTA_RATE = 2_000.0
     #: Shards beyond this just queue behind the worker pools.
     MAX_SHARDS = 8
+    #: Shared-memory table returns pay a flat publish+attach cost per
+    #: segment; below this table size a pickle is smaller than the
+    #: setup, so returns stay pickled.  Calibration moves the bar from
+    #: the measured pickle-bytes vs shm-roundtrip race.
+    SHM_MIN_N = 15
+    #: Clamps on the planner-chosen delta-journal capacity: one noisy
+    #: transport measurement must not produce a journal that is useless
+    #: (every sync overflows) or unbounded (the parent hoards records).
+    JOURNAL_MIN = 256
+    JOURNAL_MAX = 65_536
     #: Fleet workers beyond this just multiply idle event loops: each
     #: worker process pins (at most) one core, so the fleet size is
     #: CPU-bound the same way the shard worker pool is.
@@ -407,6 +429,7 @@ class Planner:
                 "are cheap and lossless at this size"
             )
 
+        sync = journal_bound = shm = None
         if tier == "sharded":
             shards = config.shards
             if shards is None:
@@ -432,6 +455,9 @@ class Planner:
                 reasons.append(
                     f"workers={workers}: pinned by config, capped by shards"
                 )
+            sync, journal_bound, shm = self._transport_term(
+                workload, n, shards, reasons
+            )
         else:
             shards, workers = 1, 1
             reasons.append(f"shards=1, workers=1: {tier} tier is unsharded")
@@ -446,7 +472,84 @@ class Planner:
             workers=workers,
             config=config,
             reasons=tuple(reasons),
+            sync=sync,
+            journal_bound=journal_bound,
+            shm=shm,
         )
+
+    def _transport_term(self, workload, n, shards, reasons):
+        """The sharded tier's transport decision: sync strategy, delta
+        journal capacity and shared-memory table returns.
+
+        With a measured profile the journal bound is the gap at which
+        shipping journal records costs as much as the full reship it
+        replaces (payload pickle at ``pickle_item_s`` per item plus one
+        table rebuild at ``predict_vec_s``), clamped to
+        [:attr:`JOURNAL_MIN`, :attr:`JOURNAL_MAX`]; a host whose
+        records cost more than whole reships (never seen in practice,
+        but measurable) falls back to ``sync="reship"``.  Without a
+        profile the bound stays on the assumed
+        :data:`~repro.engine.shard.DEFAULT_JOURNAL_BOUND` so CI plans
+        remain deterministic.
+        """
+        from repro.engine.shard import DEFAULT_JOURNAL_BOUND
+
+        profile = self.profile
+        measured = (
+            profile is not None
+            and profile.pickle_item_s is not None
+            and profile.delta_record_s is not None
+        )
+        sync = "delta"
+        if measured:
+            per_shard_nnz = max(1, workload.density_size // max(shards, 1))
+            reship_s = (
+                per_shard_nnz * profile.pickle_item_s
+                + profile.predict_vec_s(n)
+            )
+            raw_bound = int(reship_s / profile.delta_record_s)
+            if raw_bound < 1:
+                sync = "reship"
+                journal_bound = self.JOURNAL_MIN
+                reasons.append(
+                    "transport: sync=reship measured -- one journal record "
+                    f"({profile.delta_record_s:.2e}s) costs more than a "
+                    f"full payload reship ({reship_s:.2e}s)"
+                )
+            else:
+                journal_bound = max(
+                    self.JOURNAL_MIN, min(self.JOURNAL_MAX, raw_bound)
+                )
+                reasons.append(
+                    f"transport: sync=delta, journal_bound={journal_bound} "
+                    f"measured (reship {reship_s:.2e}s / record "
+                    f"{profile.delta_record_s:.2e}s, clamped to "
+                    f"[{self.JOURNAL_MIN}, {self.JOURNAL_MAX}])"
+                )
+        else:
+            journal_bound = DEFAULT_JOURNAL_BOUND
+            reasons.append(
+                f"transport: sync=delta, journal_bound={journal_bound} "
+                "assumed (no transport calibration)"
+            )
+        shm = n >= self.SHM_MIN_N
+        bar_kind = (
+            "measured"
+            if profile is not None and "SHM_MIN_N" in profile.thresholds()
+            else "assumed"
+        )
+        if shm:
+            reasons.append(
+                f"transport: shm table returns -- |S|={n} >= shm bar "
+                f"{self.SHM_MIN_N} {bar_kind} (pickling 2^{n} entries "
+                "dwarfs a segment publish+attach)"
+            )
+        else:
+            reasons.append(
+                f"transport: pickled table returns -- |S|={n} < shm bar "
+                f"{self.SHM_MIN_N} {bar_kind}"
+            )
+        return sync, journal_bound, shm
 
     def _calibration_reasons(self):
         """The measured-vs-assumed lines ``plan --explain`` prints when
@@ -465,7 +568,13 @@ class Planner:
                 )
             return f"{name.lower()}={value} assumed"
 
-        names = ("VEC_MIN_N", "VEC_STREAM_MIN_N", "FLOAT_MIN_N", "SHARD_MIN_N")
+        names = (
+            "VEC_MIN_N",
+            "VEC_STREAM_MIN_N",
+            "FLOAT_MIN_N",
+            "SHARD_MIN_N",
+            "SHM_MIN_N",
+        )
         return [
             f"calibration: {self.profile.describe()}",
             "calibration: " + ", ".join(bar(name) for name in names),
@@ -667,12 +776,20 @@ def build_context(
     if plan.tier == "sharded":
         from repro.engine.shard import ShardedEvalContext
 
+        transport = {}
+        if plan.sync is not None:
+            transport["sync"] = plan.sync
+        if plan.journal_bound is not None:
+            transport["journal_bound"] = plan.journal_bound
+        if plan.shm is not None:
+            transport["shm_tables"] = plan.shm
         return ShardedEvalContext(
             ground,
             shards=plan.shards,
             plan=shard_plan,
             workers=plan.workers,
             executor=executor,
+            **transport,
             **common,
         )
     from repro.engine.incremental import IncrementalEvalContext

@@ -38,8 +38,10 @@ from __future__ import annotations
 
 import itertools
 import weakref
+from collections import deque
 from typing import (
     Callable,
+    Deque,
     Dict,
     Iterable,
     List,
@@ -51,7 +53,7 @@ from typing import (
 )
 
 from repro.engine import batch
-from repro.engine.backends import Backend, Table
+from repro.engine.backends import Backend, Table, _fits_int64
 from repro.engine.decider import ImplicationCache
 from repro.engine.incremental import (
     DEFAULT_TOLERANCE,
@@ -60,11 +62,18 @@ from repro.engine.incremental import (
 )
 
 __all__ = [
+    "DEFAULT_JOURNAL_BOUND",
     "ShardPlan",
     "ShardedEvalContext",
     "ShardedEvaluation",
     "sum_tables",
 ]
+
+#: Per-shard delta-journal capacity when neither the caller nor the
+#: planner picks one.  A shard whose unsynced gap exceeds its journal
+#: falls back to a full payload reship, so the bound trades parent-side
+#: memory (records kept) against worst-case resync cost.
+DEFAULT_JOURNAL_BOUND = 1024
 
 #: Knuth's multiplicative constant -- spreads consecutive masks across
 #: shards far more evenly than ``mask % shards`` on clustered workloads.
@@ -210,6 +219,21 @@ class ShardedEvalContext(IncrementalEvalContext):
         An optional :class:`~repro.engine.parallel.ParallelExecutor`
         used by :meth:`evaluate`; ``workers`` builds one on demand.
         ``K = 1`` or ``workers = 1`` stays single-process inline.
+    sync:
+        Executor sync strategy: ``"delta"`` (default) ships only the
+        journalled ``(mask, delta)`` records since each shard's last
+        synced version; ``"reship"`` always sends the full sparse
+        payload (the pre-journal behaviour, kept for benchmarking and
+        as a planner escape hatch).
+    journal_bound:
+        Per-shard delta-journal capacity (default
+        :data:`DEFAULT_JOURNAL_BOUND`); a dirty gap beyond it forces a
+        full reship for that shard.
+    shm_tables:
+        ``True``/``False`` forces shared-memory table returns on/off;
+        ``None`` (default) lets :meth:`evaluate` decide -- shared
+        memory when the executor runs real worker processes and the
+        backend stores ndarray tables, pickled returns otherwise.
     """
 
     __slots__ = (
@@ -222,6 +246,15 @@ class ShardedEvalContext(IncrementalEvalContext):
         "_owns_executor",
         "_scope",
         "_executor_finalizer",
+        "_sync_strategy",
+        "_journal_bound",
+        "_shard_journal",
+        "_journal_unsafe",
+        "_ever_synced",
+        "_shm_tables",
+        "_deltas_shipped",
+        "_full_resyncs",
+        "_shm_bytes",
     )
 
     _scope_counter = itertools.count()
@@ -239,9 +272,22 @@ class ShardedEvalContext(IncrementalEvalContext):
         private_cache: bool = False,
         executor=None,
         workers: Optional[int] = None,
+        sync: str = "delta",
+        journal_bound: Optional[int] = None,
+        shm_tables: Optional[bool] = None,
     ):
         if plan is None:
             plan = ShardPlan(shards)
+        if sync not in ("delta", "reship"):
+            raise ValueError(
+                f"sync strategy must be 'delta' or 'reship', got {sync!r}"
+            )
+        if journal_bound is None:
+            journal_bound = DEFAULT_JOURNAL_BOUND
+        if journal_bound < 1:
+            raise ValueError(
+                f"journal bound must be >= 1, got {journal_bound}"
+            )
         # shard state must exist before super().__init__ seeds the
         # density (seeding funnels through our apply_delta override)
         self._plan = plan
@@ -251,6 +297,17 @@ class ShardedEvalContext(IncrementalEvalContext):
         self._shard_versions = [0] * plan.shards
         self._synced_versions: List[Optional[int]] = [None] * plan.shards
         self._synced_epoch: Optional[int] = None
+        self._sync_strategy = sync
+        self._journal_bound = journal_bound
+        self._shard_journal: List[Deque[Tuple[int, Number]]] = [
+            deque(maxlen=journal_bound) for _ in range(plan.shards)
+        ]
+        self._journal_unsafe = [False] * plan.shards
+        self._ever_synced = [False] * plan.shards
+        self._shm_tables = shm_tables
+        self._deltas_shipped = [0] * plan.shards
+        self._full_resyncs = [0] * plan.shards
+        self._shm_bytes = [0] * plan.shards
         # contexts may share one executor: the scope keeps their shard
         # ids from colliding in the workers' state
         self._scope = f"ctx{next(self._scope_counter)}"
@@ -358,7 +415,15 @@ class ShardedEvalContext(IncrementalEvalContext):
     # deltas: route to the owning shard
     # ------------------------------------------------------------------
     def apply_delta(self, mask: int, delta: Number) -> List[Tuple[object, bool]]:
-        """Apply one density delta, dirtying only the owning shard."""
+        """Apply one density delta, dirtying only the owning shard.
+
+        The record also lands in the shard's delta journal, which is
+        what :meth:`sync_executor` ships instead of the full payload.
+        A delta the vectorized exact backend cannot hold in int64 (big
+        ints, Fractions) marks the shard journal-unsafe: the worker's
+        cached table would promote to object dtype mid-apply, so the
+        next sync reships the payload wholesale instead.
+        """
         flips = super().apply_delta(mask, delta)
         if delta != 0:
             k = self._plan.shard_of(mask)
@@ -369,6 +434,13 @@ class ShardedEvalContext(IncrementalEvalContext):
             else:
                 part[mask] = value
             self._shard_versions[k] += 1
+            self._shard_journal[k].append((mask, delta))
+            if (
+                self.backend.exact
+                and self.backend.vectorized
+                and not _fits_int64(delta)
+            ):
+                self._journal_unsafe[k] = True
         return flips
 
     # ------------------------------------------------------------------
@@ -408,13 +480,26 @@ class ShardedEvalContext(IncrementalEvalContext):
         return self._executor
 
     def sync_executor(self) -> Tuple[int, ...]:
-        """Push dirty shards' densities to their workers.
+        """Push dirty shards' state to their workers.
 
-        Only shards whose version moved since the last sync are shipped
-        (the dirty-shard fast path); returns the synced shard ids.  An
-        executor whose :attr:`~repro.engine.parallel.ParallelExecutor.
-        epoch` moved (``clear()`` was called) invalidates the sync
-        bookkeeping wholesale, so every shard is reshipped.
+        Only shards whose version moved since the last sync are touched
+        (the dirty-shard fast path); returns the synced shard ids.
+        Under the ``"delta"`` strategy a dirty shard ships just the
+        journalled ``(mask, delta)`` records since its last synced
+        version -- O(gap) on the wire instead of O(nnz) -- and the
+        worker maintains its cached tables in place.  The full payload
+        reship remains the fallback whenever the delta path cannot be
+        trusted:
+
+        * the shard was never synced, or the executor epoch moved
+          (``clear()``, a worker-crash respawn) -- the worker has no
+          base state;
+        * the dirty gap exceeds the journal bound -- the records are
+          gone;
+        * the journal holds a delta the vectorized exact backend cannot
+          apply in int64 (object-dtype promotion fallback);
+        * the worker itself reports it no longer holds the base version
+          (evicted payload, respawned pool).
         """
         executor = self._require_executor()
         epoch = getattr(executor, "epoch", None)
@@ -426,16 +511,78 @@ class ShardedEvalContext(IncrementalEvalContext):
             for k in range(self.shards)
             if self._synced_versions[k] != self._shard_versions[k]
         ]
-        executor.load_density_many(
-            [
-                (k, self._shard_versions[k], self.shard_density_items(k))
-                for k in dirty
-            ],
-            scope=self._scope,
-        )
+        if not dirty:
+            return ()
+        delta_updates: List[Tuple[int, int, int, List[Tuple[int, Number]]]] = []
+        full_loads: List[int] = []
+        for k in dirty:
+            base = self._synced_versions[k]
+            cur = self._shard_versions[k]
+            journal = self._shard_journal[k]
+            gap = None if base is None else cur - base
+            if (
+                self._sync_strategy == "delta"
+                and gap is not None
+                and 0 < gap <= len(journal)
+                and not self._journal_unsafe[k]
+            ):
+                records = list(journal)[-gap:]
+                delta_updates.append((k, base, cur, records))
+            else:
+                full_loads.append(k)
+        if delta_updates:
+            applied = executor.apply_deltas_many(
+                delta_updates, self.backend.name, scope=self._scope
+            )
+            for (k, _base, _cur, records), ok in zip(delta_updates, applied):
+                if ok:
+                    self._deltas_shipped[k] += len(records)
+                else:
+                    full_loads.append(k)
+        if full_loads:
+            executor.load_density_many(
+                [
+                    (k, self._shard_versions[k], self.shard_density_items(k))
+                    for k in full_loads
+                ],
+                scope=self._scope,
+            )
+            for k in full_loads:
+                if self._ever_synced[k]:
+                    self._full_resyncs[k] += 1
+                self._journal_unsafe[k] = False
         for k in dirty:
             self._synced_versions[k] = self._shard_versions[k]
+            self._ever_synced[k] = True
         return tuple(dirty)
+
+    def transport_stats(self) -> Dict[str, object]:
+        """Cumulative transport counters (surfaced by ``/stats``).
+
+        ``deltas_shipped`` counts journal records applied worker-side,
+        ``full_resyncs`` counts payload reships *after* a shard's first
+        load (the first load is the unavoidable baseline, not a
+        fallback), ``shm_bytes`` counts table bytes read back through
+        shared-memory segments instead of pickles.
+        """
+        per_shard = [
+            {
+                "shard": k,
+                "deltas_shipped": self._deltas_shipped[k],
+                "full_resyncs": self._full_resyncs[k],
+                "shm_bytes": self._shm_bytes[k],
+            }
+            for k in range(self.shards)
+        ]
+        return {
+            "sync": self._sync_strategy,
+            "journal_bound": self._journal_bound,
+            "shm_tables": self._shm_tables,
+            "deltas_shipped": sum(self._deltas_shipped),
+            "full_resyncs": sum(self._full_resyncs),
+            "shm_bytes": sum(self._shm_bytes),
+            "per_shard": per_shard,
+        }
 
     def evaluate(
         self,
@@ -471,6 +618,17 @@ class ShardedEvalContext(IncrementalEvalContext):
         family_members = tuple(tuple(f.members) for f in families)
         executor = self._require_executor()
         self.sync_executor()
+        want_tables = return_tables or bool(family_members)
+        if self._shm_tables is not None:
+            use_shm = self._shm_tables and want_tables and not executor.inline
+        else:
+            # shared memory pays off exactly when tables are ndarrays
+            # and a real process boundary would otherwise pickle them
+            use_shm = (
+                want_tables
+                and not executor.inline
+                and self.backend.vectorized
+            )
         requests = [
             EvalRequest(
                 shard_id=k,
@@ -482,7 +640,8 @@ class ShardedEvalContext(IncrementalEvalContext):
                 constraints=specs,
                 probes=probe_masks,
                 families=family_members,
-                return_tables=return_tables or bool(family_members),
+                return_tables=want_tables,
+                shm_tables=use_shm,
             )
             for k in range(self.shards)
         ]
@@ -497,20 +656,79 @@ class ShardedEvalContext(IncrementalEvalContext):
         }
         density = support_tbl = None
         diffs: Dict[Tuple[int, ...], Table] = {}
-        if return_tables or family_members:
-            density = sum_tables(
-                [a.density_table for a in answers], self.backend
+        if want_tables:
+            density, support_tbl, diffs = self._merge_answer_tables(
+                answers, family_members
             )
-            support_tbl = sum_tables(
-                [a.support_table for a in answers], self.backend
-            )
-            for j, members in enumerate(family_members):
-                diffs[members] = sum_tables(
-                    [a.differential_tables[j] for a in answers], self.backend
-                )
         return ShardedEvaluation(
             violated, support, density, support_tbl, diffs, answers
         )
+
+    def _merge_answer_tables(
+        self,
+        answers: Sequence,
+        family_members: Tuple[Tuple[int, ...], ...],
+    ) -> Tuple[Table, Table, Dict[Tuple[int, ...], Table]]:
+        """Merge per-shard answer tables, attaching shm descriptors.
+
+        A :class:`~repro.engine.parallel.ShmTable` descriptor is
+        resolved to a read-only ndarray view over the worker's
+        published segment; its generation must match the shard version
+        this context just requested, so a respawned or lagging worker
+        can never feed a stale table into the merge.  The merged
+        tables are fresh copies (``sum_tables`` copies its first
+        input), so every attachment is closed before returning.
+        """
+        from repro.engine.parallel import ShmTable, attach_shm_table
+
+        segments: List = []
+
+        def resolve(table, shard_id: int):
+            if not isinstance(table, ShmTable):
+                return table
+            if table.generation != self._shard_versions[shard_id]:
+                raise RuntimeError(
+                    f"shard {shard_id} returned a shared-memory table "
+                    f"from generation {table.generation}, expected "
+                    f"{self._shard_versions[shard_id]} -- stale segment"
+                )
+            view, segment = attach_shm_table(table)
+            segments.append(segment)
+            self._shm_bytes[shard_id] += table.nbytes
+            return view
+
+        resolved: List[Tuple] = []
+        try:
+            for a in answers:
+                resolved.append(
+                    (
+                        resolve(a.density_table, a.shard_id),
+                        resolve(a.support_table, a.shard_id),
+                        [
+                            resolve(t, a.shard_id)
+                            for t in a.differential_tables
+                        ],
+                    )
+                )
+            density = sum_tables([r[0] for r in resolved], self.backend)
+            support_tbl = sum_tables([r[1] for r in resolved], self.backend)
+            diffs = {
+                members: sum_tables(
+                    [r[2][j] for r in resolved], self.backend
+                )
+                for j, members in enumerate(family_members)
+            }
+        finally:
+            # drop every view before closing: a numpy array exported
+            # from shm.buf keeps the segment's buffer alive, and
+            # close() on a segment with live exports raises BufferError
+            del resolved
+            for segment in segments:
+                try:
+                    segment.close()
+                except BufferError:  # pragma: no cover - traceback refs
+                    pass
+        return density, support_tbl, diffs
 
     def __repr__(self) -> str:
         return (

@@ -501,6 +501,14 @@ class StreamSession:
         summary["enabled"] = True
         return summary
 
+    @property
+    def transport(self) -> Optional[dict]:
+        """The sharded tier's transport counters (deltas shipped, full
+        resyncs, shared-memory bytes, per shard) for the service's
+        ``/stats`` engine block; ``None`` on unsharded sessions."""
+        stats = getattr(self._context, "transport_stats", None)
+        return stats() if callable(stats) else None
+
     # ------------------------------------------------------------------
     # online re-planning (config.engine == "auto")
     # ------------------------------------------------------------------

@@ -43,6 +43,29 @@ FLEET_LISTENING = re.compile(r"# fleet listening on ([\d.]+):(\d+)")
 TENANTS = ("acme", "globex", "initech", "umbrella")
 
 
+def shm_segments() -> set:
+    """Names of POSIX shared-memory segments currently in ``/dev/shm``."""
+    try:
+        return {e for e in os.listdir("/dev/shm") if e.startswith("psm_")}
+    except (FileNotFoundError, PermissionError):
+        return set()
+
+
+def shm_orphans(baseline: set, timeout: float = 5.0) -> set:
+    """Segments that appeared since ``baseline`` and refuse to drain.
+
+    A SIGKILLed fleet cannot unlink its published segments itself; the
+    survivors (executor backstops, resource trackers) get a short
+    settle window before a leftover counts as a leak.
+    """
+    deadline = time.monotonic() + timeout
+    orphans = shm_segments() - baseline
+    while orphans and time.monotonic() < deadline:
+        time.sleep(0.25)
+        orphans = shm_segments() - baseline
+    return orphans
+
+
 def boot(constraint_path: str, data_root: str, standby_root: str,
          takeover: bool = False, quota: bool = False):
     """Spawn ``repro fleet`` and wait for the router's listening line."""
@@ -148,6 +171,7 @@ def main() -> int:
             fh.write(CONSTRAINTS)
         data_root = os.path.join(tmp, "data")
         standby_root = os.path.join(tmp, "standby")
+        shm_baseline = shm_segments()
 
         # --- phase 1: boot the fleet, drive tenants through the router
         proc, port = boot(constraint_path, data_root, standby_root)
@@ -183,6 +207,12 @@ def main() -> int:
             expect(False, "router port actually went dark")
         except ServiceError:
             expect(True, "router port actually went dark")
+        orphans = shm_orphans(shm_baseline)
+        expect(
+            not orphans,
+            f"no orphan shm segments after fleet SIGKILL "
+            f"(found {sorted(orphans)})",
+        )
 
         # --- phase 3: takeover on the shipped standby directories -----
         proc2, port2 = boot(
@@ -242,6 +272,12 @@ def main() -> int:
         proc2.send_signal(signal.SIGTERM)
         rc = proc2.wait(timeout=90)
         expect(rc == 0, f"SIGTERM fan-out drain exit code is 0 (got {rc})")
+        orphans = shm_orphans(shm_baseline)
+        expect(
+            not orphans,
+            f"no orphan shm segments after takeover + drain "
+            f"(found {sorted(orphans)})",
+        )
 
     if failures:
         print(f"[driver] {failures} check(s) FAILED")

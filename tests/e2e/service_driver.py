@@ -42,6 +42,29 @@ B -> CD
 LISTENING = re.compile(r"# listening on ([\d.]+):(\d+)")
 
 
+def shm_segments() -> set:
+    """Names of POSIX shared-memory segments currently in ``/dev/shm``."""
+    try:
+        return {e for e in os.listdir("/dev/shm") if e.startswith("psm_")}
+    except (FileNotFoundError, PermissionError):
+        return set()
+
+
+def shm_orphans(baseline: set, timeout: float = 5.0) -> set:
+    """Segments that appeared since ``baseline`` and refuse to drain.
+
+    A SIGKILLed process cannot unlink its published segments itself;
+    the survivors (executor backstops, resource trackers) get a short
+    settle window before a leftover counts as a leak.
+    """
+    deadline = time.monotonic() + timeout
+    orphans = shm_segments() - baseline
+    while orphans and time.monotonic() < deadline:
+        time.sleep(0.25)
+        orphans = shm_segments() - baseline
+    return orphans
+
+
 def boot(constraint_path: str, data_dir: str):
     """Spawn ``repro serve`` and wait for its listening line."""
     env = dict(os.environ)
@@ -111,6 +134,7 @@ def main() -> int:
         with open(constraint_path, "w") as fh:
             fh.write(CONSTRAINTS)
         data_dir = os.path.join(tmp, "data")
+        shm_baseline = shm_segments()
 
         # --- phase 1: boot fresh, drive the protocol ------------------
         proc, client = boot(constraint_path, data_dir)
@@ -143,6 +167,11 @@ def main() -> int:
             expect(False, "port actually went dark")
         except ServiceError:
             expect(True, "port actually went dark")
+        orphans = shm_orphans(shm_baseline)
+        expect(
+            not orphans,
+            f"no orphan shm segments after SIGKILL (found {sorted(orphans)})",
+        )
 
         # --- phase 3: restart on the same data dir --------------------
         proc2, client2 = boot(constraint_path, data_dir)
@@ -182,6 +211,12 @@ def main() -> int:
         expect(client3.check("A -> B") is True, "restored status persisted")
         client3.shutdown()
         expect(proc3.wait(timeout=60) == 0, "third boot drains cleanly")
+        orphans = shm_orphans(shm_baseline)
+        expect(
+            not orphans,
+            f"no orphan shm segments after the full run "
+            f"(found {sorted(orphans)})",
+        )
 
     if failures:
         print(f"[driver] {failures} check(s) FAILED")
